@@ -1,0 +1,72 @@
+/// Reproduces Fig. 1 of the paper: the "Max" circuit converted into
+/// different logic representations (AIG / XAG / MIG / XMG) and mapped onto
+/// the ASIC library with both objectives.  The point of the figure: no
+/// single representation wins both area- and delay-oriented mapping, which
+/// motivates evaluating them jointly (the MCH operator).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mcs/circuits/circuits.hpp"
+#include "mcs/map/graph_mapper.hpp"
+#include "mcs/network/convert.hpp"
+#include "mcs/network/network_utils.hpp"
+#include "mcs/opt/optimize.hpp"
+
+using namespace mcs;
+
+int main() {
+  std::printf("=== Fig. 1: technology mapping of 'Max' per representation "
+              "(ASAP7-mini) ===\n\n");
+  const int bits = static_cast<int>(32 * bench::suite_scale());
+  Network original = expand_to_aig(circuits::max4(bits));
+  original = compress2rs_like(original, GateBasis::aig(), 2);
+
+  const TechLibrary lib = TechLibrary::asap7_mini();
+
+  struct Repr {
+    const char* name;
+    Network net;
+  };
+  std::vector<Repr> reprs;
+  reprs.push_back({"AIG", original});
+  reprs.push_back({"XAG", detect_xors(original)});
+  {
+    GraphMapParams p;
+    p.target = GateBasis::mig();
+    p.use_choices = false;
+    reprs.push_back({"MIG", iterate_graph_map(original, p, 4)});
+    p.target = GateBasis::xmg();
+    reprs.push_back({"XMG", iterate_graph_map(original, p, 4)});
+  }
+
+  std::printf("%-5s %8s %6s | %12s %12s | %12s %12s\n", "repr", "gates",
+              "depth", "area(del-or)", "delay(del-or)", "area(ar-or)",
+              "delay(ar-or)");
+  std::printf("%.*s\n", 86,
+              "----------------------------------------------------------"
+              "----------------------------");
+  for (const auto& r : reprs) {
+    AsicMapParams pd;
+    pd.objective = AsicMapParams::Objective::kDelay;
+    pd.use_choices = false;
+    AsicMapParams pa;
+    pa.objective = AsicMapParams::Objective::kArea;
+    pa.use_choices = false;
+    const auto md = asic_map(r.net, lib, pd);
+    const auto ma = asic_map(r.net, lib, pa);
+    const bool ok = bench::sim_check(original, md) &&
+                    bench::sim_check(original, ma);
+    std::printf("%-5s %8zu %6u | %12.2f %12.2f | %12.2f %12.2f  %s\n",
+                r.name, r.net.num_gates(), r.net.depth(), md.area, md.delay,
+                ma.area, ma.delay, ok ? "[sim-ok]" : "[SIM-MISMATCH]");
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 1): the choice of representation is a "
+      "real trade-off --\nunder delay-oriented mapping the AIG structure "
+      "gives the fastest netlist while the\nMIG/XMG structure gives a far "
+      "smaller one (neither Pareto-dominates), so no single\n"
+      "representation should be committed to before mapping.  (Our Max has "
+      "no XOR logic,\nso its XAG equals its AIG.)\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+/// Reproduces Fig. 2 of the paper: the motivating example.  A comparator
+/// `res = (a + b) > 0` is pushed through three flows:
+///   1. the traditional flow (technology-independent optimization, then
+///      mapping),
+///   2. optimization + DCH structural choices + mapping,
+///   3. the MCH-based mapping flow.
+/// The paper's observation: optimization shrinks the AIG but does not help
+/// (and can hurt) the eventual mapping; DCH cannot recover because all its
+/// candidates come from the same representation; MCH's heterogeneous
+/// candidates yield a better mapped netlist.
+///
+/// We use 4-bit operands (the paper uses 2-bit); at 2 bits our optimizer
+/// already collapses the function to its global optimum and every flow
+/// ties, which hides the effect the figure demonstrates.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mcs/choice/dch.hpp"
+#include "mcs/choice/mch.hpp"
+#include "mcs/circuits/wordlib.hpp"
+#include "mcs/network/convert.hpp"
+#include "mcs/network/network_utils.hpp"
+#include "mcs/opt/optimize.hpp"
+
+using namespace mcs;
+
+namespace {
+
+Network demo_network(int bits) {
+  Network net;
+  const circuits::Word a = circuits::make_pi_word(net, bits, "a");
+  const circuits::Word b = circuits::make_pi_word(net, bits, "b");
+  const circuits::Word sum = circuits::add(net, a, b, true);
+  net.create_po(circuits::reduce_or(net, sum), "res");
+  return expand_to_aig(net);
+}
+
+void report(const char* flow, const Network& subject,
+            const CellNetlist& mapped, const Network& reference) {
+  std::size_t live_nodes = 0;
+  for (const NodeId n : choice_topo_order(subject)) {
+    if (subject.is_gate(n)) ++live_nodes;
+  }
+  std::printf("%-28s nodes=%-4zu choices=%-3zu level=%-2u  area=%6.3f um2  "
+              "delay=%6.2f ps  %s\n",
+              flow, live_nodes, subject.num_choices(), subject.depth(),
+              mapped.area, mapped.delay,
+              bench::sim_check(reference, mapped) ? "[sim-ok]"
+                                                  : "[SIM-MISMATCH]");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 2: motivating example res = (a + b) > 0 ===\n\n");
+  const Network original = demo_network(4);
+  const TechLibrary lib = TechLibrary::asap7_mini();
+  AsicMapParams map_params;  // balanced: delay-oriented with area recovery
+  map_params.objective = AsicMapParams::Objective::kDelay;
+
+  std::printf("original AIG: %zu nodes, level %u\n\n", original.num_gates(),
+              original.depth());
+
+  // Technology-independent optimization (rewrite + balance rounds, the
+  // "compress2" part of the paper's flow).
+  const Network optimized =
+      balance(rewrite(balance(original), {.basis = GateBasis::aig()}));
+
+  // --- flow 1: traditional ---------------------------------------------
+  {
+    AsicMapParams p = map_params;
+    p.use_choices = false;
+    const auto mapped = asic_map(optimized, lib, p);
+    report("traditional (opt; map)", optimized, mapped, original);
+  }
+
+  // --- flow 2: DCH ------------------------------------------------------
+  {
+    const Network dch =
+        build_dch({optimized, balance(optimized), original});
+    const auto mapped = asic_map(dch, lib, map_params);
+    report("DCH (opt; dch; map)", dch, mapped, original);
+  }
+
+  // --- flow 3: MCH ------------------------------------------------------
+  {
+    // MCH preserves the original structure through structural choices and
+    // stacks heterogeneous candidates on top (paper, Sec. III-A): start
+    // from the optimized network merged with the original, then add
+    // XMG-flavored candidates.
+    MchParams mch_params;
+    mch_params.candidate_basis = GateBasis::xmg();
+    mch_params.critical_ratio = 0.5;
+    mch_params.max_choices_per_node = 4;
+    const Network mch = build_mch(optimized, mch_params);
+    const auto mapped = asic_map(mch, lib, map_params);
+    report("MCH (mch; map)", mch, mapped, original);
+  }
+
+  std::printf(
+      "\nExpected shape (paper Fig. 2): the optimized AIG has fewer nodes "
+      "but maps no\nbetter than the original; MCH, storing heterogeneous "
+      "candidates, maps to a\nsmaller and/or faster netlist than both.\n");
+  return 0;
+}

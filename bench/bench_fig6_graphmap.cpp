@@ -1,0 +1,109 @@
+/// Reproduces Fig. 6 of the paper: MCH-based graph-mapping optimization.
+///
+/// Per circuit: the XMG network is optimized by iterating plain graph
+/// mapping until it reaches a local optimum (the "Baseline").  The
+/// MCH-based graph mapper (mixed MIG/XMG choice networks, Fig. 5) then
+/// continues from that local optimum.  We report the relative improvements
+/// in XMG level/node counts ("MCH for Graph Map") and, after 6-LUT mapping
+/// of both results, in LUT level/node counts ("MCH for LUT Map"), plus the
+/// geometric means that the paper draws as stars (18.59%/11.56% and
+/// 4.71%/7.31%).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mcs/circuits/circuits.hpp"
+#include "mcs/map/graph_mapper.hpp"
+#include "mcs/network/convert.hpp"
+#include "mcs/network/network_utils.hpp"
+#include "mcs/opt/optimize.hpp"
+
+using namespace mcs;
+
+int main() {
+  const double scale = bench::suite_scale();
+  std::printf("=== Fig. 6: graph-mapping optimization with MCH (suite scale "
+              "%.2f) ===\n\n", scale);
+
+  GraphMapParams gm;
+  gm.target = GateBasis::xmg();
+  gm.objective = GraphMapParams::Objective::kSize;
+
+  MchParams mch_params;
+  mch_params.candidate_basis = GateBasis::mig();  // MIG+XMG mixed choices
+  mch_params.critical_ratio = 0.7;
+
+  LutMapParams lut6;
+  lut6.lut_size = 6;
+  lut6.objective = LutMapParams::Objective::kArea;
+
+  std::printf("%-11s | %-17s | %-17s | %-8s %-8s | %-8s %-8s\n", "circuit",
+              "baseline XMG n/l", "MCH XMG n/l", "gm dN%", "gm dL%",
+              "lut dN%", "lut dL%");
+  std::printf("--------------------------------------------------------------"
+              "-----------------------\n");
+
+  std::vector<double> gm_node_ratio, gm_level_ratio, lut_node_ratio,
+      lut_level_ratio;
+  bool all_ok = true;
+
+  for (auto& bc : circuits::epfl_suite(scale)) {
+    const Network original = cleanup(bc.net);
+    // Build the XMG starting point and iterate plain graph mapping to a
+    // local optimum: the Baseline of Fig. 6.
+    Network xmg = graph_map(original, gm);
+    int iters = 0;
+    const Network baseline = iterate_graph_map(xmg, gm, 12, &iters);
+
+    // MCH-based graph mapping continues from the local optimum.
+    const Network escaped =
+        iterate_mch_graph_map(baseline, gm, mch_params, 12);
+
+    const bool ok = bench::sim_check(original, baseline) &&
+                    bench::sim_check(original, escaped);
+    all_ok = all_ok && ok;
+
+    const double n0 = static_cast<double>(baseline.num_gates());
+    const double l0 = static_cast<double>(baseline.depth());
+    const double n1 = static_cast<double>(escaped.num_gates());
+    const double l1 = static_cast<double>(escaped.depth());
+
+    const LutNetwork lut_base = lut_map(baseline, lut6);
+    const LutNetwork lut_mch = lut_map(escaped, lut6);
+    const double ln0 = static_cast<double>(lut_base.size());
+    const double ll0 = static_cast<double>(std::max(1u, lut_base.depth()));
+    const double ln1 = static_cast<double>(lut_mch.size());
+    const double ll1 = static_cast<double>(std::max(1u, lut_mch.depth()));
+
+    gm_node_ratio.push_back(n1 / n0);
+    gm_level_ratio.push_back(l1 / l0);
+    lut_node_ratio.push_back(ln1 / ln0);
+    lut_level_ratio.push_back(ll1 / ll0);
+
+    std::printf("%-11s | %7.0f / %-7.0f | %7.0f / %-7.0f | %7.2f%% %7.2f%% | "
+                "%7.2f%% %7.2f%% %s\n",
+                bc.name.c_str(), n0, l0, n1, l1, 100.0 * (1.0 - n1 / n0),
+                100.0 * (1.0 - l1 / l0), 100.0 * (1.0 - ln1 / ln0),
+                100.0 * (1.0 - ll1 / ll0), ok ? "" : " [SIM-MISMATCH]");
+    std::fflush(stdout);
+  }
+
+  std::printf("--------------------------------------------------------------"
+              "-----------------------\n");
+  std::printf("geomean improvements:\n");
+  std::printf("  MCH for Graph Map: node %.2f%%, level %.2f%%   (paper: "
+              "11.56%%, 18.59%%)\n",
+              100.0 * (1.0 - bench::geomean(gm_node_ratio)),
+              100.0 * (1.0 - bench::geomean(gm_level_ratio)));
+  std::printf("  MCH for LUT Map:   node %.2f%%, level %.2f%%   (paper: "
+              "7.31%%, 4.71%%)\n",
+              100.0 * (1.0 - bench::geomean(lut_node_ratio)),
+              100.0 * (1.0 - bench::geomean(lut_level_ratio)));
+  std::printf("\nExpected shape (paper Fig. 6): most circuits improve in both "
+              "axes once MCH\nis enabled past the plain graph-mapping local "
+              "optimum; none regress.\n");
+  std::printf("functional checks: %s\n",
+              all_ok ? "all optimized networks simulation-verified"
+                     : "MISMATCH");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,138 @@
+/// Microbenchmarks (google-benchmark) for the core kernels: structural
+/// hashing, truth-table ops, NPN canonicalization, cut enumeration, random
+/// simulation, SAT solving, MCH construction and both mappers.
+
+#include <benchmark/benchmark.h>
+
+#include "mcs/choice/mch.hpp"
+#include "mcs/circuits/circuits.hpp"
+#include "mcs/common/rng.hpp"
+#include "mcs/cut/enumeration.hpp"
+#include "mcs/map/asic_mapper.hpp"
+#include "mcs/map/lut_mapper.hpp"
+#include "mcs/network/convert.hpp"
+#include "mcs/network/network_utils.hpp"
+#include "mcs/opt/optimize.hpp"
+#include "mcs/sat/cec.hpp"
+#include "mcs/sim/simulator.hpp"
+#include "mcs/tt/npn.hpp"
+
+namespace {
+
+using namespace mcs;
+
+Network medium_circuit() {
+  static const Network net = expand_to_aig(circuits::multiplier(8));
+  return net;
+}
+
+void BM_Strash(benchmark::State& state) {
+  for (auto _ : state) {
+    Network net;
+    Rng rng(7);
+    std::vector<Signal> pool;
+    for (int i = 0; i < 16; ++i) pool.push_back(net.create_pi());
+    for (int i = 0; i < 2000; ++i) {
+      const Signal a = pool[rng.next_below(pool.size())] ^ rng.next_bool();
+      const Signal b = pool[rng.next_below(pool.size())] ^ rng.next_bool();
+      pool.push_back(net.create_and(a, b));
+    }
+    benchmark::DoNotOptimize(net.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_Strash);
+
+void BM_NpnCanonExact4(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        npn_canonicalize_exact(tt6_replicate(rng.next(), 4), 4));
+  }
+}
+BENCHMARK(BM_NpnCanonExact4);
+
+void BM_NpnCanonCached(benchmark::State& state) {
+  Npn4Cache cache;
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.canonicalize(tt6_replicate(rng.next(), 4)));
+  }
+}
+BENCHMARK(BM_NpnCanonCached);
+
+void BM_CutEnumeration(benchmark::State& state) {
+  const Network net = medium_circuit();
+  const auto order = topo_order(net);
+  for (auto _ : state) {
+    CutEnumerator cuts(net, {.cut_size = static_cast<int>(state.range(0)),
+                             .cut_limit = 8});
+    cuts.run(order);
+    benchmark::DoNotOptimize(cuts.total_cuts());
+  }
+  state.SetItemsProcessed(state.iterations() * net.num_gates());
+}
+BENCHMARK(BM_CutEnumeration)->Arg(4)->Arg(6);
+
+void BM_RandomSimulation(benchmark::State& state) {
+  const Network net = medium_circuit();
+  for (auto _ : state) {
+    RandomSimulation sim(net, 16, 1234);
+    benchmark::DoNotOptimize(sim.signature(net.po_at(0)));
+  }
+  state.SetItemsProcessed(state.iterations() * net.num_gates() * 16);
+}
+BENCHMARK(BM_RandomSimulation);
+
+void BM_SatCec(benchmark::State& state) {
+  // Adder miters stay easy for CDCL; multiplier miters would not.
+  const Network net = expand_to_aig(circuits::adder(16));
+  const Network other = balance(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_equivalence(net, other));
+  }
+}
+BENCHMARK(BM_SatCec);
+
+void BM_MchConstruction(benchmark::State& state) {
+  const Network net = medium_circuit();
+  for (auto _ : state) {
+    MchParams params;
+    params.candidate_basis = GateBasis::xmg();
+    benchmark::DoNotOptimize(build_mch(net, params));
+  }
+  state.SetItemsProcessed(state.iterations() * net.num_gates());
+}
+BENCHMARK(BM_MchConstruction);
+
+void BM_LutMap(benchmark::State& state) {
+  const Network net = medium_circuit();
+  const bool with_choices = state.range(0) != 0;
+  Network subject = net;
+  if (with_choices) {
+    MchParams params;
+    params.candidate_basis = GateBasis::xmg();
+    subject = build_mch(net, params);
+  }
+  for (auto _ : state) {
+    LutMapParams p;
+    p.use_choices = with_choices;
+    benchmark::DoNotOptimize(lut_map(subject, p));
+  }
+}
+BENCHMARK(BM_LutMap)->Arg(0)->Arg(1);
+
+void BM_AsicMap(benchmark::State& state) {
+  const Network net = medium_circuit();
+  const TechLibrary lib = TechLibrary::asap7_mini();
+  for (auto _ : state) {
+    AsicMapParams p;
+    p.use_choices = false;
+    benchmark::DoNotOptimize(asic_map(net, lib, p));
+  }
+}
+BENCHMARK(BM_AsicMap);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,178 @@
+/// Reproduces Table I of the paper: ASIC technology mapping of the 20
+/// EPFL-analogue circuits under six flows:
+///
+///   F1  baseline delay-oriented mapping ("&nf")
+///   F2  DCH structural choices + delay mapping ("&dch -m; &nf")
+///   F3  DCH + area-oriented mapping ("dch; map -a")
+///   F4  MCH balanced       (AIG candidates, r = 0.9, balanced mapping)
+///   F5  MCH delay-oriented (XAG+AIG mix, wide critical range, delay map)
+///   F6  MCH area-oriented  (XMG+AIG mix, area map)
+///
+/// Inputs are first optimized with the compress2rs-like script, as in the
+/// paper.  Expected shape: F4 beats F1 on both area and delay geomean; F5
+/// gives the largest delay gain at an area cost; F6 the largest area gain
+/// at a delay cost; DCH's gains are smaller than MCH's.
+
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.hpp"
+#include "mcs/choice/dch.hpp"
+#include "mcs/choice/mch.hpp"
+#include "mcs/circuits/circuits.hpp"
+#include "mcs/network/convert.hpp"
+#include "mcs/network/network_utils.hpp"
+#include "mcs/opt/optimize.hpp"
+
+using namespace mcs;
+
+namespace {
+
+struct Result {
+  double area = 0.0;
+  double delay = 0.0;
+  double time = 0.0;
+  bool ok = true;
+};
+
+struct Flow {
+  const char* name;
+  std::function<Result(const Network& opt, const Network& original,
+                       const TechLibrary& lib)>
+      run;
+};
+
+Result map_and_check(const Network& subject, const Network& original,
+                     const TechLibrary& lib, const AsicMapParams& params,
+                     double prep_seconds) {
+  bench::Timer t;
+  const CellNetlist netlist = asic_map(subject, lib, params);
+  Result r;
+  r.area = netlist.area;
+  r.delay = netlist.delay;
+  r.time = prep_seconds + t.seconds();
+  r.ok = bench::sim_check(original, netlist);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::suite_scale();
+  std::printf("=== Table I: ASIC technology mapping (ASAP7-mini, suite "
+              "scale %.2f) ===\n\n", scale);
+  const TechLibrary lib = TechLibrary::asap7_mini();
+
+  std::vector<Flow> flows;
+  flows.push_back({"F1 &nf (delay)", [](const Network& opt,
+                                        const Network& orig,
+                                        const TechLibrary& l) {
+    AsicMapParams p;
+    p.objective = AsicMapParams::Objective::kDelay;
+    p.use_choices = false;
+    return map_and_check(opt, orig, l, p, 0.0);
+  }});
+  flows.push_back({"F2 dch;&nf", [](const Network& opt, const Network& orig,
+                                    const TechLibrary& l) {
+    bench::Timer prep;
+    const Network dch = build_dch({opt, balance(opt), rewrite(opt)});
+    AsicMapParams p;
+    p.objective = AsicMapParams::Objective::kDelay;
+    return map_and_check(dch, orig, l, p, prep.seconds());
+  }});
+  flows.push_back({"F3 dch;map-a", [](const Network& opt,
+                                      const Network& orig,
+                                      const TechLibrary& l) {
+    bench::Timer prep;
+    const Network dch = build_dch({opt, balance(opt), rewrite(opt)});
+    AsicMapParams p;
+    p.objective = AsicMapParams::Objective::kArea;
+    return map_and_check(dch, orig, l, p, prep.seconds());
+  }});
+  flows.push_back({"F4 MCH bal", [](const Network& opt, const Network& orig,
+                                    const TechLibrary& l) {
+    bench::Timer prep;
+    MchParams mch;
+    mch.candidate_basis = GateBasis::xmg();
+    mch.critical_ratio = 0.9;
+    const Network net = build_mch(opt, mch);
+    AsicMapParams p;
+    p.objective = AsicMapParams::Objective::kDelay;
+    p.delay_relaxation = 0.08;  // balanced: bounded delay slack for area
+    return map_and_check(net, orig, l, p, prep.seconds());
+  }});
+  flows.push_back({"F5 MCH delay", [](const Network& opt,
+                                      const Network& orig,
+                                      const TechLibrary& l) {
+    bench::Timer prep;
+    MchParams mch;
+    mch.candidate_basis = GateBasis::xag();
+    mch.critical_ratio = 0.2;  // widened critical-path collection
+    mch.max_choices_per_node = 6;
+    mch.cut_size = 5;
+    const Network net = build_mch(detect_xors(balance(opt)), mch);
+    AsicMapParams p;
+    p.objective = AsicMapParams::Objective::kDelay;
+    return map_and_check(net, orig, l, p, prep.seconds());
+  }});
+  flows.push_back({"F6 MCH area", [](const Network& opt, const Network& orig,
+                                     const TechLibrary& l) {
+    bench::Timer prep;
+    MchParams mch;
+    mch.candidate_basis = GateBasis::xmg();
+    mch.critical_ratio = 0.95;
+    const Network net = build_mch(opt, mch);
+    AsicMapParams p;
+    p.objective = AsicMapParams::Objective::kArea;
+    return map_and_check(net, orig, l, p, prep.seconds());
+  }});
+
+  // Header.
+  std::printf("%-11s", "circuit");
+  for (const auto& f : flows) std::printf(" | %-13s A/D/t", f.name);
+  std::printf("\n");
+
+  std::vector<std::vector<double>> areas(flows.size()), delays(flows.size());
+  bool all_ok = true;
+
+  for (auto& bc : circuits::epfl_suite(scale)) {
+    const Network original = expand_to_aig(bc.net);
+    const Network opt = compress2rs_like(original, GateBasis::aig(), 2);
+    std::printf("%-11s", bc.name.c_str());
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      const Result r = flows[f].run(opt, original, lib);
+      areas[f].push_back(r.area);
+      delays[f].push_back(r.delay);
+      all_ok = all_ok && r.ok;
+      std::printf(" | %9.2f %8.1f %5.2f%s", r.area, r.delay, r.time,
+                  r.ok ? "" : "!");
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  std::printf("%-11s", "geomean");
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    std::printf(" | %9.2f %8.1f      ", bench::geomean(areas[f]),
+                bench::geomean(delays[f]));
+  }
+  std::printf("\n%-11s", "impr.vs F1");
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    std::printf(" | %8.2f%% %7.2f%%      ",
+                bench::improvement(bench::geomean(areas[0]),
+                                   bench::geomean(areas[f])),
+                bench::improvement(bench::geomean(delays[0]),
+                                   bench::geomean(delays[f])));
+  }
+  std::printf("\n\nfunctional checks: %s\n",
+              all_ok ? "all netlists simulation-verified against the "
+                       "original circuits"
+                     : "MISMATCH DETECTED (see rows marked with '!')");
+  std::printf(
+      "\nExpected shape (paper Table I): MCH balanced improves both area "
+      "and delay over F1;\nMCH delay-oriented gives the largest delay gain "
+      "(paper: 20.35%%) at an area cost;\nMCH area-oriented gives the "
+      "largest area gain (paper: 21.02%%) at a delay cost;\nDCH gains are "
+      "smaller than MCH gains.\n");
+  return all_ok ? 0 : 1;
+}

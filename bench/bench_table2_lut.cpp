@@ -1,0 +1,97 @@
+/// Reproduces Table II of the paper: the EPFL Best-Results-style 6-LUT
+/// experiment.  The paper takes the best known 6-LUT netlists, `strash`es
+/// them back to (redundant) AIGs, and shows that the MCH-based area mapper
+/// -- with XMG candidates merged into the AIG -- recovers netlists at or
+/// below the starting LUT counts, where plain re-mapping cannot.
+///
+/// Our analogue of the "best known result": an aggressively optimized
+/// 6-LUT mapping of each generated circuit.  We then rebuild the AIG from
+/// that LUT netlist (the paper's strash step, which introduces redundant
+/// structure), and compare direct re-mapping against MCH re-mapping.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mcs/choice/mch.hpp"
+#include "mcs/circuits/circuits.hpp"
+#include "mcs/network/convert.hpp"
+#include "mcs/network/network_utils.hpp"
+#include "mcs/opt/optimize.hpp"
+
+using namespace mcs;
+
+int main() {
+  // The record game needs full-size circuits; 1-3 LUT deltas drown in
+  // rounding on scaled-down ones.
+  const double scale = bench::suite_scale_or(1.0);
+  std::printf("=== Table II: best 6-LUT area results (suite scale %.2f) "
+              "===\n\n", scale);
+
+  // The paper's Table II rows: sin, sqrt, square, hyp, voter.
+  std::vector<circuits::BenchmarkCircuit> cases;
+  for (auto& bc : circuits::epfl_suite(scale)) {
+    if (bc.name == "sin" || bc.name == "sqrt" || bc.name == "square" ||
+        bc.name == "hyp" || bc.name == "voter") {
+      cases.push_back(std::move(bc));
+    }
+  }
+
+  std::printf("%-10s | %-6s %-4s | %-6s %-4s | %-6s %-4s |\n", "circuit",
+              "Best", "Lev", "remap", "Lev", "MCH", "Lev");
+  std::printf("%-10s | %-11s | %-11s | %-11s |\n", "", "(simulated)",
+              "(baseline)", "(ours)");
+  std::printf("-----------------------------------------------------\n");
+
+  std::vector<double> best_n, remap_n, mch_n;
+  bool all_ok = true;
+  for (const auto& bc : cases) {
+    // Simulated "best known result": the better of two independent
+    // optimize+map attempts (stand-in for the suite's published records).
+    const Network opt =
+        compress2rs_like(expand_to_aig(bc.net), GateBasis::aig(), 3);
+    LutMapParams area6;
+    area6.lut_size = 6;
+    area6.objective = LutMapParams::Objective::kArea;
+    const LutNetwork first = lut_map(opt, area6);
+
+    // `strash` back to an AIG: redundant structure appears.
+    const Network strashed = expand_to_aig(lut_network_to_network(first));
+
+    // Plain re-mapping of the strashed AIG.
+    const LutNetwork remap = lut_map(strashed, area6);
+    const LutNetwork& best = remap.size() < first.size() ? remap : first;
+
+    // MCH-based re-mapping: AIG + XMG candidates, area-focused.
+    MchParams mch_params;
+    mch_params.candidate_basis = GateBasis::xmg();
+    mch_params.critical_ratio = 0.95;
+    const Network mch = build_mch(strashed, mch_params);
+    const LutNetwork ours = lut_map(mch, area6);
+
+    const bool ok = bench::sim_check(opt, remap) && bench::sim_check(opt, ours);
+    all_ok = all_ok && ok;
+    std::printf("%-10s | %6zu %4u | %6zu %4u | %6zu %4u | %s\n",
+                bc.name.c_str(), best.size(), best.depth(), remap.size(),
+                remap.depth(), ours.size(), ours.depth(),
+                ok ? "[sim-ok]" : "[SIM-MISMATCH]");
+    best_n.push_back(static_cast<double>(best.size()));
+    remap_n.push_back(static_cast<double>(remap.size()));
+    mch_n.push_back(static_cast<double>(ours.size()));
+    std::fflush(stdout);
+  }
+
+  std::printf("-----------------------------------------------------\n");
+  std::printf("geomean LUTs: best %.1f | remap %.1f | MCH %.1f\n",
+              bench::geomean(best_n), bench::geomean(remap_n),
+              bench::geomean(mch_n));
+  std::printf("MCH vs direct remap: %.2f%% fewer LUTs\n",
+              bench::improvement(bench::geomean(remap_n),
+                                 bench::geomean(mch_n)));
+  std::printf("\nExpected shape (paper Table II): direct re-mapping of the "
+              "strashed AIG is no\nbetter than the starting point, while the "
+              "MCH mapper reaches LUT counts at or\nbelow it (the paper sets "
+              "new records by 1-3 LUTs this way).\n");
+  std::printf("functional checks: %s\n",
+              all_ok ? "all mappings simulation-verified" : "MISMATCH");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,120 @@
+/// Shared infrastructure for the table/figure reproduction benches:
+/// timing, geometric means, table printing and fast functional checks.
+
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mcs/map/asic_mapper.hpp"
+#include "mcs/map/lut_mapper.hpp"
+#include "mcs/network/network.hpp"
+#include "mcs/sim/simulator.hpp"
+
+namespace mcs::bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Geometric mean of positive values (zeros are clamped to a small epsilon
+/// so degenerate rows cannot zero the whole mean).
+inline double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (const double v : values) acc += std::log(std::max(v, 1e-9));
+  return std::exp(acc / static_cast<double>(values.size()));
+}
+
+/// Improvement of `ours` vs `base` in percent (positive = better/smaller).
+inline double improvement(double base, double ours) {
+  return 100.0 * (base - ours) / base;
+}
+
+/// Scale factor for the generated suite: MCS_SCALE in (0, 1]; default keeps
+/// the full 6-flow evaluation around a few minutes on one core.
+inline double suite_scale_or(double dflt) {
+  if (const char* env = std::getenv("MCS_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.05 && s <= 1.0) return s;
+  }
+  return dflt;
+}
+inline double suite_scale() { return suite_scale_or(0.6); }
+
+/// Fast functional check: word-parallel random simulation of the original
+/// network vs a mapped LUT network (the unit tests carry the full formal
+/// CEC burden; benches use 2048 random vectors).
+inline bool sim_check(const Network& net, const LutNetwork& lnet,
+                      std::uint64_t seed = 0xbadc0de) {
+  RandomSimulation sim(net, 32, seed);
+  for (int w = 0; w < 32; ++w) {
+    std::vector<std::uint64_t> pi_vals;
+    for (std::size_t i = 0; i < net.num_pis(); ++i) {
+      pi_vals.push_back(sim.node_values(net.pi_at(i))[w]);
+    }
+    const auto pos = lnet.simulate(pi_vals);
+    for (std::size_t i = 0; i < net.num_pos(); ++i) {
+      const Signal s = net.po_at(i);
+      const std::uint64_t expect =
+          sim.node_values(s.node())[w] ^ (s.complemented() ? ~0ull : 0ull);
+      if (pos[i] != expect) return false;
+    }
+  }
+  return true;
+}
+
+/// Same for an ASIC cell netlist.
+inline bool sim_check(const Network& net, const CellNetlist& m,
+                      std::uint64_t seed = 0xbadc0de) {
+  RandomSimulation sim(net, 32, seed);
+  for (int w = 0; w < 32; ++w) {
+    std::vector<std::uint64_t> pi_vals;
+    for (std::size_t i = 0; i < net.num_pis(); ++i) {
+      pi_vals.push_back(sim.node_values(net.pi_at(i))[w]);
+    }
+    const auto pos = m.simulate(pi_vals);
+    for (std::size_t i = 0; i < net.num_pos(); ++i) {
+      const Signal s = net.po_at(i);
+      const std::uint64_t expect =
+          sim.node_values(s.node())[w] ^ (s.complemented() ? ~0ull : 0ull);
+      if (pos[i] != expect) return false;
+    }
+  }
+  return true;
+}
+
+/// Network-vs-network simulation check (same PI/PO interface).
+inline bool sim_check(const Network& a, const Network& b,
+                      std::uint64_t seed = 0xbadc0de) {
+  RandomSimulation sa(a, 32, seed);
+  RandomSimulation sb(b, 32, seed);
+  for (std::size_t i = 0; i < a.num_pos(); ++i) {
+    const Signal pa = a.po_at(i);
+    const Signal pb = b.po_at(i);
+    const std::uint64_t flip =
+        pa.complemented() != pb.complemented() ? ~0ull : 0ull;
+    for (int w = 0; w < 32; ++w) {
+      if ((sa.node_values(pa.node())[w] ^ flip) !=
+          sb.node_values(pb.node())[w]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mcs::bench

@@ -1,0 +1,51 @@
+/// \file graph_opt.cpp
+/// \brief Mapping-based logic optimization with MCH (paper, Sec. III-C):
+/// iterate graph mapping on an XMG until it hits a local optimum, then let
+/// the MCH-based graph mapper push past it.
+
+#include <cstdio>
+
+#include "mcs/circuits/circuits.hpp"
+#include "mcs/map/graph_mapper.hpp"
+#include "mcs/network/network_utils.hpp"
+#include "mcs/sat/cec.hpp"
+
+using namespace mcs;
+
+int main() {
+  std::printf("=== MCH-based graph-mapping optimization ===\n\n");
+  const Network original = cleanup(circuits::cavlc_like());
+  std::printf("input: %zu gates, depth %u\n", original.num_gates(),
+              original.depth());
+
+  // Convert to XMG and iterate plain graph mapping to its local optimum.
+  GraphMapParams gm;
+  gm.target = GateBasis::xmg();
+  gm.objective = GraphMapParams::Objective::kSize;
+  int iters = 0;
+  const Network baseline =
+      iterate_graph_map(graph_map(original, gm), gm, 16, &iters);
+  std::printf("plain graph map: %zu gates, depth %u after %d iterations "
+              "(local optimum)\n",
+              baseline.num_gates(), baseline.depth(), iters);
+
+  // MCH-based continuation: mixed MIG/XMG choice networks per round.
+  MchParams mch_params;
+  mch_params.candidate_basis = GateBasis::mig();
+  mch_params.critical_ratio = 0.7;
+  mch_params.mffc_max_pi = 10;
+  const Network escaped =
+      iterate_mch_graph_map(baseline, gm, mch_params, 16, &iters);
+  std::printf("MCH graph map:   %zu gates, depth %u after %d more rounds\n",
+              escaped.num_gates(), escaped.depth(), iters);
+  std::printf("improvement:     node %.2f%%, level %.2f%%\n",
+              100.0 * (1.0 - double(escaped.num_gates()) /
+                                 double(baseline.num_gates())),
+              100.0 * (1.0 - double(escaped.depth()) /
+                                 double(baseline.depth())));
+
+  const CecResult cec = check_equivalence(original, escaped);
+  std::printf("formal verification: %s\n",
+              cec == CecResult::kEquivalent ? "equivalent" : "FAILED");
+  return cec == CecResult::kEquivalent ? 0 : 1;
+}

@@ -1,0 +1,255 @@
+/// \file mcs_shell.cpp
+/// \brief An ABC-style interactive shell over the library: load/generate
+/// networks, run optimization passes, build choice networks, map, verify
+/// and write results -- each as a one-word command.
+///
+///   ./build/examples/mcs_shell                 # interactive
+///   echo "gen adder 16; mch; map_lut; ps" | ./build/examples/mcs_shell
+///   ./build/examples/mcs_shell script.mcs      # batch file
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mcs/choice/dch.hpp"
+#include "mcs/choice/mch.hpp"
+#include "mcs/circuits/circuits.hpp"
+#include "mcs/io/aiger.hpp"
+#include "mcs/io/writers.hpp"
+#include "mcs/map/asic_mapper.hpp"
+#include "mcs/map/graph_mapper.hpp"
+#include "mcs/map/lut_mapper.hpp"
+#include "mcs/network/convert.hpp"
+#include "mcs/network/network_utils.hpp"
+#include "mcs/opt/optimize.hpp"
+#include "mcs/sat/cec.hpp"
+
+using namespace mcs;
+
+namespace {
+
+struct ShellState {
+  Network net;                      ///< current working network
+  std::optional<Network> original;  ///< snapshot for `cec`
+  std::optional<LutNetwork> luts;
+  std::optional<CellNetlist> cells;
+  TechLibrary lib = TechLibrary::asap7_mini();
+  bool quit = false;
+};
+
+GateBasis parse_basis(const std::string& s, GateBasis fallback) {
+  if (s == "aig") return GateBasis::aig();
+  if (s == "xag") return GateBasis::xag();
+  if (s == "mig") return GateBasis::mig();
+  if (s == "xmg") return GateBasis::xmg();
+  return fallback;
+}
+
+void cmd_help() {
+  std::printf(R"(commands (separate with newlines or ';'):
+  gen <name> [bits]     generate a benchmark circuit (adder, bar, div, hyp,
+                        log2, max, multiplier, sin, sqrt, square, arbiter,
+                        cavlc, ctrl, dec, i2c, int2float, mem_ctrl,
+                        priority, router, voter)
+  read_aiger <file>     load an AIGER file
+  write_aiger <file>    write the current network (AND-expanded) as AIGER
+  write_blif <file>     write the current network as BLIF
+  write_verilog <file>  write the current network (or mapped netlist) as Verilog
+  ps                    print statistics
+  strash                re-hash / remove dangling nodes
+  to <basis>            convert to aig / xag / mig / xmg
+  balance | rewrite | refactor | resub | sweep
+                        one optimization pass
+  compress2rs [rounds]  the full optimization script
+  dch                   traditional structural choices (snapshots + SAT)
+  mch [basis] [r]       mixed structural choices (default xmg, r = 0.9)
+  map_lut [k]           choice-aware K-LUT mapping (default k = 6)
+  map_asic [delay|area] choice-aware standard-cell mapping (mini-ASAP7)
+  graph_map [basis]     graph mapping into a representation
+  cec                   verify current network against the first loaded one
+  quit
+)");
+}
+
+void cmd_ps(const ShellState& st) {
+  const auto s = network_stats(st.net);
+  std::printf("net: pi=%zu po=%zu gates=%zu (and=%zu xor2=%zu maj=%zu "
+              "xor3=%zu) depth=%u choices=%zu\n",
+              st.net.num_pis(), st.net.num_pos(), s.num_gates, s.num_and2,
+              s.num_xor2, s.num_maj3, s.num_xor3, s.depth, s.num_choices);
+  if (st.luts) {
+    std::printf("lut: %zu LUTs, depth %u\n", st.luts->size(),
+                st.luts->depth());
+  }
+  if (st.cells) {
+    std::printf("asic: %zu cells, %.3f um^2, %.2f ps\n", st.cells->size(),
+                st.cells->area, st.cells->delay);
+  }
+}
+
+void execute(ShellState& st, const std::vector<std::string>& tok) {
+  const std::string& cmd = tok[0];
+  auto arg = [&](std::size_t i, const std::string& dflt = "") {
+    return tok.size() > i ? tok[i] : dflt;
+  };
+
+  if (cmd == "help") {
+    cmd_help();
+  } else if (cmd == "quit" || cmd == "exit") {
+    st.quit = true;
+  } else if (cmd == "gen") {
+    const std::string name = arg(1, "adder");
+    const int bits = tok.size() > 2 ? std::atoi(tok[2].c_str()) : 0;
+    for (auto& bc : circuits::epfl_suite(1.0)) {
+      if (bc.name != name) continue;
+      st.net = bits > 0 && name == "adder"        ? circuits::adder(bits)
+               : bits > 0 && name == "multiplier" ? circuits::multiplier(bits)
+               : bits > 0 && name == "bar" ? circuits::barrel_shifter(bits)
+               : bits > 0 && name == "voter" ? circuits::voter(bits)
+                                             : std::move(bc.net);
+      st.original = st.net;
+      st.luts.reset();
+      st.cells.reset();
+      cmd_ps(st);
+      return;
+    }
+    std::printf("unknown circuit '%s'\n", name.c_str());
+  } else if (cmd == "read_aiger") {
+    try {
+      st.net = read_aiger_file(arg(1));
+      st.original = st.net;
+      cmd_ps(st);
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  } else if (cmd == "write_aiger") {
+    try {
+      write_aiger_file(expand_to_aig(st.net), arg(1));
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  } else if (cmd == "write_blif") {
+    std::ofstream os(arg(1));
+    if (st.luts) {
+      write_blif(*st.luts, os);
+    } else {
+      write_blif(st.net, os);
+    }
+  } else if (cmd == "write_verilog") {
+    std::ofstream os(arg(1));
+    if (st.cells) {
+      write_verilog(*st.cells, os);
+    } else {
+      write_verilog(st.net, os);
+    }
+  } else if (cmd == "ps") {
+    cmd_ps(st);
+  } else if (cmd == "strash") {
+    st.net = cleanup(st.net);
+    cmd_ps(st);
+  } else if (cmd == "to") {
+    st.net = convert_basis(st.net, parse_basis(arg(1, "aig"),
+                                               GateBasis::aig()));
+    cmd_ps(st);
+  } else if (cmd == "balance") {
+    st.net = balance(st.net);
+    cmd_ps(st);
+  } else if (cmd == "rewrite") {
+    st.net = rewrite(st.net);
+    cmd_ps(st);
+  } else if (cmd == "refactor") {
+    st.net = refactor(st.net);
+    cmd_ps(st);
+  } else if (cmd == "resub") {
+    st.net = resub(st.net);
+    cmd_ps(st);
+  } else if (cmd == "sweep") {
+    st.net = sweep(st.net);
+    cmd_ps(st);
+  } else if (cmd == "compress2rs") {
+    const int rounds = tok.size() > 1 ? std::atoi(tok[1].c_str()) : 3;
+    st.net = compress2rs_like(st.net, GateBasis::xmg(), rounds);
+    cmd_ps(st);
+  } else if (cmd == "dch") {
+    st.net = build_dch({st.net, balance(st.net), rewrite(st.net)});
+    cmd_ps(st);
+  } else if (cmd == "mch") {
+    MchParams params;
+    params.candidate_basis = parse_basis(arg(1, "xmg"), GateBasis::xmg());
+    if (tok.size() > 2) params.critical_ratio = std::atof(tok[2].c_str());
+    MchStats stats;
+    st.net = build_mch(st.net, params, &stats);
+    std::printf("mch: %zu choices added (%zu candidates tried)\n",
+                stats.num_choices_added, stats.num_candidates_tried);
+    cmd_ps(st);
+  } else if (cmd == "map_lut") {
+    LutMapParams params;
+    if (tok.size() > 1) params.lut_size = std::atoi(tok[1].c_str());
+    st.luts = lut_map(st.net, params);
+    std::printf("mapped: %zu LUTs, depth %u\n", st.luts->size(),
+                st.luts->depth());
+  } else if (cmd == "map_asic") {
+    AsicMapParams params;
+    if (arg(1) == "area") params.objective = AsicMapParams::Objective::kArea;
+    st.cells = asic_map(st.net, st.lib, params);
+    std::printf("mapped: %zu cells, %.3f um^2, %.2f ps\n", st.cells->size(),
+                st.cells->area, st.cells->delay);
+    for (const auto& [name, count] : st.cells->cell_histogram()) {
+      std::printf("  %-10s x%d\n", name.c_str(), count);
+    }
+  } else if (cmd == "graph_map") {
+    GraphMapParams params;
+    params.target = parse_basis(arg(1, "xmg"), GateBasis::xmg());
+    st.net = graph_map(st.net, params);
+    cmd_ps(st);
+  } else if (cmd == "cec") {
+    if (!st.original) {
+      std::printf("no reference network loaded\n");
+      return;
+    }
+    const auto r = check_equivalence(*st.original, st.net);
+    std::printf("cec: %s\n", r == CecResult::kEquivalent    ? "equivalent"
+                             : r == CecResult::kNotEquivalent ? "NOT equivalent"
+                                                              : "unknown");
+  } else {
+    std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ShellState st;
+  std::istream* in = &std::cin;
+  std::ifstream file;
+  if (argc > 1) {
+    file.open(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    in = &file;
+  } else {
+    std::printf("mcs shell -- type 'help' for commands\n");
+  }
+
+  std::string line;
+  while (!st.quit && std::getline(*in, line)) {
+    // Allow ';'-separated command sequences.
+    std::stringstream commands(line);
+    std::string one;
+    while (!st.quit && std::getline(commands, one, ';')) {
+      std::stringstream ts(one);
+      std::vector<std::string> tok;
+      std::string t;
+      while (ts >> t) tok.push_back(t);
+      if (tok.empty() || tok[0][0] == '#') continue;
+      execute(st, tok);
+    }
+  }
+  return 0;
+}

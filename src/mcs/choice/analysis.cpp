@@ -1,0 +1,97 @@
+#include "mcs/choice/analysis.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "mcs/network/network_utils.hpp"
+
+namespace mcs {
+
+namespace {
+
+int type_index(GateType t) {
+  switch (t) {
+    case GateType::kAnd2: return 0;
+    case GateType::kXor2: return 1;
+    case GateType::kMaj3: return 2;
+    case GateType::kXor3: return 3;
+    default: return -1;
+  }
+}
+
+}  // namespace
+
+ChoiceAnalysis analyze_choices(const Network& net) {
+  ChoiceAnalysis a;
+
+  // Representative logic: reachable through fanins only.  (Both traversal
+  // helpers reset the shared mark epoch, so membership is tracked
+  // explicitly.)
+  std::vector<bool> in_repr(net.size(), false);
+  for (const NodeId n : topo_order(net)) {
+    in_repr[n] = true;
+    if (!net.is_gate(n)) continue;
+    const int t = type_index(net.node(n).type);
+    if (t >= 0) ++a.repr_gates[t];
+  }
+
+  // Candidate cones: nodes reachable only via choice lists.
+  for (const NodeId n : choice_topo_order(net)) {
+    if (in_repr[n]) continue;
+    if (net.is_gate(n)) {
+      const int t = type_index(net.node(n).type);
+      if (t >= 0) ++a.candidate_gates[t];
+    }
+  }
+
+  for (NodeId n = 0; n < net.size(); ++n) {
+    if (!net.has_choice(n)) continue;
+    ++a.num_classes;
+    std::size_t members = 0;
+    for (NodeId m = net.node(n).next_choice; m != kNullNode;
+         m = net.node(m).next_choice) {
+      ++members;
+      if (net.node(m).choice_phase) ++a.num_phase_flipped;
+    }
+    a.num_members += members;
+    a.max_class_size = std::max(a.max_class_size, members);
+  }
+  if (a.num_classes > 0) {
+    a.avg_class_size =
+        static_cast<double>(a.num_members) / static_cast<double>(a.num_classes);
+  }
+
+  // Heterogeneity: candidate gates whose type is unused by the
+  // representative logic.
+  std::size_t total = 0, foreign = 0;
+  for (int t = 0; t < 4; ++t) {
+    total += a.candidate_gates[t];
+    if (a.repr_gates[t] == 0) foreign += a.candidate_gates[t];
+  }
+  a.heterogeneity =
+      total == 0 ? 0.0 : static_cast<double>(foreign) / static_cast<double>(total);
+  return a;
+}
+
+void report_choices(const Network& net, std::ostream& os) {
+  const ChoiceAnalysis a = analyze_choices(net);
+  os << "choice network: " << a.num_classes << " classes, " << a.num_members
+     << " members (avg " << a.avg_class_size << ", max " << a.max_class_size
+     << ", " << a.num_phase_flipped << " phase-flipped)\n";
+  const char* names[4] = {"and2", "xor2", "maj3", "xor3"};
+  os << "  representative gates:";
+  for (int t = 0; t < 4; ++t) {
+    if (a.repr_gates[t]) os << ' ' << names[t] << '=' << a.repr_gates[t];
+  }
+  os << "\n  candidate gates:     ";
+  for (int t = 0; t < 4; ++t) {
+    if (a.candidate_gates[t]) {
+      os << ' ' << names[t] << '=' << a.candidate_gates[t];
+    }
+  }
+  os << "\n  heterogeneity: " << 100.0 * a.heterogeneity
+     << "% of candidate gates use primitives foreign to the original\n";
+}
+
+}  // namespace mcs

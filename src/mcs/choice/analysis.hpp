@@ -1,0 +1,45 @@
+/// \file analysis.hpp
+/// \brief Introspection of choice networks: class-size distribution,
+/// heterogeneity of the candidates, and cone statistics.
+///
+/// The paper's argument rests on candidates being *structurally diverse*
+/// (different representations) rather than merely numerous.  These metrics
+/// quantify that for any choice network, and the ablation benches use them
+/// to explain when MCH does or does not help.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+
+#include "mcs/network/network.hpp"
+
+namespace mcs {
+
+struct ChoiceAnalysis {
+  std::size_t num_classes = 0;
+  std::size_t num_members = 0;
+  std::size_t max_class_size = 0;   ///< members of the largest class
+  double avg_class_size = 0.0;      ///< members per class
+
+  /// Gate-type mix of the reachable original (representative) logic and of
+  /// the candidate cones, indexed And2/Xor2/Maj3/Xor3.
+  std::array<std::size_t, 4> repr_gates{};
+  std::array<std::size_t, 4> candidate_gates{};
+
+  std::size_t num_phase_flipped = 0;  ///< members with choice_phase == 1
+
+  /// Fraction of candidate gates that use primitives absent from the
+  /// representative logic (the "heterogeneity" of the choice network);
+  /// 0 when candidates only reuse the original representation.
+  double heterogeneity = 0.0;
+};
+
+/// Computes the metrics for \p net.
+ChoiceAnalysis analyze_choices(const Network& net);
+
+/// Prints a short report.
+void report_choices(const Network& net, std::ostream& os);
+
+}  // namespace mcs

@@ -1,0 +1,192 @@
+#include "mcs/choice/dch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+
+#include "mcs/common/hash.hpp"
+#include "mcs/network/network_utils.hpp"
+#include "mcs/sat/cnf.hpp"
+#include "mcs/sat/solver.hpp"
+#include "mcs/sim/simulator.hpp"
+
+namespace mcs {
+
+namespace {
+
+/// Signature of a node's simulated values with a canonical phase: returns
+/// (hash, phase) where phase is true when the complemented values hash
+/// lower.  Nodes of one functional class (up to complement) share the hash.
+std::pair<std::uint64_t, bool> canonical_signature(
+    const RandomSimulation& sim, NodeId n) {
+  const std::uint64_t h0 = sim.signature(Signal(n, false));
+  const std::uint64_t h1 = sim.signature(Signal(n, true));
+  return h0 <= h1 ? std::make_pair(h0, false) : std::make_pair(h1, true);
+}
+
+}  // namespace
+
+Network build_dch(const std::vector<Network>& snapshots,
+                  const DchParams& params, DchStats* stats_out) {
+  assert(!snapshots.empty());
+  DchStats stats;
+
+  // --- merge all snapshots into one strashed network -------------------
+  Network dst;
+  std::vector<Signal> pi_map;
+  for (std::size_t i = 0; i < snapshots[0].num_pis(); ++i) {
+    pi_map.push_back(dst.create_pi(snapshots[0].pi_name(i)));
+  }
+  std::vector<Signal> primary_pos;  // snapshot[0]'s POs in dst space
+  for (const Network& snap : snapshots) {
+    assert(snap.num_pis() == snapshots[0].num_pis());
+    assert(snap.num_pos() == snapshots[0].num_pos());
+    for (std::size_t i = 0; i < snap.num_pos(); ++i) {
+      const Signal s = copy_cone(snap, dst, snap.po_at(i), pi_map);
+      if (&snap == &snapshots[0]) primary_pos.push_back(s);
+    }
+  }
+
+  // --- candidate classes from simulation signatures --------------------
+  RandomSimulation sim(dst, params.sim_words, params.sim_seed);
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> groups;
+  for (NodeId n = 0; n < dst.size(); ++n) {
+    if (!dst.is_gate(n)) continue;
+    groups[canonical_signature(sim, n).first].push_back(n);
+  }
+
+  // --- one incremental SAT instance over the merged network ------------
+  // Timed-out proofs leave their learned clauses behind (the solver has no
+  // deletion), so the instance is re-encoded when it grows too large.
+  auto solver = std::make_unique<sat::Solver>();
+  auto cnf = std::make_unique<sat::CnfMapping>(dst.size());
+  sat::encode_network(dst, *solver, *cnf);
+  const std::size_t base_clauses = solver->num_clauses();
+
+  auto prove_equal = [&](Signal a, Signal b) -> int {
+    if (solver->num_clauses() >
+        base_clauses + params.solver_clause_budget) {
+      solver = std::make_unique<sat::Solver>();
+      cnf = std::make_unique<sat::CnfMapping>(dst.size());
+      sat::encode_network(dst, *solver, *cnf);
+    }
+    // Returns 1 proven, 0 disproven, -1 unknown.
+    const sat::Var t = solver->new_var();
+    const sat::Lit lt = sat::mk_lit(t);
+    const sat::Lit la = cnf->lit(a);
+    const sat::Lit lb = cnf->lit(b);
+    // t -> (a != b).
+    solver->add_clause(sat::negate(lt), la, lb);
+    solver->add_clause(sat::negate(lt), sat::negate(la), sat::negate(lb));
+    switch (solver->solve({lt}, params.conflict_limit)) {
+      case sat::Result::kUnsat:
+        // No distinguishing input: a == b.  Lock t to false so the learnt
+        // clauses stay consistent and cheap.
+        solver->add_clause(sat::negate(lt));
+        return 1;
+      case sat::Result::kSat:
+        return 0;
+      default:
+        return -1;
+    }
+  };
+
+  // Candidate pairs, processed bottom-up (by member id): once a shallow
+  // pair is proven, its equality is asserted into the solver, so deeper
+  // miters collapse structurally -- the cascading that makes SAT sweeping
+  // scale (without it, arithmetic circuits hit the conflict limit).
+  struct Pair {
+    NodeId member;
+    NodeId repr;
+    bool phase;
+  };
+  std::vector<Pair> pairs;
+  for (auto& [hash, nodes] : groups) {
+    if (nodes.size() < 2) continue;
+    std::sort(nodes.begin(), nodes.end());
+    // Largest id is the representative: all dependency edges then point
+    // from smaller to larger ids, which guarantees acyclicity.
+    const NodeId repr = nodes.back();
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+      const NodeId m = nodes[i];
+      // Establish the phase from simulation; hash collisions are filtered
+      // here (values must match exactly in one phase).
+      bool phase;
+      if (sim.values_equal(Signal(m, false), Signal(repr, false))) {
+        phase = false;
+      } else if (sim.values_equal(Signal(m, false), Signal(repr, true))) {
+        phase = true;
+      } else {
+        continue;
+      }
+      pairs.push_back({m, repr, phase});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& a, const Pair& b) { return a.member < b.member; });
+
+  // Proven equalities must be re-asserted after a solver re-encode.
+  std::vector<Pair> proven_pairs;
+  std::size_t pairs_done = 0;
+  for (const Pair& p : pairs) {
+    if (pairs_done >= params.max_pairs) break;
+    if (!dst.is_repr(p.member) ||
+        dst.node(p.member).next_choice != kNullNode) {
+      continue;
+    }
+    if (!dst.is_repr(p.repr)) continue;
+
+    ++pairs_done;
+    ++stats.num_candidate_pairs;
+    const std::size_t clauses_before = solver->num_clauses();
+    const int proven =
+        prove_equal(Signal(p.member, false), Signal(p.repr, p.phase));
+    if (solver->num_clauses() < clauses_before) {
+      // The solver was re-encoded inside prove_equal: replay equalities.
+      for (const Pair& q : proven_pairs) {
+        const sat::Lit la = cnf->lit(Signal(q.member, false));
+        const sat::Lit lb = cnf->lit(Signal(q.repr, q.phase));
+        solver->add_clause(sat::negate(la), lb);
+        solver->add_clause(la, sat::negate(lb));
+      }
+    }
+    if (proven == 0) {
+      ++stats.num_disproven;
+      continue;
+    }
+    if (proven < 0) {
+      ++stats.num_timeout;
+      continue;
+    }
+    // Assert the proven equality: later miters over this cone collapse.
+    {
+      const sat::Lit la = cnf->lit(Signal(p.member, false));
+      const sat::Lit lb = cnf->lit(Signal(p.repr, p.phase));
+      solver->add_clause(sat::negate(la), lb);
+      solver->add_clause(la, sat::negate(lb));
+      proven_pairs.push_back(p);
+    }
+    if (choice_reaches(dst, p.member, p.repr)) {
+      ++stats.num_rejected_cycle;  // defensive; unreachable by id order
+      continue;
+    }
+    dst.add_choice(p.repr, p.member, p.phase);
+    ++stats.num_proven;
+  }
+
+  // --- POs must point at representatives -------------------------------
+  for (std::size_t i = 0; i < primary_pos.size(); ++i) {
+    Signal s = primary_pos[i];
+    if (!dst.is_repr(s.node())) {
+      const Node& nd = dst.node(s.node());
+      s = Signal(nd.repr, s.complemented() ^ nd.choice_phase);
+    }
+    dst.create_po(s, snapshots[0].po_name(i));
+  }
+
+  if (stats_out) *stats_out = stats;
+  return dst;
+}
+
+}  // namespace mcs

@@ -1,0 +1,63 @@
+/// \file circuits.hpp
+/// \brief EPFL-analogue benchmark circuits, generated programmatically.
+///
+/// The paper evaluates on the EPFL combinational benchmark suite (10
+/// arithmetic + 10 random/control circuits).  The suite's files are not
+/// redistributable inside this repository, so we generate functionally
+/// analogous circuits of the same families and structural character
+/// (carry chains, shifter mux columns, divider arrays, priority chains,
+/// majority trees, control SOPs).  Absolute sizes are scaled down to keep
+/// the full 6-flow evaluation tractable on one core; the win/lose *shape*
+/// of the experiments is structure-driven and preserved (see DESIGN.md).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mcs/network/network.hpp"
+
+namespace mcs::circuits {
+
+// --- arithmetic family ----------------------------------------------------
+
+Network adder(int bits = 64);           ///< ripple-carry adder with carry out
+Network barrel_shifter(int bits = 64);  ///< variable left-rotate
+Network divider(int bits = 16);         ///< restoring array divider
+Network hypotenuse(int bits = 12);      ///< isqrt(a^2 + b^2)
+Network log2_approx(int bits = 16);     ///< integer log2 + normalized mantissa
+Network max4(int bits = 32);            ///< max of four operands
+Network multiplier(int bits = 16);      ///< array multiplier
+Network sin_approx(int bits = 10);      ///< polynomial sine approximation
+Network sqrt_circuit(int bits = 24);    ///< integer square root
+Network square(int bits = 20);          ///< a^2
+
+// --- random / control family ----------------------------------------------
+
+Network round_robin_arbiter(int clients = 32);
+Network cavlc_like();        ///< code-length decoding tree
+Network ctrl_like();         ///< small FSM next-state/control logic
+Network decoder(int addr_bits = 7);
+Network i2c_like();          ///< bus-control style logic
+Network int2float_like();    ///< 32-bit int -> tiny float converter
+Network mem_ctrl_like();     ///< request decode + bank control + priority
+Network priority_encoder(int width = 64);
+Network router_like();       ///< route-select + grant logic
+Network voter(int inputs = 63);  ///< majority of many inputs
+
+// --- registry ---------------------------------------------------------------
+
+struct BenchmarkCircuit {
+  std::string name;
+  Network net;
+};
+
+/// The full 20-circuit suite in the paper's Table I order (arithmetic then
+/// random/control).  \p scale in (0, 1] shrinks the arithmetic bit-widths
+/// for quick runs.
+std::vector<BenchmarkCircuit> epfl_suite(double scale = 1.0);
+
+/// A small subset (names) used by quick benches and tests.
+std::vector<BenchmarkCircuit> epfl_suite_small();
+
+}  // namespace mcs::circuits

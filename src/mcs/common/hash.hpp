@@ -1,0 +1,29 @@
+/// \file hash.hpp
+/// \brief Hash combiners shared by structural hashing and cut signatures.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace mcs {
+
+/// Mixes a 64-bit value (finalizer of MurmurHash3).
+constexpr std::uint64_t hash_mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines a hash value with another value, boost-style but 64-bit.
+constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                     std::uint64_t value) noexcept {
+  return seed ^ (hash_mix64(value) + 0x9e3779b97f4a7c15ull + (seed << 12) +
+                 (seed >> 4));
+}
+
+}  // namespace mcs

@@ -1,0 +1,52 @@
+#include "mcs/cut/cut.hpp"
+
+#include <cassert>
+
+namespace mcs {
+
+bool merge_cut_leaves(const Cut& a, const Cut& b, int max_size, Cut& out) {
+  int ia = 0, ib = 0, n = 0;
+  while (ia < a.size && ib < b.size) {
+    if (n == max_size) return false;
+    if (a.leaves[ia] == b.leaves[ib]) {
+      out.leaves[n++] = a.leaves[ia];
+      ++ia;
+      ++ib;
+    } else if (a.leaves[ia] < b.leaves[ib]) {
+      out.leaves[n++] = a.leaves[ia++];
+    } else {
+      out.leaves[n++] = b.leaves[ib++];
+    }
+  }
+  while (ia < a.size) {
+    if (n == max_size) return false;
+    out.leaves[n++] = a.leaves[ia++];
+  }
+  while (ib < b.size) {
+    if (n == max_size) return false;
+    out.leaves[n++] = b.leaves[ib++];
+  }
+  out.size = static_cast<std::uint8_t>(n);
+  out.signature = a.signature | b.signature;
+  return true;
+}
+
+Tt6 expand_cut_function(Tt6 f, const Cut& cut, const Cut& super) {
+  // Positions of cut's leaves within super's leaves (strictly increasing).
+  std::array<int, kMaxCutSize> pos{};
+  int j = 0;
+  for (int i = 0; i < cut.size; ++i) {
+    while (j < super.size && super.leaves[j] != cut.leaves[i]) ++j;
+    assert(j < super.size && "expand_cut_function: cut is not a subset");
+    pos[i] = j++;
+  }
+  // Move variable i to position pos[i], processing from the highest index so
+  // previously placed variables are never displaced (pos is increasing and
+  // the target slots hold vacuous variables).
+  for (int i = cut.size - 1; i >= 0; --i) {
+    if (pos[i] != i) f = tt6_swap(f, i, pos[i]);
+  }
+  return tt6_replicate(f, super.size);
+}
+
+}  // namespace mcs

@@ -1,0 +1,84 @@
+/// \file cut.hpp
+/// \brief Cuts: bounded leaf sets with local functions.
+///
+/// A cut of node n is a set of nodes (leaves) such that every PI-to-n path
+/// crosses a leaf; the cut's function expresses n in terms of its leaves.
+/// Cuts are the currency of every mapper in this library and of the MCH
+/// construction (the candidates of Algorithm 2 are synthesized from cut
+/// functions).  Leaf sets are kept sorted; functions are single-word truth
+/// tables, so the maximum cut size is 6 (the paper's FPGA experiments use
+/// 6-LUTs; ASIC matching uses 4-5).
+
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "mcs/network/network.hpp"
+#include "mcs/tt/tt6.hpp"
+
+namespace mcs {
+
+inline constexpr int kMaxCutSize = 6;
+
+/// A cut: sorted leaves + function + mapper cost fields.
+struct Cut {
+  std::array<NodeId, kMaxCutSize> leaves{};
+  std::uint8_t size = 0;
+  Tt6 function = 0;          ///< function of the cut root over the leaves
+  std::uint64_t signature = 0;  ///< bloom filter over leaf ids
+
+  float delay = 0.0f;      ///< arrival estimate under the current pass
+  float area_flow = 0.0f;  ///< area-flow / exact-area estimate
+
+  bool is_trivial() const noexcept { return size == 1; }
+
+  static std::uint64_t leaf_bit(NodeId n) noexcept {
+    return 1ull << (n & 63u);
+  }
+
+  /// Builds the trivial cut {n} (function = x0).
+  static Cut trivial(NodeId n) noexcept {
+    Cut c;
+    c.leaves[0] = n;
+    c.size = 1;
+    c.function = tt6_var(0);
+    c.signature = leaf_bit(n);
+    return c;
+  }
+
+  bool contains(NodeId n) const noexcept {
+    if (!(signature & leaf_bit(n))) return false;
+    return std::find(leaves.begin(), leaves.begin() + size, n) !=
+           leaves.begin() + size;
+  }
+
+  /// True iff every leaf of this cut also appears in \p other (this
+  /// dominates other; the dominated cut is redundant).
+  bool dominates(const Cut& other) const noexcept {
+    if (size > other.size) return false;
+    if ((signature & other.signature) != signature) return false;
+    for (int i = 0; i < size; ++i) {
+      if (!other.contains(leaves[i])) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const Cut& a, const Cut& b) noexcept {
+    if (a.size != b.size || a.signature != b.signature) return false;
+    return std::equal(a.leaves.begin(), a.leaves.begin() + a.size,
+                      b.leaves.begin());
+  }
+};
+
+/// Merges the leaf sets of \p a and \p b into \p out (sorted union).
+/// Returns false when the union exceeds \p max_size.
+bool merge_cut_leaves(const Cut& a, const Cut& b, int max_size, Cut& out);
+
+/// Expands \p f, a function over the (sorted) leaves of \p cut, to a
+/// function over the (sorted) superset leaves of \p super.
+/// \pre cut's leaves are a subset of super's leaves.
+Tt6 expand_cut_function(Tt6 f, const Cut& cut, const Cut& super);
+
+}  // namespace mcs

@@ -1,0 +1,174 @@
+#include "mcs/cut/enumeration.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mcs {
+
+namespace {
+
+/// Default ranking: fewer leaves first, then lexicographic leaf ids for
+/// determinism.
+bool default_better(const Cut& a, const Cut& b) {
+  if (a.size != b.size) return a.size < b.size;
+  return std::lexicographical_compare(a.leaves.begin(),
+                                      a.leaves.begin() + a.size,
+                                      b.leaves.begin(),
+                                      b.leaves.begin() + b.size);
+}
+
+}  // namespace
+
+CutEnumerator::CutEnumerator(const Network& net, const CutEnumParams& params)
+    : net_(net), params_(params), cut_sets_(net.size()) {
+  assert(params_.cut_size <= kMaxCutSize);
+}
+
+void CutEnumerator::run(const std::vector<NodeId>& order,
+                        const AnnotateFn& annotate, const CompareFn& better) {
+  for (const NodeId n : order) run_single(n, annotate, better);
+}
+
+void CutEnumerator::run_single(NodeId n, const AnnotateFn& annotate,
+                               const CompareFn& better) {
+  const CompareFn& cmp = better ? better : CompareFn(default_better);
+  if (!net_.is_gate(n)) {
+    // PIs and the constant have only the trivial cut.
+    Cut t = Cut::trivial(n);
+    if (annotate) annotate(n, t);
+    cut_sets_[n].assign(1, t);
+    return;
+  }
+  enumerate_node(n, annotate, cmp);
+  if (params_.use_choices && net_.has_choice(n)) {
+    merge_choice_cuts(n, annotate, cmp);
+  }
+}
+
+void CutEnumerator::enumerate_node(NodeId n, const AnnotateFn& annotate,
+                                   const CompareFn& better) {
+  const Node& nd = net_.node(n);
+  auto& out = cut_sets_[n];
+  out.clear();
+
+  const auto& set_a = cut_sets_[nd.fanin[0].node()];
+  const auto& set_b = cut_sets_[nd.fanin[1].node()];
+  assert(!set_a.empty() && !set_b.empty() &&
+         "fanin cuts missing: order is not topological");
+
+  auto combine = [&](const Cut& ca, const Cut& cb, const Cut* cc) {
+    Cut merged;
+    if (cc == nullptr) {
+      if (!merge_cut_leaves(ca, cb, params_.cut_size, merged)) return;
+    } else {
+      Cut ab;
+      if (!merge_cut_leaves(ca, cb, params_.cut_size, ab)) return;
+      if (!merge_cut_leaves(ab, *cc, params_.cut_size, merged)) return;
+    }
+    // Local function of n over the merged leaves.
+    Tt6 fa = expand_cut_function(ca.function, ca, merged);
+    Tt6 fb = expand_cut_function(cb.function, cb, merged);
+    if (nd.fanin[0].complemented()) fa = ~fa;
+    if (nd.fanin[1].complemented()) fb = ~fb;
+    Tt6 f = 0;
+    switch (nd.type) {
+      case GateType::kAnd2:
+        f = fa & fb;
+        break;
+      case GateType::kXor2:
+        f = fa ^ fb;
+        break;
+      case GateType::kMaj3:
+      case GateType::kXor3: {
+        Tt6 fc = expand_cut_function(cc->function, *cc, merged);
+        if (nd.fanin[2].complemented()) fc = ~fc;
+        f = nd.type == GateType::kMaj3 ? ((fa & fb) | (fa & fc) | (fb & fc))
+                                       : (fa ^ fb ^ fc);
+        break;
+      }
+      default:
+        assert(false);
+    }
+    merged.function = tt6_replicate(f, merged.size);
+    if (annotate) annotate(n, merged);
+    insert_cut(out, merged, better);
+  };
+
+  if (nd.num_fanins == 2) {
+    for (const Cut& ca : set_a) {
+      for (const Cut& cb : set_b) combine(ca, cb, nullptr);
+    }
+  } else {
+    const auto& set_c = cut_sets_[nd.fanin[2].node()];
+    assert(!set_c.empty());
+    for (const Cut& ca : set_a) {
+      for (const Cut& cb : set_b) {
+        for (const Cut& cc : set_c) combine(ca, cb, &cc);
+      }
+    }
+  }
+
+  // The trivial cut is always available (appended last, not counted in the
+  // limit) so downstream merges can stop at this node.
+  Cut t = Cut::trivial(n);
+  if (annotate) annotate(n, t);
+  out.push_back(t);
+}
+
+void CutEnumerator::merge_choice_cuts(NodeId repr, const AnnotateFn& annotate,
+                                      const CompareFn& better) {
+  auto& out = cut_sets_[repr];
+  // Detach the trivial cut while inserting (it stays last).
+  assert(!out.empty() && out.back().is_trivial());
+  const Cut trivial = out.back();
+  out.pop_back();
+
+  for (NodeId m = net_.node(repr).next_choice; m != kNullNode;
+       m = net_.node(m).next_choice) {
+    const bool phase = net_.node(m).choice_phase;
+    for (const Cut& c : cut_sets_[m]) {
+      if (c.is_trivial()) continue;  // members are not mapping leaves here
+      assert(!c.contains(repr) && "choice cut reaches its representative");
+      Cut copy = c;
+      if (phase) {
+        copy.function = tt6_replicate(~copy.function, copy.size);
+      }
+      if (annotate) annotate(repr, copy);
+      insert_cut(out, copy, better);
+    }
+  }
+  out.push_back(trivial);
+}
+
+void CutEnumerator::insert_cut(std::vector<Cut>& set, const Cut& cut,
+                               const CompareFn& better) const {
+  // Dominance filtering: drop the new cut if an existing one dominates it;
+  // drop existing cuts dominated by the new one.
+  for (const Cut& c : set) {
+    if (c.dominates(cut)) return;
+  }
+  set.erase(std::remove_if(set.begin(), set.end(),
+                           [&](const Cut& c) { return cut.dominates(c); }),
+            set.end());
+
+  // Ordered insertion, capped at cut_limit.
+  auto it = std::lower_bound(
+      set.begin(), set.end(), cut,
+      [&](const Cut& a, const Cut& b) { return better(a, b); });
+  if (it == set.end() &&
+      set.size() >= static_cast<std::size_t>(params_.cut_limit)) {
+    return;
+  }
+  set.insert(it, cut);
+  if (set.size() > static_cast<std::size_t>(params_.cut_limit)) {
+    set.pop_back();
+  }
+}
+
+std::size_t CutEnumerator::total_cuts() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : cut_sets_) n += s.size();
+  return n;
+}
+
+}  // namespace mcs

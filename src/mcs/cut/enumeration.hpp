@@ -1,0 +1,75 @@
+/// \file enumeration.hpp
+/// \brief Priority-cut enumeration with optional choice-class merging.
+///
+/// Implements the cut computation used by the MCH builder (paper, Alg. 1
+/// line 3) and by both technology mappers (Alg. 3 lines 1-8).  With
+/// `use_choices`, after the cuts of a representative are computed the cut
+/// sets of all its choice-class members are folded into the representative's
+/// set (phase-corrected), exactly as in Algorithm 3: the mapper then
+/// transparently evaluates structures coming from different logic
+/// representations.
+///
+/// The caller supplies the processing order (`topo_order` or
+/// `choice_topo_order`) plus optional annotate/compare hooks, which lets the
+/// mappers re-run enumeration per pass with pass-specific costs
+/// (priority cuts).
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mcs/cut/cut.hpp"
+#include "mcs/network/network.hpp"
+
+namespace mcs {
+
+struct CutEnumParams {
+  int cut_size = 6;   ///< k: maximum number of leaves
+  int cut_limit = 8;  ///< l: maximum number of stored cuts per node
+  bool use_choices = false;
+};
+
+class CutEnumerator {
+ public:
+  /// Fills mapper cost fields of a freshly merged cut of node n.
+  using AnnotateFn = std::function<void(NodeId, Cut&)>;
+  /// Strict-weak-order "a is better than b" used to rank cuts.
+  using CompareFn = std::function<bool(const Cut&, const Cut&)>;
+
+  CutEnumerator(const Network& net, const CutEnumParams& params);
+
+  /// Enumerates cuts for every node of \p order (which must be
+  /// topologically sorted; use choice_topo_order() with use_choices).
+  void run(const std::vector<NodeId>& order, const AnnotateFn& annotate = {},
+           const CompareFn& better = {});
+
+  /// Enumerates cuts for a single node whose fanins (and, with choices, its
+  /// class members) have already been processed.  Lets mappers interleave
+  /// enumeration with per-node cost state (priority cuts).
+  void run_single(NodeId n, const AnnotateFn& annotate = {},
+                  const CompareFn& better = {});
+
+  const std::vector<Cut>& cuts(NodeId n) const noexcept {
+    return cut_sets_[n];
+  }
+  std::vector<Cut>& cuts(NodeId n) noexcept { return cut_sets_[n]; }
+
+  /// Total number of cuts over all nodes (statistics).
+  std::size_t total_cuts() const noexcept;
+
+ private:
+  void enumerate_node(NodeId n, const AnnotateFn& annotate,
+                      const CompareFn& better);
+  void merge_choice_cuts(NodeId repr, const AnnotateFn& annotate,
+                         const CompareFn& better);
+  /// Inserts \p cut into \p set with dominance filtering and size capping.
+  void insert_cut(std::vector<Cut>& set, const Cut& cut,
+                  const CompareFn& better) const;
+
+  const Network& net_;
+  CutEnumParams params_;
+  std::vector<std::vector<Cut>> cut_sets_;
+};
+
+}  // namespace mcs

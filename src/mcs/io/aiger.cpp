@@ -1,0 +1,168 @@
+#include "mcs/io/aiger.hpp"
+
+#include <cassert>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "mcs/network/network_utils.hpp"
+
+namespace mcs {
+
+namespace {
+
+/// AIGER literal of a signal given the node -> variable mapping.
+unsigned lit_of(const std::vector<unsigned>& var, Signal s) {
+  return 2 * var[s.node()] + (s.complemented() ? 1 : 0);
+}
+
+void write_delta(std::ostream& os, unsigned delta) {
+  while (delta >= 0x80) {
+    os.put(static_cast<char>(0x80 | (delta & 0x7f)));
+    delta >>= 7;
+  }
+  os.put(static_cast<char>(delta));
+}
+
+unsigned read_delta(std::istream& is) {
+  unsigned result = 0;
+  int shift = 0;
+  for (;;) {
+    const int ch = is.get();
+    if (ch == EOF) throw std::runtime_error("aiger: truncated binary body");
+    result |= static_cast<unsigned>(ch & 0x7f) << shift;
+    if (!(ch & 0x80)) return result;
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+void write_aiger(const Network& net, std::ostream& os, bool binary) {
+  if (!net.is_aig()) {
+    throw std::runtime_error("write_aiger: network is not an AIG");
+  }
+  // Assign AIGER variables: PIs first, then ANDs in topological order.
+  std::vector<unsigned> var(net.size(), 0);
+  unsigned next = 1;
+  for (const NodeId pi : net.pis()) var[pi] = next++;
+  std::vector<NodeId> ands;
+  for (const NodeId n : topo_order(net)) {
+    if (net.is_gate(n)) {
+      ands.push_back(n);
+      var[n] = next++;
+    }
+  }
+
+  const std::size_t I = net.num_pis();
+  const std::size_t A = ands.size();
+  const std::size_t M = I + A;
+  os << (binary ? "aig " : "aag ") << M << ' ' << I << " 0 "
+     << net.num_pos() << ' ' << A << '\n';
+  if (!binary) {
+    for (std::size_t i = 0; i < I; ++i) os << 2 * (i + 1) << '\n';
+  }
+  for (const Signal s : net.pos()) os << lit_of(var, s) << '\n';
+  for (const NodeId n : ands) {
+    const Node& nd = net.node(n);
+    unsigned lhs = 2 * var[n];
+    unsigned r0 = lit_of(var, nd.fanin[0]);
+    unsigned r1 = lit_of(var, nd.fanin[1]);
+    if (r0 < r1) std::swap(r0, r1);
+    if (binary) {
+      assert(lhs > r0 && r0 >= r1);
+      write_delta(os, lhs - r0);
+      write_delta(os, r0 - r1);
+    } else {
+      os << lhs << ' ' << r0 << ' ' << r1 << '\n';
+    }
+  }
+  // Symbol table: names for PIs/POs.
+  for (std::size_t i = 0; i < I; ++i) {
+    os << 'i' << i << ' ' << net.pi_name(i) << '\n';
+  }
+  for (std::size_t i = 0; i < net.num_pos(); ++i) {
+    os << 'o' << i << ' ' << net.po_name(i) << '\n';
+  }
+  os << "c\nwritten by mcs\n";
+}
+
+void write_aiger_file(const Network& net, const std::string& path,
+                      bool binary) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open " + path);
+  write_aiger(net, os, binary);
+}
+
+Network read_aiger(std::istream& is) {
+  std::string format;
+  std::size_t M, I, L, O, A;
+  if (!(is >> format >> M >> I >> L >> O >> A)) {
+    throw std::runtime_error("aiger: malformed header");
+  }
+  if (format != "aag" && format != "aig") {
+    throw std::runtime_error("aiger: unknown format '" + format + "'");
+  }
+  if (L != 0) throw std::runtime_error("aiger: latches are not supported");
+  const bool binary = format == "aig";
+
+  Network net;
+  // lit -> signal mapping by variable index.
+  std::vector<Signal> var(M + 1, Signal());
+  var[0] = net.constant(false);
+  auto sig_of = [&](unsigned lit) {
+    const unsigned v = lit >> 1;
+    if (v >= var.size()) throw std::runtime_error("aiger: literal overflow");
+    return var[v] ^ ((lit & 1) != 0);
+  };
+
+  if (binary) {
+    for (std::size_t i = 0; i < I; ++i) var[i + 1] = net.create_pi();
+  } else {
+    for (std::size_t i = 0; i < I; ++i) {
+      unsigned lit;
+      if (!(is >> lit) || (lit & 1) || lit / 2 > M) {
+        throw std::runtime_error("aiger: bad input literal");
+      }
+      var[lit / 2] = net.create_pi();
+    }
+  }
+
+  std::vector<unsigned> po_lits(O);
+  for (std::size_t i = 0; i < O; ++i) {
+    if (!(is >> po_lits[i])) throw std::runtime_error("aiger: bad output");
+  }
+
+  if (binary) {
+    is.get();  // consume the newline before the binary body
+    for (std::size_t i = 0; i < A; ++i) {
+      const unsigned lhs = 2 * static_cast<unsigned>(I + i + 1);
+      const unsigned d0 = read_delta(is);
+      const unsigned d1 = read_delta(is);
+      const unsigned r0 = lhs - d0;
+      const unsigned r1 = r0 - d1;
+      var[lhs / 2] = net.create_and(sig_of(r0), sig_of(r1));
+    }
+  } else {
+    for (std::size_t i = 0; i < A; ++i) {
+      unsigned lhs, r0, r1;
+      if (!(is >> lhs >> r0 >> r1) || (lhs & 1)) {
+        throw std::runtime_error("aiger: bad and line");
+      }
+      var[lhs / 2] = net.create_and(sig_of(r0), sig_of(r1));
+    }
+  }
+
+  for (const unsigned lit : po_lits) net.create_po(sig_of(lit));
+  return net;
+}
+
+Network read_aiger_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  return read_aiger(is);
+}
+
+}  // namespace mcs

@@ -1,0 +1,29 @@
+/// \file aiger.hpp
+/// \brief AIGER reading and writing (ascii `aag` and binary `aig`).
+///
+/// AIGER is the de-facto exchange format for AIGs (EPFL benchmarks, ABC).
+/// Writing requires an AND-only network (convert with expand_to_aig()
+/// first); reading produces an AND-only mixed network.  Only the
+/// combinational subset (no latches) is supported -- the EPFL suite and all
+/// experiments in the paper are combinational.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mcs/network/network.hpp"
+
+namespace mcs {
+
+/// Writes \p net in AIGER format.  \pre net.is_aig().
+void write_aiger(const Network& net, std::ostream& os, bool binary = true);
+void write_aiger_file(const Network& net, const std::string& path,
+                      bool binary = true);
+
+/// Reads an AIGER file (auto-detects `aag` vs `aig`).  Throws
+/// std::runtime_error on malformed input or latches.
+Network read_aiger(std::istream& is);
+Network read_aiger_file(const std::string& path);
+
+}  // namespace mcs

@@ -1,0 +1,224 @@
+#include "mcs/io/writers.hpp"
+
+#include <ostream>
+#include <vector>
+
+#include "mcs/network/network_utils.hpp"
+
+namespace mcs {
+
+namespace {
+
+std::string net_name(NodeId n, const Network& net) {
+  if (net.is_pi(n)) {
+    for (std::size_t i = 0; i < net.num_pis(); ++i) {
+      if (net.pi_at(i) == n) return net.pi_name(i);
+    }
+  }
+  return "n" + std::to_string(n);
+}
+
+/// BLIF cover rows of one gate type over non-complemented inputs; the
+/// complement pattern of the fanins is applied by flipping row bits.
+void write_gate_cover(std::ostream& os, const Network& net, NodeId n) {
+  const Node& nd = net.node(n);
+  const int arity = nd.num_fanins;
+  // Enumerate the onset of the gate function over its fanin values.
+  for (unsigned m = 0; m < (1u << arity); ++m) {
+    bool in[3] = {};
+    for (int i = 0; i < arity; ++i) {
+      in[i] = ((m >> i) & 1u) != 0;
+      if (nd.fanin[i].complemented()) in[i] = !in[i];
+    }
+    bool out = false;
+    switch (nd.type) {
+      case GateType::kAnd2: out = in[0] && in[1]; break;
+      case GateType::kXor2: out = in[0] != in[1]; break;
+      case GateType::kMaj3: out = (in[0] + in[1] + in[2]) >= 2; break;
+      case GateType::kXor3: out = in[0] ^ in[1] ^ in[2]; break;
+      default: break;
+    }
+    if (!out) continue;
+    for (int i = 0; i < arity; ++i) os << (((m >> i) & 1u) ? '1' : '0');
+    os << " 1\n";
+  }
+}
+
+}  // namespace
+
+void write_blif(const Network& net, std::ostream& os,
+                const std::string& model) {
+  os << ".model " << model << "\n.inputs";
+  for (std::size_t i = 0; i < net.num_pis(); ++i) {
+    os << ' ' << net.pi_name(i);
+  }
+  os << "\n.outputs";
+  for (std::size_t i = 0; i < net.num_pos(); ++i) {
+    os << ' ' << net.po_name(i);
+  }
+  os << '\n';
+
+  const auto order = topo_order(net);
+  bool const_used = false;
+  for (const Signal s : net.pos()) {
+    if (net.is_const0(s.node())) const_used = true;
+  }
+  if (const_used) os << ".names n0\n";  // constant zero
+
+  for (const NodeId n : order) {
+    if (!net.is_gate(n)) continue;
+    const Node& nd = net.node(n);
+    os << ".names";
+    for (int i = 0; i < nd.num_fanins; ++i) {
+      os << ' ' << net_name(nd.fanin[i].node(), net);
+    }
+    os << ' ' << net_name(n, net) << '\n';
+    write_gate_cover(os, net, n);
+  }
+  for (std::size_t i = 0; i < net.num_pos(); ++i) {
+    const Signal s = net.po_at(i);
+    os << ".names " << net_name(s.node(), net) << ' ' << net.po_name(i)
+       << '\n'
+       << (s.complemented() ? "0 1\n" : "1 1\n");
+  }
+  os << ".end\n";
+}
+
+void write_blif(const LutNetwork& lnet, std::ostream& os,
+                const std::string& model) {
+  os << ".model " << model << "\n.inputs";
+  for (int i = 0; i < lnet.num_pis; ++i) os << " pi" << i;
+  os << "\n.outputs";
+  for (std::size_t i = 0; i < lnet.po_refs.size(); ++i) os << " po" << i;
+  os << '\n';
+
+  auto ref_name = [&](std::int32_t r) {
+    return r < lnet.num_pis ? "pi" + std::to_string(r)
+                            : "lut" + std::to_string(r - lnet.num_pis);
+  };
+
+  for (std::size_t i = 0; i < lnet.luts.size(); ++i) {
+    const auto& lut = lnet.luts[i];
+    os << ".names";
+    for (const auto r : lut.inputs) os << ' ' << ref_name(r);
+    os << " lut" << i << '\n';
+    const int k = static_cast<int>(lut.inputs.size());
+    for (unsigned m = 0; m < (1u << k); ++m) {
+      if (!((lut.function >> m) & 1ull)) continue;
+      for (int j = 0; j < k; ++j) os << (((m >> j) & 1u) ? '1' : '0');
+      if (k > 0) os << ' ';
+      os << "1\n";
+    }
+  }
+  for (std::size_t i = 0; i < lnet.po_refs.size(); ++i) {
+    os << ".names " << ref_name(lnet.po_refs[i]) << " po" << i << '\n'
+       << (lnet.po_compl[i] ? "0 1\n" : "1 1\n");
+  }
+  os << ".end\n";
+}
+
+void write_verilog(const Network& net, std::ostream& os,
+                   const std::string& module) {
+  os << "module " << module << " (";
+  for (std::size_t i = 0; i < net.num_pis(); ++i) {
+    os << net.pi_name(i) << ", ";
+  }
+  for (std::size_t i = 0; i < net.num_pos(); ++i) {
+    os << net.po_name(i) << (i + 1 < net.num_pos() ? ", " : "");
+  }
+  os << ");\n";
+  for (std::size_t i = 0; i < net.num_pis(); ++i) {
+    os << "  input " << net.pi_name(i) << ";\n";
+  }
+  for (std::size_t i = 0; i < net.num_pos(); ++i) {
+    os << "  output " << net.po_name(i) << ";\n";
+  }
+
+  auto sig = [&](Signal s) {
+    if (net.is_const0(s.node())) return std::string(s.complemented() ? "1'b1" : "1'b0");
+    const std::string base = net_name(s.node(), net);
+    return s.complemented() ? "~" + base : base;
+  };
+
+  const auto order = topo_order(net);
+  for (const NodeId n : order) {
+    if (net.is_gate(n)) os << "  wire " << net_name(n, net) << ";\n";
+  }
+  for (const NodeId n : order) {
+    if (!net.is_gate(n)) continue;
+    const Node& nd = net.node(n);
+    os << "  assign " << net_name(n, net) << " = ";
+    switch (nd.type) {
+      case GateType::kAnd2:
+        os << sig(nd.fanin[0]) << " & " << sig(nd.fanin[1]);
+        break;
+      case GateType::kXor2:
+        os << sig(nd.fanin[0]) << " ^ " << sig(nd.fanin[1]);
+        break;
+      case GateType::kXor3:
+        os << sig(nd.fanin[0]) << " ^ " << sig(nd.fanin[1]) << " ^ "
+           << sig(nd.fanin[2]);
+        break;
+      case GateType::kMaj3: {
+        const auto a = sig(nd.fanin[0]), b = sig(nd.fanin[1]),
+                   c = sig(nd.fanin[2]);
+        os << "(" << a << " & " << b << ") | (" << a << " & " << c
+           << ") | (" << b << " & " << c << ")";
+        break;
+      }
+      default:
+        break;
+    }
+    os << ";\n";
+  }
+  for (std::size_t i = 0; i < net.num_pos(); ++i) {
+    os << "  assign " << net.po_name(i) << " = " << sig(net.po_at(i))
+       << ";\n";
+  }
+  os << "endmodule\n";
+}
+
+void write_verilog(const CellNetlist& netlist, std::ostream& os,
+                   const std::string& module) {
+  os << "// mapped with " << netlist.library->name() << ": area "
+     << netlist.area << " um^2, delay " << netlist.delay << " ps\n";
+  os << "module " << module << " (";
+  for (int i = 0; i < netlist.num_pis; ++i) os << "pi" << i << ", ";
+  for (std::size_t i = 0; i < netlist.po_refs.size(); ++i) {
+    os << "po" << i << (i + 1 < netlist.po_refs.size() ? ", " : "");
+  }
+  os << ");\n";
+  for (int i = 0; i < netlist.num_pis; ++i) os << "  input pi" << i << ";\n";
+  for (std::size_t i = 0; i < netlist.po_refs.size(); ++i) {
+    os << "  output po" << i << ";\n";
+  }
+  auto ref_name = [&](std::int32_t r) {
+    return r < netlist.num_pis ? "pi" + std::to_string(r)
+                               : "w" + std::to_string(r - netlist.num_pis);
+  };
+  for (std::size_t i = 0; i < netlist.instances.size(); ++i) {
+    os << "  wire w" << i << ";\n";
+  }
+  for (std::size_t i = 0; i < netlist.instances.size(); ++i) {
+    const auto& inst = netlist.instances[i];
+    const Cell& cell = netlist.library->cell(inst.cell);
+    os << "  " << cell.name << " g" << i << " (.Y(w" << i << ")";
+    for (std::size_t j = 0; j < inst.fanins.size(); ++j) {
+      os << ", ." << static_cast<char>('A' + j) << '('
+         << ref_name(inst.fanins[j]) << ')';
+    }
+    os << ");\n";
+  }
+  for (std::size_t i = 0; i < netlist.po_refs.size(); ++i) {
+    os << "  assign po" << i << " = ";
+    if (netlist.po_const[i]) {
+      os << (netlist.po_const_value[i] ? "1'b1" : "1'b0");
+    } else {
+      os << ref_name(netlist.po_refs[i]);
+    }
+    os << ";\n";
+  }
+  os << "endmodule\n";
+}
+
+}  // namespace mcs

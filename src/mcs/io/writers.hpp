@@ -1,0 +1,34 @@
+/// \file writers.hpp
+/// \brief BLIF and structural Verilog writers for networks and mapped
+/// netlists.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mcs/map/asic_mapper.hpp"
+#include "mcs/map/lut_mapper.hpp"
+#include "mcs/network/network.hpp"
+
+namespace mcs {
+
+/// Writes the logic network in BLIF (.names per gate).
+void write_blif(const Network& net, std::ostream& os,
+                const std::string& model = "top");
+
+/// Writes a mapped LUT network in BLIF (.names per LUT).
+void write_blif(const LutNetwork& lnet, std::ostream& os,
+                const std::string& model = "top");
+
+/// Writes the logic network as behavioural-structural Verilog (one assign
+/// per gate).
+void write_verilog(const Network& net, std::ostream& os,
+                   const std::string& module = "top");
+
+/// Writes a mapped cell netlist as structural Verilog (one instance per
+/// cell; cell modules are emitted as primitives comments).
+void write_verilog(const CellNetlist& netlist, std::ostream& os,
+                   const std::string& module = "top");
+
+}  // namespace mcs

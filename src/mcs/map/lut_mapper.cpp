@@ -1,0 +1,454 @@
+#include "mcs/map/lut_mapper.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "mcs/cut/enumeration.hpp"
+#include "mcs/network/network_utils.hpp"
+#include "mcs/resyn/strategies.hpp"
+
+namespace mcs {
+
+std::uint32_t LutNetwork::depth() const {
+  std::vector<std::uint32_t> level(num_pis + luts.size(), 0);
+  for (std::size_t i = 0; i < luts.size(); ++i) {
+    std::uint32_t lvl = 0;
+    for (const auto ref : luts[i].inputs) {
+      lvl = std::max(lvl, level[ref]);
+    }
+    level[num_pis + i] = lvl + 1;
+  }
+  std::uint32_t d = 0;
+  for (const auto ref : po_refs) d = std::max(d, level[ref]);
+  return d;
+}
+
+std::vector<std::uint64_t> LutNetwork::simulate(
+    const std::vector<std::uint64_t>& pi_values) const {
+  assert(pi_values.size() == static_cast<std::size_t>(num_pis));
+  std::vector<std::uint64_t> value(num_pis + luts.size(), 0);
+  for (int i = 0; i < num_pis; ++i) value[i] = pi_values[i];
+  for (std::size_t i = 0; i < luts.size(); ++i) {
+    const Lut& lut = luts[i];
+    std::uint64_t out = 0;
+    // Evaluate bit-parallel: for each of the 64 patterns assemble the
+    // input index and look it up in the truth table.
+    for (int bit = 0; bit < 64; ++bit) {
+      unsigned idx = 0;
+      for (std::size_t k = 0; k < lut.inputs.size(); ++k) {
+        if ((value[lut.inputs[k]] >> bit) & 1ull) idx |= (1u << k);
+      }
+      if ((lut.function >> idx) & 1ull) out |= (1ull << bit);
+    }
+    value[num_pis + i] = out;
+  }
+  std::vector<std::uint64_t> pos;
+  pos.reserve(po_refs.size());
+  for (std::size_t i = 0; i < po_refs.size(); ++i) {
+    pos.push_back(po_compl[i] ? ~value[po_refs[i]] : value[po_refs[i]]);
+  }
+  return pos;
+}
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Per-node mapping state across passes.
+struct NodeState {
+  Cut best;            ///< current best cut
+  float arrival = 0.0f;
+  float area_flow = 0.0f;
+  float required = kInf;
+  std::uint32_t map_refs = 0;  ///< references in the current cover
+  float est_refs = 1.0f;       ///< smoothed fanout estimate for area flow
+  bool has_cut = false;
+};
+
+class LutMapper {
+ public:
+  LutMapper(const Network& net, const LutMapParams& params)
+      : net_(net),
+        params_(params),
+        state_(net.size()),
+        order_(params.use_choices ? choice_topo_order(net)
+                                  : topo_order(net)) {
+    // Fanout estimates seeded from the PO-reachable original graph only:
+    // choice cones are mutually exclusive alternatives and counting their
+    // edges would fake sharing no single cover can realize.
+    std::vector<std::uint32_t> local_fanout(net_.size(), 0);
+    for (const NodeId n : topo_order(net)) {
+      const Node& nd = net_.node(n);
+      for (int i = 0; i < nd.num_fanins; ++i) {
+        ++local_fanout[nd.fanin[i].node()];
+      }
+    }
+    for (const Signal s : net_.pos()) ++local_fanout[s.node()];
+    for (NodeId n = 0; n < net_.size(); ++n) {
+      state_[n].est_refs =
+          std::max<float>(1.0f, static_cast<float>(local_fanout[n]));
+    }
+  }
+
+  LutNetwork run(LutMapStats* stats) {
+    // Passes are greedy; the best extraction seen across all passes is
+    // returned (later recovery rounds usually help but may regress).
+    LutNetwork best;
+    LutMapStats best_stats;
+    bool have_best = false;
+    auto harvest = [&]() {
+      LutMapStats s;
+      LutNetwork candidate = extract(&s);
+      const auto key = [&](const LutNetwork& l, std::uint32_t depth) {
+        return params_.objective == LutMapParams::Objective::kDelay
+                   ? std::make_pair(static_cast<std::size_t>(depth), l.size())
+                   : std::make_pair(l.size(),
+                                    static_cast<std::size_t>(depth));
+      };
+      if (!have_best ||
+          key(candidate, candidate.depth()) < key(best, best.depth())) {
+        best = std::move(candidate);
+        best_stats = s;
+        have_best = true;
+      }
+    };
+
+    // Pass 1: depth-oriented (also initializes area flow).
+    mapping_pass(Mode::kDelayFlow);
+    compute_cover_and_required();
+    harvest();
+    // Area-flow recovery.
+    for (int i = 0; i < params_.area_flow_rounds; ++i) {
+      mapping_pass(Mode::kAreaFlow);
+      compute_cover_and_required();
+      harvest();
+    }
+    // Exact-area recovery.
+    for (int i = 0; i < params_.exact_area_rounds; ++i) {
+      mapping_pass(Mode::kExactArea);
+      compute_cover_and_required();
+      harvest();
+    }
+    if (stats) *stats = best_stats;
+    return best;
+  }
+
+ private:
+  enum class Mode { kDelayFlow, kAreaFlow, kExactArea };
+
+  float cut_delay(const Cut& c) const {
+    float d = 0.0f;
+    for (int i = 0; i < c.size; ++i) {
+      d = std::max(d, state_[c.leaves[i]].arrival);
+    }
+    return d + 1.0f;
+  }
+
+  float cut_area_flow(const Cut& c) const {
+    float a = 1.0f;
+    for (int i = 0; i < c.size; ++i) {
+      const auto& ls = state_[c.leaves[i]];
+      a += ls.area_flow / ls.est_refs;
+    }
+    return a;
+  }
+
+  /// Exact area via reference counting on the live cover (ABC style).
+  /// area_ref(n) makes one more reference to n; when n enters the cover its
+  /// own LUT plus the recursive cost of newly covered leaves is charged.
+  float area_ref(NodeId n) {
+    if (!net_.is_gate(n)) return 0.0f;
+    auto& st = state_[n];
+    if (st.map_refs++ > 0) return 0.0f;
+    float a = 1.0f;
+    const Cut& c = st.best;
+    for (int i = 0; i < c.size; ++i) a += area_ref(c.leaves[i]);
+    return a;
+  }
+  float area_deref(NodeId n) {
+    if (!net_.is_gate(n)) return 0.0f;
+    auto& st = state_[n];
+    assert(st.map_refs > 0);
+    if (--st.map_refs > 0) return 0.0f;
+    float a = 1.0f;
+    const Cut& c = st.best;
+    for (int i = 0; i < c.size; ++i) a += area_deref(c.leaves[i]);
+    return a;
+  }
+
+  /// Marginal exact area of implementing \p c on top of the current cover
+  /// (side-effect free: the probe refs then derefs).
+  float cut_exact_area_probe(const Cut& c) {
+    float a = 1.0f;
+    for (int i = 0; i < c.size; ++i) a += area_ref(c.leaves[i]);
+    for (int i = 0; i < c.size; ++i) area_deref(c.leaves[i]);
+    return a;
+  }
+
+  void mapping_pass(Mode mode) {
+    CutEnumerator enumerator(
+        net_, {.cut_size = params_.lut_size, .cut_limit = params_.cut_limit,
+               .use_choices = params_.use_choices});
+
+    auto annotate = [&](NodeId n, Cut& c) {
+      if (!net_.is_gate(n)) {
+        c.delay = 0.0f;
+        c.area_flow = 0.0f;
+        return;
+      }
+      c.delay = cut_delay(c);
+      c.area_flow = mode == Mode::kExactArea ? cut_exact_area_probe(c)
+                                             : cut_area_flow(c);
+    };
+
+    const bool delay_first =
+        mode == Mode::kDelayFlow &&
+        params_.objective == LutMapParams::Objective::kDelay;
+
+    auto better = [&, delay_first](const Cut& a, const Cut& b) {
+      // Trivial cuts always rank last: they cannot implement the node.
+      if (a.is_trivial() != b.is_trivial()) return b.is_trivial();
+      if (delay_first) {
+        if (a.delay != b.delay) return a.delay < b.delay;
+        if (a.area_flow != b.area_flow) return a.area_flow < b.area_flow;
+      } else {
+        // Area first, but never violate this node's required time.  When
+        // neither cut is feasible, race back toward feasibility (delay
+        // first) so slack violations cannot snowball across passes.
+        const float req = req_of_current_;
+        const bool a_ok = a.delay <= req;
+        const bool b_ok = b.delay <= req;
+        if (a_ok != b_ok) return a_ok;
+        if (!a_ok) {
+          if (a.delay != b.delay) return a.delay < b.delay;
+          if (a.area_flow != b.area_flow) return a.area_flow < b.area_flow;
+        } else {
+          if (a.area_flow != b.area_flow) return a.area_flow < b.area_flow;
+          if (a.delay != b.delay) return a.delay < b.delay;
+        }
+      }
+      return a.size < b.size;
+    };
+
+    // Drive the enumeration node by node so `req_of_current_` is correct.
+    // In the exact-area mode the node's current cut is temporarily removed
+    // from the live cover so probes measure true marginal area, and the
+    // winning cut is re-referenced afterwards (incremental cover update).
+    const bool exact = mode == Mode::kExactArea;
+    for (const NodeId n : order_) {
+      req_of_current_ = state_[n].required;
+      auto& st = state_[n];
+      const bool in_cover = exact && net_.is_gate(n) && st.map_refs > 0;
+      if (in_cover) {
+        const Cut& c = st.best;
+        for (int i = 0; i < c.size; ++i) area_deref(c.leaves[i]);
+      }
+      enumerator.run_single(n, annotate, better);
+      auto& cuts = enumerator.cuts(n);
+      if (!net_.is_gate(n)) {
+        st.arrival = 0.0f;
+        st.area_flow = 0.0f;
+        st.has_cut = false;
+        continue;
+      }
+      assert(cuts.size() >= 2 || !cuts.front().is_trivial());
+      const Cut& best = cuts.front();
+      assert(!best.is_trivial());
+      st.best = best;
+      st.arrival = best.delay;
+      st.area_flow = best.area_flow;
+      st.has_cut = true;
+      if (in_cover) {
+        const Cut& c = st.best;
+        for (int i = 0; i < c.size; ++i) area_ref(c.leaves[i]);
+      }
+    }
+    // Cut sets are not retained across passes (priority cuts): the next
+    // pass re-enumerates with updated costs.
+  }
+
+  /// Extracts the current cover to compute map_refs and required times.
+  void compute_cover_and_required() {
+    for (auto& st : state_) {
+      st.map_refs = 0;
+      st.required = kInf;
+    }
+    // March from the POs over best cuts.
+    std::vector<NodeId> visit;
+    for (const Signal s : net_.pos()) {
+      if (net_.is_gate(s.node()) && state_[s.node()].map_refs++ == 0) {
+        visit.push_back(s.node());
+      }
+    }
+    std::size_t head = 0;
+    std::vector<NodeId> cover;
+    while (head < visit.size()) {
+      const NodeId n = visit[head++];
+      cover.push_back(n);
+      const Cut& c = state_[n].best;
+      for (int i = 0; i < c.size; ++i) {
+        const NodeId leaf = c.leaves[i];
+        if (net_.is_gate(leaf) && state_[leaf].map_refs++ == 0) {
+          visit.push_back(leaf);
+        }
+      }
+    }
+
+    // Blend real cover references into the fanout estimates (dangling
+    // choice cones inflate raw fanout counts).
+    for (auto& st : state_) {
+      st.est_refs = std::max(
+          1.0f, (st.est_refs + 2.0f * static_cast<float>(st.map_refs)) / 3.0f);
+    }
+
+    // Required times.  For the delay objective the target is frozen at the
+    // first (delay-optimal) pass so recovery passes cannot ratchet it.
+    float target;
+    if (params_.objective == LutMapParams::Objective::kDelay) {
+      float depth = 0.0f;
+      for (const Signal s : net_.pos()) {
+        depth = std::max(depth, state_[s.node()].arrival);
+      }
+      if (target_delay_ < 0.0f) target_delay_ = depth;
+      target = std::min(depth, target_delay_);
+    } else {
+      target = kInf;
+    }
+    for (const Signal s : net_.pos()) {
+      auto& st = state_[s.node()];
+      st.required = std::min(st.required, target);
+    }
+    // `cover` is in PO-to-PI discovery order; a node's fanout cone within
+    // the cover is discovered no later than the node itself, so a forward
+    // sweep propagates required times correctly.
+    for (const NodeId n : cover) {
+      const auto& st = state_[n];
+      const Cut& c = st.best;
+      const float leaf_req = st.required - 1.0f;
+      for (int i = 0; i < c.size; ++i) {
+        auto& ls = state_[c.leaves[i]];
+        ls.required = std::min(ls.required, leaf_req);
+      }
+    }
+  }
+
+  LutNetwork extract(LutMapStats* stats) {
+    LutNetwork out;
+    out.num_pis = static_cast<int>(net_.num_pis());
+
+    std::vector<std::int32_t> ref(net_.size(), -1);
+    for (std::size_t i = 0; i < net_.num_pis(); ++i) {
+      ref[net_.pi_at(i)] = static_cast<std::int32_t>(i);
+    }
+
+    std::size_t choice_cuts = 0;
+    // Recursive extraction with an explicit stack.
+    auto extract_node = [&](NodeId root) {
+      if (ref[root] >= 0) return;
+      std::vector<std::pair<NodeId, int>> stack{{root, 0}};
+      while (!stack.empty()) {
+        auto& [n, phase] = stack.back();
+        if (ref[n] >= 0) {
+          stack.pop_back();
+          continue;
+        }
+        assert(state_[n].has_cut);
+        const Cut& c = state_[n].best;
+        if (phase == 0) {
+          phase = 1;
+          bool pushed = false;
+          for (int i = 0; i < c.size; ++i) {
+            const NodeId leaf = c.leaves[i];
+            if (ref[leaf] < 0) {
+              assert(net_.is_gate(leaf));
+              stack.push_back({leaf, 0});
+              pushed = true;
+            }
+          }
+          if (pushed) continue;
+        }
+        LutNetwork::Lut lut;
+        lut.function = c.function;
+        for (int i = 0; i < c.size; ++i) {
+          lut.inputs.push_back(ref[c.leaves[i]]);
+        }
+        // A cut that survives from a choice member covers nodes outside
+        // the representative's own cone.
+        if (params_.use_choices && net_.has_choice(n)) ++choice_cuts;
+        ref[n] = static_cast<std::int32_t>(out.num_pis + out.luts.size());
+        out.luts.push_back(std::move(lut));
+        stack.pop_back();
+      }
+    };
+
+    for (const Signal s : net_.pos()) {
+      const NodeId n = s.node();
+      if (net_.is_const0(n)) {
+        // Constant PO: a 0-input LUT.
+        LutNetwork::Lut lut;
+        lut.function = 0;
+        out.luts.push_back(lut);
+        out.po_refs.push_back(
+            static_cast<std::int32_t>(out.num_pis + out.luts.size() - 1));
+        out.po_compl.push_back(s.complemented());
+        continue;
+      }
+      if (net_.is_pi(n)) {
+        out.po_refs.push_back(ref[n]);
+        out.po_compl.push_back(s.complemented());
+        continue;
+      }
+      extract_node(n);
+      out.po_refs.push_back(ref[n]);
+      out.po_compl.push_back(s.complemented());
+    }
+
+    if (stats) {
+      stats->num_luts = out.luts.size();
+      stats->depth = out.depth();
+      stats->num_choice_cuts_used = choice_cuts;
+    }
+    return out;
+  }
+
+  const Network& net_;
+  LutMapParams params_;
+  std::vector<NodeState> state_;
+  std::vector<NodeId> order_;
+  float req_of_current_ = kInf;
+  float target_delay_ = -1.0f;  ///< frozen after the first delay pass
+};
+
+}  // namespace
+
+LutNetwork lut_map(const Network& net, const LutMapParams& params,
+                   LutMapStats* stats) {
+  LutMapper mapper(net, params);
+  return mapper.run(stats);
+}
+
+Network lut_network_to_network(const LutNetwork& lnet) {
+  Network out;
+  std::vector<Signal> value(lnet.num_pis + lnet.luts.size());
+  for (int i = 0; i < lnet.num_pis; ++i) value[i] = out.create_pi();
+
+  const SopStrategy sop;
+  for (std::size_t i = 0; i < lnet.luts.size(); ++i) {
+    const auto& lut = lnet.luts[i];
+    std::vector<Signal> leaves;
+    leaves.reserve(lut.inputs.size());
+    for (const auto r : lut.inputs) leaves.push_back(value[r]);
+    const TruthTable f = TruthTable::from_tt6(
+        lut.function, static_cast<int>(lut.inputs.size()));
+    const auto s = sop.synthesize(out, GateBasis::xmg(), f, leaves);
+    assert(s.has_value());
+    value[lnet.num_pis + i] = *s;
+  }
+  for (std::size_t i = 0; i < lnet.po_refs.size(); ++i) {
+    out.create_po(value[lnet.po_refs[i]] ^ static_cast<bool>(lnet.po_compl[i]));
+  }
+  return out;
+}
+
+}  // namespace mcs

@@ -1,0 +1,118 @@
+#include "mcs/map/sta.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace mcs {
+
+TimingInfo analyze_timing(const CellNetlist& netlist) {
+  const std::size_t n = netlist.num_pis + netlist.instances.size();
+  TimingInfo t;
+  t.arrival.assign(n, 0.0);
+  t.required.assign(n, 0.0);
+
+  // Forward: arrival times (instances are stored in topological order).
+  for (std::size_t i = 0; i < netlist.instances.size(); ++i) {
+    const auto& inst = netlist.instances[i];
+    const Cell& cell = netlist.library->cell(inst.cell);
+    double arr = 0.0;
+    for (std::size_t j = 0; j < inst.fanins.size(); ++j) {
+      arr = std::max(arr, t.arrival[inst.fanins[j]] + cell.pin_delays[j]);
+    }
+    t.arrival[netlist.num_pis + i] = arr;
+  }
+  for (std::size_t i = 0; i < netlist.po_refs.size(); ++i) {
+    if (!netlist.po_const[i]) {
+      t.clock = std::max(t.clock, t.arrival[netlist.po_refs[i]]);
+    }
+  }
+
+  // Backward: required times.
+  t.required.assign(n, t.clock);
+  for (std::size_t i = netlist.instances.size(); i-- > 0;) {
+    const auto& inst = netlist.instances[i];
+    const Cell& cell = netlist.library->cell(inst.cell);
+    const double req = t.required[netlist.num_pis + i];
+    for (std::size_t j = 0; j < inst.fanins.size(); ++j) {
+      t.required[inst.fanins[j]] = std::min(
+          t.required[inst.fanins[j]], req - cell.pin_delays[j]);
+    }
+  }
+  return t;
+}
+
+std::vector<PathStep> critical_path(const CellNetlist& netlist,
+                                    const TimingInfo& timing) {
+  // Start from the latest PO and walk the max-arrival fanin chain.
+  std::int32_t ref = -1;
+  for (std::size_t i = 0; i < netlist.po_refs.size(); ++i) {
+    if (netlist.po_const[i]) continue;
+    if (ref < 0 ||
+        timing.arrival[netlist.po_refs[i]] > timing.arrival[ref]) {
+      ref = netlist.po_refs[i];
+    }
+  }
+  std::vector<PathStep> path;
+  while (ref >= 0) {
+    PathStep step;
+    step.ref = ref;
+    step.arrival = timing.arrival[ref];
+    if (ref >= netlist.num_pis) {
+      const auto& inst = netlist.instances[ref - netlist.num_pis];
+      const Cell& cell = netlist.library->cell(inst.cell);
+      step.cell_name = cell.name;
+      // The fanin whose (arrival + pin delay) realizes this arrival.
+      std::int32_t next = -1;
+      for (std::size_t j = 0; j < inst.fanins.size(); ++j) {
+        if (std::abs(timing.arrival[inst.fanins[j]] + cell.pin_delays[j] -
+                     step.arrival) < 1e-9) {
+          next = inst.fanins[j];
+          break;
+        }
+      }
+      path.push_back(step);
+      ref = next;
+    } else {
+      path.push_back(step);
+      break;
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void report_timing(const CellNetlist& netlist, std::ostream& os) {
+  const TimingInfo t = analyze_timing(netlist);
+  os << "timing report: " << netlist.size() << " cells, critical delay "
+     << t.clock << " ps\n";
+
+  os << "critical path:\n";
+  for (const PathStep& s : critical_path(netlist, t)) {
+    if (s.cell_name.empty()) {
+      os << "  pi" << s.ref << "  (arrival " << s.arrival << ")\n";
+    } else {
+      os << "  " << s.cell_name << " @ref" << s.ref << "  (arrival "
+         << s.arrival << ")\n";
+    }
+  }
+
+  // Slack histogram over instances (5 buckets of clock/5).
+  if (t.clock > 0) {
+    int buckets[5] = {};
+    for (std::size_t i = 0; i < netlist.instances.size(); ++i) {
+      const double sl = t.slack(netlist.num_pis + i);
+      int b = static_cast<int>(5.0 * sl / t.clock);
+      b = std::clamp(b, 0, 4);
+      ++buckets[b];
+    }
+    os << "slack histogram (fraction of period):\n";
+    const char* labels[5] = {"0-20%", "20-40%", "40-60%", "60-80%",
+                             "80-100%"};
+    for (int b = 0; b < 5; ++b) {
+      os << "  " << labels[b] << ": " << buckets[b] << " cells\n";
+    }
+  }
+}
+
+}  // namespace mcs

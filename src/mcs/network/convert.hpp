@@ -1,0 +1,35 @@
+/// \file convert.hpp
+/// \brief Representation conversions ("one-to-one mapping" of the paper).
+///
+/// Algorithm 1 begins by storing the input network in a different logic
+/// representation.  In the mixed network this is a structural rebuild:
+///   - convert_basis() re-expresses every gate with the primitives of a
+///     target basis (expanding XOR/MAJ into ANDs when leaving XMG-land,
+///     keeping them when entering it);
+///   - detect_xors() recognizes the 3-AND XOR/XNOR pattern in AIGs and
+///     promotes it to native XOR2 nodes (AIG -> XAG, used by the
+///     delay-oriented MCH flavor of the paper's Table I).
+
+#pragma once
+
+#include "mcs/network/network.hpp"
+#include "mcs/resyn/basis.hpp"
+
+namespace mcs {
+
+/// Rebuilds \p net gate by gate through a BasisBuilder: the result uses only
+/// primitives allowed by \p basis (identical function, possibly different
+/// node count).
+Network convert_basis(const Network& net, GateBasis basis);
+
+/// Expands every gate into AND2s (+ inverters): the classic AIG.
+inline Network expand_to_aig(const Network& net) {
+  return convert_basis(net, GateBasis::aig());
+}
+
+/// AIG -> XAG: structurally detects n = AND(!AND(a, b), !AND(!a, !b)) (and
+/// its phase variants) and rebuilds it as a native XOR2 node.
+/// Non-AND gates are copied through unchanged, so the call is idempotent.
+Network detect_xors(const Network& net);
+
+}  // namespace mcs

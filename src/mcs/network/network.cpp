@@ -1,0 +1,245 @@
+#include "mcs/network/network.hpp"
+
+#include <algorithm>
+
+namespace mcs {
+
+const char* gate_type_name(GateType t) noexcept {
+  switch (t) {
+    case GateType::kConst0:
+      return "const0";
+    case GateType::kPi:
+      return "pi";
+    case GateType::kAnd2:
+      return "and2";
+    case GateType::kXor2:
+      return "xor2";
+    case GateType::kMaj3:
+      return "maj3";
+    case GateType::kXor3:
+      return "xor3";
+  }
+  return "?";
+}
+
+Network::Network() {
+  // Node 0 is the constant-zero node.
+  nodes_.emplace_back();
+}
+
+Signal Network::create_pi(std::string name) {
+  Node n;
+  n.type = GateType::kPi;
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(n);
+  pis_.push_back(id);
+  pi_names_.push_back(name.empty() ? "pi" + std::to_string(pis_.size() - 1)
+                                   : std::move(name));
+  return Signal(id, false);
+}
+
+void Network::create_po(Signal s, std::string name) {
+  pos_.push_back(s);
+  po_names_.push_back(name.empty() ? "po" + std::to_string(pos_.size() - 1)
+                                   : std::move(name));
+  ++nodes_[s.node()].fanout_size;
+}
+
+NodeId Network::create_node(GateType t, const std::array<Signal, 3>& fanins,
+                            int arity) {
+  StrashKey key{t, {fanins[0].raw(), fanins[1].raw(), fanins[2].raw()}};
+  if (auto it = strash_.find(key); it != strash_.end()) return it->second;
+
+  Node n;
+  n.type = t;
+  n.num_fanins = static_cast<std::uint8_t>(arity);
+  n.fanin = fanins;
+  std::uint32_t lvl = 0;
+  for (int i = 0; i < arity; ++i) {
+    lvl = std::max(lvl, nodes_[fanins[i].node()].level);
+    ++nodes_[fanins[i].node()].fanout_size;
+  }
+  n.level = lvl + 1;
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(n);
+  strash_.emplace(key, id);
+  ++num_gates_;
+  return id;
+}
+
+NodeId Network::lookup_gate(GateType t,
+                            const std::array<Signal, 3>& fanins) const {
+  StrashKey key{t, {fanins[0].raw(), fanins[1].raw(), fanins[2].raw()}};
+  auto it = strash_.find(key);
+  return it == strash_.end() ? kNullNode : it->second;
+}
+
+Signal Network::create_and(Signal a, Signal b) {
+  // Constant and trivial rules.
+  if (a == constant(false) || b == constant(false)) return constant(false);
+  if (a == constant(true)) return b;
+  if (b == constant(true)) return a;
+  if (a == b) return a;
+  if (a == !b) return constant(false);
+  if (b < a) std::swap(a, b);
+  return Signal(create_node(GateType::kAnd2, {a, b, Signal()}, 2), false);
+}
+
+Signal Network::create_or(Signal a, Signal b) {
+  return !create_and(!a, !b);
+}
+
+Signal Network::create_xor(Signal a, Signal b) {
+  if (a == constant(false)) return b;
+  if (a == constant(true)) return !b;
+  if (b == constant(false)) return a;
+  if (b == constant(true)) return !a;
+  if (a == b) return constant(false);
+  if (a == !b) return constant(true);
+  // Push complements to the output: XOR(a, b) == XOR(!a, b) ^ 1.
+  const bool phase = a.complemented() ^ b.complemented();
+  a = Signal(a.node(), false);
+  b = Signal(b.node(), false);
+  if (b < a) std::swap(a, b);
+  return Signal(create_node(GateType::kXor2, {a, b, Signal()}, 2), phase);
+}
+
+Signal Network::create_maj(Signal a, Signal b, Signal c) {
+  // Constant special cases: MAJ(a, b, 0) == AND, MAJ(a, b, 1) == OR.
+  if (a.node() == 0) return a.complemented() ? create_or(b, c) : create_and(b, c);
+  if (b.node() == 0) return b.complemented() ? create_or(a, c) : create_and(a, c);
+  if (c.node() == 0) return c.complemented() ? create_or(a, b) : create_and(a, b);
+  // Equal / complementary pairs: MAJ(x, x, y) == x, MAJ(x, !x, y) == y.
+  if (a == b) return a;
+  if (a == !b) return c;
+  if (a == c) return a;
+  if (a == !c) return b;
+  if (b == c) return b;
+  if (b == !c) return a;
+  // Sort by node id (nodes are distinct here).
+  if (b.node() < a.node()) std::swap(a, b);
+  if (c.node() < b.node()) std::swap(b, c);
+  if (b.node() < a.node()) std::swap(a, b);
+  // Self-duality: if two or more fanins are complemented, flip all fanins
+  // and the output so at most one complement edge remains.
+  const int num_compl = static_cast<int>(a.complemented()) +
+                        static_cast<int>(b.complemented()) +
+                        static_cast<int>(c.complemented());
+  bool phase = false;
+  if (num_compl >= 2) {
+    a = !a;
+    b = !b;
+    c = !c;
+    phase = true;
+  }
+  return Signal(create_node(GateType::kMaj3, {a, b, c}, 3), phase);
+}
+
+Signal Network::create_xor3(Signal a, Signal b, Signal c) {
+  // Fold constants into 2-input XOR.
+  if (a.node() == 0) return create_xor(b, c) ^ a.complemented();
+  if (b.node() == 0) return create_xor(a, c) ^ b.complemented();
+  if (c.node() == 0) return create_xor(a, b) ^ c.complemented();
+  // Equal / complementary pairs cancel.
+  if (a == b) return c;
+  if (a == !b) return !c;
+  if (a == c) return b;
+  if (a == !c) return !b;
+  if (b == c) return a;
+  if (b == !c) return !a;
+  // Push all complements to the output.
+  const bool phase =
+      a.complemented() ^ b.complemented() ^ c.complemented();
+  a = Signal(a.node(), false);
+  b = Signal(b.node(), false);
+  c = Signal(c.node(), false);
+  if (b < a) std::swap(a, b);
+  if (c < b) std::swap(b, c);
+  if (b < a) std::swap(a, b);
+  return Signal(create_node(GateType::kXor3, {a, b, c}, 3), phase);
+}
+
+Signal Network::create_ite(Signal cond, Signal then_s, Signal else_s) {
+  return create_or(create_and(cond, then_s), create_and(!cond, else_s));
+}
+
+Signal Network::create_gate(GateType t, const std::array<Signal, 3>& fanins) {
+  switch (t) {
+    case GateType::kAnd2:
+      return create_and(fanins[0], fanins[1]);
+    case GateType::kXor2:
+      return create_xor(fanins[0], fanins[1]);
+    case GateType::kMaj3:
+      return create_maj(fanins[0], fanins[1], fanins[2]);
+    case GateType::kXor3:
+      return create_xor3(fanins[0], fanins[1], fanins[2]);
+    default:
+      assert(false && "create_gate: not a gate type");
+      return constant(false);
+  }
+}
+
+std::size_t Network::num_gates_of(GateType t) const noexcept {
+  std::size_t n = 0;
+  for (const auto& nd : nodes_) {
+    if (nd.type == t) ++n;
+  }
+  return n;
+}
+
+std::uint32_t Network::depth() const noexcept {
+  std::uint32_t d = 0;
+  for (const auto s : pos_) d = std::max(d, nodes_[s.node()].level);
+  return d;
+}
+
+bool Network::is_aig() const noexcept {
+  for (const auto& nd : nodes_) {
+    if (nd.type == GateType::kXor2 || nd.type == GateType::kMaj3 ||
+        nd.type == GateType::kXor3) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Network::is_xag() const noexcept {
+  for (const auto& nd : nodes_) {
+    if (nd.type == GateType::kMaj3 || nd.type == GateType::kXor3) return false;
+  }
+  return true;
+}
+
+bool Network::is_mig() const noexcept {
+  for (const auto& nd : nodes_) {
+    if (nd.type == GateType::kXor2 || nd.type == GateType::kXor3) return false;
+  }
+  return true;
+}
+
+bool Network::is_xmg() const noexcept { return true; }
+
+void Network::add_choice(NodeId repr, NodeId member, bool phase) {
+  assert(repr != member);
+  assert(is_repr(repr));
+  assert(is_repr(member));
+  assert(nodes_[member].next_choice == kNullNode);
+  Node& m = nodes_[member];
+  m.repr = repr;
+  m.choice_phase = phase;
+  // Insert at the head of the representative's list.
+  m.next_choice = nodes_[repr].next_choice;
+  nodes_[repr].next_choice = member;
+  ++num_choices_;
+}
+
+void Network::clear_choices() noexcept {
+  for (auto& nd : nodes_) {
+    nd.repr = kNullNode;
+    nd.next_choice = kNullNode;
+    nd.choice_phase = false;
+  }
+  num_choices_ = 0;
+}
+
+}  // namespace mcs

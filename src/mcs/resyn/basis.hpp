@@ -1,0 +1,80 @@
+/// \file basis.hpp
+/// \brief Gate bases: which primitives a synthesis strategy may emit.
+///
+/// The MCH operator derives its power from *heterogeneous* candidates: the
+/// same cut function can be re-expressed as AIG (AND-only), XAG (AND/XOR),
+/// MIG (AND/MAJ) or XMG (all four) structure.  Every synthesis strategy in
+/// this library builds through a BasisBuilder so the emitted representation
+/// is a parameter, not a hard-coded choice.
+
+#pragma once
+
+#include "mcs/network/network.hpp"
+
+namespace mcs {
+
+/// Allowed primitive set.
+struct GateBasis {
+  bool use_xor = false;  ///< may emit XOR2/XOR3 nodes
+  bool use_maj = false;  ///< may emit MAJ3 nodes
+
+  static constexpr GateBasis aig() { return {false, false}; }
+  static constexpr GateBasis xag() { return {true, false}; }
+  static constexpr GateBasis mig() { return {false, true}; }
+  static constexpr GateBasis xmg() { return {true, true}; }
+
+  const char* name() const noexcept {
+    if (use_xor && use_maj) return "xmg";
+    if (use_xor) return "xag";
+    if (use_maj) return "mig";
+    return "aig";
+  }
+
+  friend bool operator==(const GateBasis&, const GateBasis&) = default;
+};
+
+/// Emits gates into a network, expanding primitives outside the basis.
+class BasisBuilder {
+ public:
+  BasisBuilder(Network& net, GateBasis basis) noexcept
+      : net_(&net), basis_(basis) {}
+
+  Network& network() const noexcept { return *net_; }
+  GateBasis basis() const noexcept { return basis_; }
+
+  Signal constant(bool v) const { return net_->constant(v); }
+  Signal and2(Signal a, Signal b) const { return net_->create_and(a, b); }
+  Signal or2(Signal a, Signal b) const { return net_->create_or(a, b); }
+
+  Signal xor2(Signal a, Signal b) const {
+    if (basis_.use_xor) return net_->create_xor(a, b);
+    return net_->create_or(net_->create_and(a, !b), net_->create_and(!a, b));
+  }
+
+  Signal xor3(Signal a, Signal b, Signal c) const {
+    if (basis_.use_xor) return net_->create_xor3(a, b, c);
+    return xor2(xor2(a, b), c);
+  }
+
+  Signal maj3(Signal a, Signal b, Signal c) const {
+    if (basis_.use_maj) return net_->create_maj(a, b, c);
+    // MAJ(a,b,c) == ab + c(a + b): 4 AND-level gates.
+    return net_->create_or(net_->create_and(a, b),
+                           net_->create_and(c, net_->create_or(a, b)));
+  }
+
+  /// cond ? then_s : else_s.  With XOR available, uses the 2-gate form
+  /// e ^ (c & (t ^ e)); otherwise the classic AND/OR form.
+  Signal mux(Signal c, Signal t, Signal e) const {
+    if (basis_.use_xor) {
+      return net_->create_xor(e, net_->create_and(c, net_->create_xor(t, e)));
+    }
+    return net_->create_ite(c, t, e);
+  }
+
+ private:
+  Network* net_;
+  GateBasis basis_;
+};
+
+}  // namespace mcs

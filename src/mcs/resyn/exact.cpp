@@ -1,0 +1,250 @@
+#include "mcs/resyn/exact.hpp"
+
+#include <array>
+#include <cassert>
+#include <vector>
+
+#include "mcs/sat/solver.hpp"
+
+namespace mcs {
+
+namespace {
+
+/// A candidate gate operator: arity + local function + how to build it.
+struct Op {
+  int arity;              // 2 or 3
+  std::uint8_t tt;        // truth table over arity inputs (low 2^arity bits)
+  GateType type;          // gate to instantiate
+  std::uint8_t in_compl;  // input complement mask
+  bool out_compl;         // output complement
+};
+
+/// Operator menu for a basis.  Every op costs one gate in that basis.
+std::vector<Op> op_menu(GateBasis basis) {
+  std::vector<Op> ops;
+  // AND family: (a^p) & (b^q), output possibly complemented (OR family).
+  for (int p = 0; p < 2; ++p) {
+    for (int q = 0; q < 2; ++q) {
+      for (int oc = 0; oc < 2; ++oc) {
+        std::uint8_t tt = 0;
+        for (int t = 0; t < 4; ++t) {
+          const bool a = (t & 1) ^ p, b = ((t >> 1) & 1) ^ q;
+          bool v = a && b;
+          if (oc) v = !v;
+          if (v) tt |= (1u << t);
+        }
+        ops.push_back({2, tt, GateType::kAnd2,
+                       static_cast<std::uint8_t>(p | (q << 1)), oc == 1});
+      }
+    }
+  }
+  if (basis.use_xor) {
+    ops.push_back({2, 0b0110, GateType::kXor2, 0, false});
+    ops.push_back({2, 0b1001, GateType::kXor2, 0, true});
+    if (basis.use_maj) {
+      ops.push_back({3, 0b10010110, GateType::kXor3, 0, false});
+      ops.push_back({3, 0b01101001, GateType::kXor3, 0, true});
+    }
+  }
+  if (basis.use_maj) {
+    // MAJ with input complements; self-duality makes output complement
+    // redundant (it equals complementing all inputs).
+    for (int mask = 0; mask < 8; ++mask) {
+      std::uint8_t tt = 0;
+      for (int t = 0; t < 8; ++t) {
+        const int a = ((t >> 0) & 1) ^ ((mask >> 0) & 1);
+        const int b = ((t >> 1) & 1) ^ ((mask >> 1) & 1);
+        const int c = ((t >> 2) & 1) ^ ((mask >> 2) & 1);
+        if (a + b + c >= 2) tt |= (1u << t);
+      }
+      ops.push_back({3, tt, GateType::kMaj3,
+                     static_cast<std::uint8_t>(mask), false});
+    }
+  }
+  return ops;
+}
+
+/// Tries to find an r-gate realization; fills `result` on success.
+bool try_size(Tt6 f, int n, int r, const std::vector<Op>& ops,
+              std::int64_t conflict_limit, ExactSynthesisResult& result) {
+  const int num_t = 1 << n;
+  sat::Solver solver;
+
+  // x[i][t]: value of gate i on assignment t.
+  std::vector<std::vector<sat::Var>> x(r, std::vector<sat::Var>(num_t));
+  // y[i][s][t]: value of operand slot s (0..2) of gate i on assignment t.
+  std::vector<std::array<std::vector<sat::Var>, 3>> y(r);
+  // sel[i][s][j]: operand slot s of gate i reads source j
+  // (sources: 0..n-1 PIs, then gates 0..i-1).
+  std::vector<std::array<std::vector<sat::Var>, 3>> sel(r);
+  // o[i][m]: gate i uses op m.
+  std::vector<std::vector<sat::Var>> o(r);
+
+  for (int i = 0; i < r; ++i) {
+    for (int t = 0; t < num_t; ++t) x[i][t] = solver.new_var();
+    for (int s = 0; s < 3; ++s) {
+      y[i][s].resize(num_t);
+      for (int t = 0; t < num_t; ++t) y[i][s][t] = solver.new_var();
+      sel[i][s].resize(n + i);
+      for (int j = 0; j < n + i; ++j) sel[i][s][j] = solver.new_var();
+    }
+    o[i].resize(ops.size());
+    for (std::size_t m = 0; m < ops.size(); ++m) o[i][m] = solver.new_var();
+  }
+
+  auto exactly_one = [&](const std::vector<sat::Var>& vars) {
+    std::vector<sat::Lit> lits;
+    for (const auto v : vars) lits.push_back(sat::mk_lit(v));
+    solver.add_clause(lits);
+    for (std::size_t a = 0; a < vars.size(); ++a) {
+      for (std::size_t b = a + 1; b < vars.size(); ++b) {
+        solver.add_clause(sat::mk_lit(vars[a], true),
+                          sat::mk_lit(vars[b], true));
+      }
+    }
+  };
+
+  for (int i = 0; i < r; ++i) {
+    for (int s = 0; s < 3; ++s) exactly_one(sel[i][s]);
+    exactly_one(o[i]);
+    // Symmetry break: slot0 source index < slot1 source index.
+    for (int j = 0; j < n + i; ++j) {
+      for (int k = 0; k <= j; ++k) {
+        solver.add_clause(sat::mk_lit(sel[i][0][j], true),
+                          sat::mk_lit(sel[i][1][k], true));
+      }
+    }
+  }
+
+  // Channeling: sel[i][s][j] -> (y[i][s][t] == source_j value at t).
+  for (int i = 0; i < r; ++i) {
+    for (int s = 0; s < 3; ++s) {
+      for (int j = 0; j < n + i; ++j) {
+        const sat::Lit not_sel = sat::mk_lit(sel[i][s][j], true);
+        for (int t = 0; t < num_t; ++t) {
+          const sat::Lit yl = sat::mk_lit(y[i][s][t]);
+          if (j < n) {
+            const bool bit = (t >> j) & 1;
+            solver.add_clause(not_sel, bit ? yl : sat::negate(yl));
+          } else {
+            const sat::Lit xl = sat::mk_lit(x[j - n][t]);
+            solver.add_clause(not_sel, sat::negate(yl), xl);
+            solver.add_clause(not_sel, yl, sat::negate(xl));
+          }
+        }
+      }
+    }
+  }
+
+  // Gate semantics: o[i][m] -> (x[i][t] == op(y values)).
+  for (int i = 0; i < r; ++i) {
+    for (std::size_t m = 0; m < ops.size(); ++m) {
+      const Op& op = ops[m];
+      const sat::Lit not_op = sat::mk_lit(o[i][m], true);
+      for (int t = 0; t < num_t; ++t) {
+        const int combos = 1 << op.arity;
+        for (int c = 0; c < combos; ++c) {
+          // If operand values equal pattern c, x must equal op.tt bit c.
+          std::vector<sat::Lit> clause{not_op};
+          for (int s = 0; s < op.arity; ++s) {
+            const bool bit = (c >> s) & 1;
+            clause.push_back(sat::mk_lit(y[i][s][t], bit));
+          }
+          const bool out = (op.tt >> c) & 1;
+          clause.push_back(sat::mk_lit(x[i][t], !out));
+          solver.add_clause(std::move(clause));
+        }
+      }
+    }
+  }
+
+  // Output: the last gate equals f (possibly complemented).
+  const sat::Var outneg = solver.new_var();
+  for (int t = 0; t < num_t; ++t) {
+    const bool bit = (f >> t) & 1;
+    // outneg=0 -> x == bit; outneg=1 -> x == !bit.
+    solver.add_clause(sat::mk_lit(outneg),
+                      sat::mk_lit(x[r - 1][t], !bit));
+    solver.add_clause(sat::mk_lit(outneg, true),
+                      sat::mk_lit(x[r - 1][t], bit));
+  }
+
+  if (solver.solve({}, conflict_limit) != sat::Result::kSat) return false;
+
+  // Decode the model into a network.
+  Network net;
+  std::vector<Signal> sources;
+  for (int j = 0; j < n; ++j) sources.push_back(net.create_pi());
+  for (int i = 0; i < r; ++i) {
+    int chosen_op = -1;
+    for (std::size_t m = 0; m < ops.size(); ++m) {
+      if (solver.model_value(o[i][m])) chosen_op = static_cast<int>(m);
+    }
+    assert(chosen_op >= 0);
+    const Op& op = ops[chosen_op];
+    std::array<Signal, 3> in{};
+    for (int s = 0; s < op.arity; ++s) {
+      int src = -1;
+      for (int j = 0; j < n + i; ++j) {
+        if (solver.model_value(sel[i][s][j])) src = j;
+      }
+      assert(src >= 0);
+      in[s] = sources[src] ^ (((op.in_compl >> s) & 1) != 0);
+    }
+    Signal g = net.create_gate(op.type, in);
+    if (op.out_compl) g = !g;
+    sources.push_back(g);
+  }
+  Signal root = sources.back();
+  if (solver.model_value(outneg)) root = !root;
+
+  result.net = std::move(net);
+  result.root = root;
+  result.num_gates = r;
+  return true;
+}
+
+}  // namespace
+
+std::optional<ExactSynthesisResult> exact_synthesize(
+    Tt6 f, int num_vars, const ExactSynthesisParams& params) {
+  assert(num_vars <= 4);
+  f = tt6_replicate(f, num_vars) & tt6_mask(num_vars);
+
+  // Size 0: constants and (complemented) projections.
+  {
+    ExactSynthesisResult r0;
+    Network net;
+    std::vector<Signal> pis;
+    for (int i = 0; i < num_vars; ++i) pis.push_back(net.create_pi());
+    std::optional<Signal> root;
+    if (f == 0) {
+      root = net.constant(false);
+    } else if (f == tt6_mask(num_vars)) {
+      root = net.constant(true);
+    } else {
+      for (int v = 0; v < num_vars; ++v) {
+        const Tt6 proj = tt6_var(v) & tt6_mask(num_vars);
+        if (f == proj) root = pis[v];
+        if (f == (~proj & tt6_mask(num_vars))) root = !pis[v];
+      }
+    }
+    if (root) {
+      r0.net = std::move(net);
+      r0.root = *root;
+      r0.num_gates = 0;
+      return r0;
+    }
+  }
+
+  const auto ops = op_menu(params.basis);
+  for (int r = 1; r <= params.max_gates; ++r) {
+    ExactSynthesisResult result;
+    if (try_size(f, num_vars, r, ops, params.conflict_limit, result)) {
+      return result;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mcs

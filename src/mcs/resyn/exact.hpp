@@ -1,0 +1,43 @@
+/// \file exact.hpp
+/// \brief SAT-based exact synthesis of minimum-size networks for small
+/// functions.
+///
+/// Finds a network with the fewest gates (from a chosen basis) implementing
+/// a given function of up to 4 variables, by encoding "does a circuit with
+/// r gates exist?" as SAT (single-selection-variable SSV encoding, in the
+/// spirit of Knuth/Eén and mockturtle's exact synthesis) and increasing r
+/// until satisfiable.  Used to build provably size-optimal entries for the
+/// NPN databases that drive the level-/area-oriented MCH strategies --
+/// the paper's "synthesis strategies library" at its strongest setting.
+
+#pragma once
+
+#include <optional>
+
+#include "mcs/network/network.hpp"
+#include "mcs/resyn/basis.hpp"
+#include "mcs/tt/tt6.hpp"
+
+namespace mcs {
+
+struct ExactSynthesisParams {
+  int max_gates = 7;              ///< give up beyond this size
+  std::int64_t conflict_limit = 200000;  ///< SAT budget per size step
+  GateBasis basis = GateBasis::aig();
+};
+
+struct ExactSynthesisResult {
+  Network net;     ///< network over `num_vars` PIs realizing f
+  Signal root;
+  int num_gates = 0;
+};
+
+/// Synthesizes a minimum-gate realization of \p f (over \p num_vars <= 4
+/// variables) in the given basis.  The gate set is: AND2 (with arbitrary
+/// input/output complementation) always; XOR2 when basis.use_xor; MAJ3 when
+/// basis.use_maj.  Returns std::nullopt when no network within max_gates
+/// was found (or the SAT budget ran out).
+std::optional<ExactSynthesisResult> exact_synthesize(
+    Tt6 f, int num_vars, const ExactSynthesisParams& params = {});
+
+}  // namespace mcs

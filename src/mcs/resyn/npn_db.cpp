@@ -1,0 +1,122 @@
+#include "mcs/resyn/npn_db.hpp"
+
+#include <cassert>
+#include <map>
+
+#include "mcs/network/network_utils.hpp"
+#include "mcs/resyn/sop.hpp"
+#include "mcs/resyn/strategies.hpp"
+
+namespace mcs {
+
+namespace {
+
+/// Depth of a signal's cone in a scratch network whose levels are exact.
+std::uint32_t cone_depth(const Network& net, Signal s) {
+  return net.node(s.node()).level;
+}
+
+/// Number of gates in the cone of \p s.
+std::size_t cone_size(const Network& net, Signal s) {
+  if (!net.is_gate(s.node())) return 0;
+  std::size_t n = 0;
+  net.new_traversal();
+  std::vector<NodeId> stack{s.node()};
+  net.mark(s.node());
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    ++n;
+    const Node& nd = net.node(id);
+    for (int i = 0; i < nd.num_fanins; ++i) {
+      const NodeId c = nd.fanin[i].node();
+      if (net.is_gate(c) && !net.marked(c)) {
+        net.mark(c);
+        stack.push_back(c);
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+const NpnDatabase::Entry& NpnDatabase::entry_for(Tt6 canon) {
+  const auto key = static_cast<std::uint16_t>(canon & tt6_mask(4));
+  if (auto it = classes_.find(key); it != classes_.end()) return it->second;
+
+  // Synthesize the canonical function with each candidate strategy into its
+  // own scratch network; keep the best under the objective.
+  const TruthTable f = TruthTable::from_tt6(canon, 4);
+
+  const SopStrategy sop;
+  const DsdStrategy dsd;
+  const ShannonStrategy shannon;
+  const ResynStrategy* candidates[] = {&sop, &dsd, &shannon};
+
+  Entry best;
+  bool have_best = false;
+  for (const ResynStrategy* strat : candidates) {
+    Entry e;
+    std::vector<Signal> leaves;
+    for (int i = 0; i < 4; ++i) leaves.push_back(e.net.create_pi());
+    const auto root = strat->synthesize(e.net, basis_, f, leaves);
+    assert(root.has_value());
+    e.root = *root;
+    e.depth = cone_depth(e.net, e.root);
+    e.size = cone_size(e.net, e.root);
+    const auto cost = [this](const Entry& x) {
+      return objective_ == Objective::kLevel
+                 ? std::make_pair(static_cast<std::size_t>(x.depth), x.size)
+                 : std::make_pair(x.size, static_cast<std::size_t>(x.depth));
+    };
+    if (!have_best || cost(e) < cost(best)) {
+      best = std::move(e);
+      have_best = true;
+    }
+  }
+  assert(have_best);
+  return classes_.emplace(key, std::move(best)).first->second;
+}
+
+std::optional<Signal> NpnDatabase::instantiate(
+    Network& net, Tt6 f, int num_vars, const std::vector<Signal>& leaves) {
+  assert(static_cast<int>(leaves.size()) == num_vars);
+  if (num_vars > 4) return std::nullopt;
+
+  // Work in the 4-variable space (pad with vacuous variables).
+  const Tt6 f4 = tt6_replicate(f, num_vars);
+  const auto& canon = canon_cache_.canonicalize(f4);
+  const Entry& entry = entry_for(canon.canon);
+
+  // f(u) = out ^ canon(z) with z_j = u[perm[j]] ^ flips[perm[j]]
+  // (composition of the canonicalizing transform with the identity).
+  NpnTransform identity;
+  identity.num_vars = 4;
+  const NpnMatch m = npn_match(canon.transform, identity);
+
+  std::vector<Signal> pi_map(4);
+  for (int j = 0; j < 4; ++j) {
+    const int leaf = m.pin_to_leaf[j];
+    // Vacuous positions (beyond num_vars) can be fed anything.
+    Signal s = leaf < num_vars ? leaves[leaf] : net.constant(false);
+    if (m.pin_negation & (1u << j)) s = !s;
+    pi_map[j] = s;
+  }
+  Signal out = copy_cone(entry.net, net, entry.root, pi_map);
+  if (m.output_negation) out = !out;
+  return out;
+}
+
+NpnDatabase& NpnDatabase::shared(GateBasis basis, Objective objective) {
+  static std::map<std::pair<int, int>, NpnDatabase> instances;
+  const int basis_key = (basis.use_xor ? 1 : 0) | (basis.use_maj ? 2 : 0);
+  const auto key = std::make_pair(basis_key, static_cast<int>(objective));
+  auto it = instances.find(key);
+  if (it == instances.end()) {
+    it = instances.emplace(key, NpnDatabase(basis, objective)).first;
+  }
+  return it->second;
+}
+
+}  // namespace mcs

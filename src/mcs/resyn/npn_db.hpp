@@ -1,0 +1,60 @@
+/// \file npn_db.hpp
+/// \brief Lazily built databases of optimized structures for 4-input NPN
+/// classes.
+///
+/// This is the "4-input NPN library" used by the level-oriented synthesis
+/// strategy of the paper (Sec. III-A, citing fast NPN-based Boolean
+/// matching).  For each canonical class we synthesize several candidate
+/// structures (DSD, SOP factoring, Shannon) in the requested gate basis,
+/// keep the best one under the chosen objective, and replay it whenever an
+/// NPN-equivalent cut function must be realized.  The 4-input space has only
+/// 222 classes, so the lazy cache converges almost immediately.
+
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mcs/network/network.hpp"
+#include "mcs/resyn/basis.hpp"
+#include "mcs/tt/npn.hpp"
+
+namespace mcs {
+
+class NpnDatabase {
+ public:
+  enum class Objective { kLevel, kArea };
+
+  NpnDatabase(GateBasis basis, Objective objective)
+      : basis_(basis), objective_(objective) {}
+
+  /// Realizes the (<= 4 variable) function \p f over \p leaves in \p net.
+  /// Returns std::nullopt for functions of more than 4 support variables.
+  std::optional<Signal> instantiate(Network& net, Tt6 f, int num_vars,
+                                    const std::vector<Signal>& leaves);
+
+  /// Shared per-basis/objective instances (the strategies are stateless
+  /// apart from this cache).
+  static NpnDatabase& shared(GateBasis basis, Objective objective);
+
+  std::size_t num_classes() const noexcept { return classes_.size(); }
+
+ private:
+  /// Replayable optimized structure: a 4-PI scratch network + output.
+  struct Entry {
+    Network net;
+    Signal root;
+    std::uint32_t depth = 0;
+    std::size_t size = 0;
+  };
+
+  const Entry& entry_for(Tt6 canon);
+
+  GateBasis basis_;
+  Objective objective_;
+  std::unordered_map<std::uint16_t, Entry> classes_;
+  Npn4Cache canon_cache_;
+};
+
+}  // namespace mcs

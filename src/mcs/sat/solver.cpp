@@ -1,0 +1,383 @@
+#include "mcs/sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mcs::sat {
+
+namespace {
+
+/// Luby restart sequence scaled by \p base.
+std::int64_t luby(std::int64_t base, std::int64_t i) {
+  std::int64_t size = 1;
+  std::int64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i = i % size;
+  }
+  return base << seq;
+}
+
+}  // namespace
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(kUndef);
+  model_.push_back(kFalse);
+  phase_.push_back(kFalse);
+  reason_.push_back(kNoReason);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  heap_pos_.push_back(-1);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  assert(decision_level() == 0);
+
+  // Normalize: sort, drop duplicates and false literals, detect tautology
+  // and satisfied clauses.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  out.reserve(lits.size());
+  Lit prev = -1;
+  for (const Lit l : lits) {
+    if (l == prev) continue;
+    if (prev >= 0 && l == negate(prev) && var_of(l) == var_of(prev)) {
+      return true;  // tautology
+    }
+    const auto v = lit_value(l);
+    if (v == kTrue) return true;  // already satisfied at root
+    if (v == kFalse) continue;    // falsified at root: drop
+    out.push_back(l);
+    prev = l;
+  }
+
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], kNoReason);
+    if (propagate() != kNoReason) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
+  clauses_.push_back(std::move(out));
+  attach_clause(cr);
+  return true;
+}
+
+void Solver::attach_clause(ClauseRef cr) {
+  const auto& c = clauses_[cr];
+  watches_[negate(c[0])].push_back({cr, c[1]});
+  watches_[negate(c[1])].push_back({cr, c[0]});
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  const Var v = var_of(l);
+  assert(assign_[v] == kUndef);
+  assign_[v] = sign_of(l) ? kFalse : kTrue;
+  reason_[v] = reason;
+  level_[v] = decision_level();
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    auto& ws = watches_[p];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      const Watch w = ws[i];
+      if (lit_value(w.blocker) == kTrue) {
+        ws[keep++] = w;
+        continue;
+      }
+      auto& c = clauses_[w.clause];
+      // Ensure the falsified literal negate(p) is at position 1.
+      const Lit not_p = negate(p);
+      if (c[0] == not_p) std::swap(c[0], c[1]);
+      assert(c[1] == not_p);
+      if (lit_value(c[0]) == kTrue) {
+        ws[keep++] = {w.clause, c[0]};
+        continue;
+      }
+      // Find a new literal to watch.
+      bool found = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (lit_value(c[k]) != kFalse) {
+          std::swap(c[1], c[k]);
+          watches_[negate(c[1])].push_back({w.clause, c[0]});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+      // Clause is unit or conflicting.
+      ws[keep++] = w;
+      if (lit_value(c[0]) == kFalse) {
+        // Conflict: restore untouched watches and bail out.
+        for (std::size_t k = i + 1; k < ws.size(); ++k) ws[keep++] = ws[k];
+        ws.resize(keep);
+        propagate_head_ = trail_.size();
+        return w.clause;
+      }
+      enqueue(c[0], w.clause);
+    }
+    ws.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
+                     int& bt_level) {
+  learnt.clear();
+  learnt.push_back(0);  // placeholder for the asserting literal
+
+  int counter = 0;
+  Lit p = -1;
+  std::size_t index = trail_.size();
+  ClauseRef cr = conflict;
+
+  do {
+    const auto& c = clauses_[cr];
+    for (std::size_t i = (p == -1 ? 0 : 1); i < c.size(); ++i) {
+      const Lit q = c[i];
+      const Var v = var_of(q);
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = 1;
+      bump_var(v);
+      if (level_[v] == decision_level()) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Walk the trail backwards to the next marked literal.
+    while (!seen_[var_of(trail_[index - 1])]) --index;
+    --index;
+    p = trail_[index];
+    cr = reason_[var_of(p)];
+    seen_[var_of(p)] = 0;
+    --counter;
+    if (counter > 0) {
+      // The reason of a non-decision marked literal must exist.
+      assert(cr != kNoReason);
+      // Move p's position: reason clause c has p at position 0.
+      auto& rc = clauses_[cr];
+      if (rc[0] != p) {
+        // p must be first; reason clauses always propagate their first lit.
+        for (std::size_t i = 1; i < rc.size(); ++i) {
+          if (rc[i] == p) {
+            std::swap(rc[0], rc[i]);
+            break;
+          }
+        }
+      }
+    }
+  } while (counter > 0);
+  learnt[0] = negate(p);
+
+  // Backtrack level: second-highest level in the learnt clause.
+  bt_level = 0;
+  if (learnt.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[var_of(learnt[i])] > level_[var_of(learnt[max_i])]) max_i = i;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    bt_level = level_[var_of(learnt[1])];
+  }
+
+  for (const Lit l : learnt) seen_[var_of(l)] = 0;
+}
+
+void Solver::backtrack(int level) {
+  if (decision_level() <= level) return;
+  const std::int32_t limit = trail_lim_[level];
+  for (std::size_t i = trail_.size(); i-- > static_cast<std::size_t>(limit);) {
+    const Var v = var_of(trail_[i]);
+    phase_[v] = assign_[v];
+    assign_[v] = kUndef;
+    reason_[v] = kNoReason;
+    if (heap_pos_[v] < 0) heap_insert(v);
+  }
+  trail_.resize(limit);
+  trail_lim_.resize(level);
+  propagate_head_ = trail_.size();
+}
+
+Lit Solver::pick_branch() {
+  while (!heap_empty()) {
+    const Var v = heap_pop();
+    if (assign_[v] == kUndef) {
+      return mk_lit(v, phase_[v] == kFalse);
+    }
+  }
+  return -1;
+}
+
+void Solver::bump_var(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_pos_[v] >= 0) heap_update(v);
+}
+
+void Solver::decay_activities() { var_inc_ /= 0.95; }
+
+Result Solver::solve(const std::vector<Lit>& assumptions,
+                     std::int64_t conflict_limit) {
+  if (!ok_) return Result::kUnsat;
+  backtrack(0);
+
+  std::int64_t conflicts = 0;
+  int restart_count = 0;
+  std::int64_t restart_budget = luby(64, restart_count);
+
+  std::vector<Lit> learnt;
+  for (;;) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      ++conflicts;
+      ++conflicts_total_;
+      if (decision_level() == 0) return Result::kUnsat;
+      // Conflicts below/at the assumption levels: treat as UNSAT under
+      // assumptions if analysis would backtrack into them.
+      int bt;
+      analyze(conflict, learnt, bt);
+      const int num_assumed = static_cast<int>(assumptions.size());
+      if (decision_level() <= num_assumed) {
+        // The conflict depends only on assumptions.
+        backtrack(0);
+        return Result::kUnsat;
+      }
+      backtrack(std::max(bt, 0));
+      if (learnt.size() == 1) {
+        if (decision_level() != 0) backtrack(0);
+        if (lit_value(learnt[0]) == kFalse) return Result::kUnsat;
+        if (lit_value(learnt[0]) == kUndef) enqueue(learnt[0], kNoReason);
+      } else {
+        const ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
+        clauses_.push_back(learnt);
+        attach_clause(cr);
+        if (lit_value(learnt[0]) == kUndef) enqueue(learnt[0], cr);
+      }
+      decay_activities();
+      if (conflict_limit >= 0 && conflicts >= conflict_limit) {
+        backtrack(0);
+        return Result::kUnknown;
+      }
+      if (conflicts >= restart_budget) {
+        conflicts = 0;
+        ++restart_count;
+        restart_budget = luby(64, restart_count);
+        backtrack(0);
+      }
+      continue;
+    }
+
+    // No conflict: apply pending assumptions as decisions.
+    if (decision_level() < static_cast<int>(assumptions.size())) {
+      const Lit a = assumptions[decision_level()];
+      const auto v = lit_value(a);
+      if (v == kTrue) {
+        // Already satisfied: open an empty decision level.
+        trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+      } else if (v == kFalse) {
+        backtrack(0);
+        return Result::kUnsat;
+      } else {
+        trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+        enqueue(a, kNoReason);
+      }
+      continue;
+    }
+
+    const Lit next = pick_branch();
+    if (next < 0) {
+      // All variables assigned: model found.
+      model_ = assign_;
+      backtrack(0);
+      return Result::kSat;
+    }
+    trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+    enqueue(next, kNoReason);
+  }
+}
+
+// --- binary max-heap keyed by activity --------------------------------
+
+void Solver::heap_insert(Var v) {
+  heap_pos_[v] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_pos_[v]);
+}
+
+void Solver::heap_update(Var v) { heap_sift_up(heap_pos_[v]); }
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_pos_[top] = -1;
+  if (heap_.size() > 1) {
+    heap_[0] = heap_.back();
+    heap_pos_[heap_[0]] = 0;
+    heap_.pop_back();
+    heap_sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+  return top;
+}
+
+void Solver::heap_sift_up(int i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = i;
+}
+
+void Solver::heap_sift_down(int i) {
+  const Var v = heap_[i];
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+      ++child;
+    }
+    if (activity_[heap_[child]] <= activity_[v]) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = i;
+}
+
+}  // namespace mcs::sat

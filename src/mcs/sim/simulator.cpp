@@ -1,0 +1,135 @@
+#include "mcs/sim/simulator.hpp"
+
+#include <cassert>
+
+#include "mcs/common/hash.hpp"
+#include "mcs/common/rng.hpp"
+#include "mcs/network/network_utils.hpp"
+
+namespace mcs {
+
+RandomSimulation::RandomSimulation(const Network& net, int num_words,
+                                   std::uint64_t seed)
+    : net_(net), num_words_(num_words) {
+  values_.assign(net.size() * static_cast<std::size_t>(num_words), 0ull);
+  Rng rng(seed);
+
+  auto words = [&](NodeId n) {
+    return values_.data() + static_cast<std::size_t>(n) * num_words_;
+  };
+
+  for (const NodeId pi : net.pis()) {
+    std::uint64_t* w = words(pi);
+    for (int i = 0; i < num_words_; ++i) w[i] = rng.next();
+  }
+
+  // The node array is a topological order by construction.
+  for (NodeId n = 0; n < net.size(); ++n) {
+    const Node& nd = net.node(n);
+    if (!net.is_gate(n)) continue;
+    std::uint64_t* out = words(n);
+    const std::uint64_t* a = words(nd.fanin[0].node());
+    const std::uint64_t* b = words(nd.fanin[1].node());
+    const std::uint64_t ac = nd.fanin[0].complemented() ? ~0ull : 0ull;
+    const std::uint64_t bc = nd.fanin[1].complemented() ? ~0ull : 0ull;
+    switch (nd.type) {
+      case GateType::kAnd2:
+        for (int i = 0; i < num_words_; ++i) out[i] = (a[i] ^ ac) & (b[i] ^ bc);
+        break;
+      case GateType::kXor2:
+        for (int i = 0; i < num_words_; ++i) out[i] = (a[i] ^ ac) ^ (b[i] ^ bc);
+        break;
+      case GateType::kMaj3:
+      case GateType::kXor3: {
+        const std::uint64_t* c = words(nd.fanin[2].node());
+        const std::uint64_t cc = nd.fanin[2].complemented() ? ~0ull : 0ull;
+        if (nd.type == GateType::kMaj3) {
+          for (int i = 0; i < num_words_; ++i) {
+            const std::uint64_t x = a[i] ^ ac;
+            const std::uint64_t y = b[i] ^ bc;
+            const std::uint64_t z = c[i] ^ cc;
+            out[i] = (x & y) | (x & z) | (y & z);
+          }
+        } else {
+          for (int i = 0; i < num_words_; ++i) {
+            out[i] = (a[i] ^ ac) ^ (b[i] ^ bc) ^ (c[i] ^ cc);
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+std::uint64_t RandomSimulation::signature(Signal s) const noexcept {
+  const std::uint64_t flip = s.complemented() ? ~0ull : 0ull;
+  const std::uint64_t* w = node_values(s.node());
+  std::uint64_t h = 0x12345678u;
+  for (int i = 0; i < num_words_; ++i) h = hash_combine(h, w[i] ^ flip);
+  return h;
+}
+
+bool RandomSimulation::values_equal(Signal a, Signal b) const noexcept {
+  const std::uint64_t* wa = node_values(a.node());
+  const std::uint64_t* wb = node_values(b.node());
+  const std::uint64_t flip =
+      (a.complemented() != b.complemented()) ? ~0ull : 0ull;
+  for (int i = 0; i < num_words_; ++i) {
+    if ((wa[i] ^ flip) != wb[i]) return false;
+  }
+  return true;
+}
+
+std::vector<TruthTable> simulate_pos(const Network& net) {
+  const int n = static_cast<int>(net.num_pis());
+  assert(n <= TruthTable::kMaxVars);
+
+  std::vector<TruthTable> value(net.size(), TruthTable(n));
+  for (int i = 0; i < n; ++i) {
+    value[net.pi_at(i)] = TruthTable::projection(i, n);
+  }
+  for (NodeId id = 0; id < net.size(); ++id) {
+    const Node& nd = net.node(id);
+    if (!net.is_gate(id)) continue;
+    std::array<TruthTable, 3> in;
+    for (int i = 0; i < nd.num_fanins; ++i) {
+      in[i] = value[nd.fanin[i].node()];
+      if (nd.fanin[i].complemented()) in[i] = ~in[i];
+    }
+    switch (nd.type) {
+      case GateType::kAnd2:
+        value[id] = in[0] & in[1];
+        break;
+      case GateType::kXor2:
+        value[id] = in[0] ^ in[1];
+        break;
+      case GateType::kMaj3:
+        value[id] = (in[0] & in[1]) | (in[0] & in[2]) | (in[1] & in[2]);
+        break;
+      case GateType::kXor3:
+        value[id] = in[0] ^ in[1] ^ in[2];
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::vector<TruthTable> pos;
+  pos.reserve(net.num_pos());
+  for (const Signal s : net.pos()) {
+    TruthTable t = value[s.node()];
+    if (s.complemented()) t = ~t;
+    pos.push_back(std::move(t));
+  }
+  return pos;
+}
+
+TruthTable simulate_signal(const Network& net, Signal s) {
+  assert(static_cast<int>(net.num_pis()) <= TruthTable::kMaxVars);
+  std::vector<NodeId> leaves(net.pis());
+  return cone_function(net, s, leaves);
+}
+
+}  // namespace mcs

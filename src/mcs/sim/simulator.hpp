@@ -1,0 +1,56 @@
+/// \file simulator.hpp
+/// \brief Word-parallel logic simulation of mixed networks.
+///
+/// Two flavors:
+///   - random simulation with W 64-bit words per node (signature computation
+///     for SAT sweeping / DCH and fast falsification in CEC),
+///   - exhaustive simulation producing complete truth tables of every node /
+///     PO for networks with few primary inputs (test oracles).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mcs/network/network.hpp"
+#include "mcs/tt/truth_table.hpp"
+
+namespace mcs {
+
+/// Random word-parallel simulation.
+///
+/// Every node (including choice members and dangling candidate cones) gets
+/// `num_words` 64-bit values; PIs are filled from the seeded generator.
+class RandomSimulation {
+ public:
+  RandomSimulation(const Network& net, int num_words, std::uint64_t seed);
+
+  int num_words() const noexcept { return num_words_; }
+
+  /// Value words of node \p n (non-complemented function).
+  const std::uint64_t* node_values(NodeId n) const noexcept {
+    return values_.data() + static_cast<std::size_t>(n) * num_words_;
+  }
+
+  /// Signature (hash of the value words) of the *function* of signal \p s.
+  /// Complemented signals hash the complemented words, so equal signatures
+  /// are a necessary condition for functional equality of signals.
+  std::uint64_t signature(Signal s) const noexcept;
+
+  /// True iff the simulated values of the two signals agree on every vector.
+  bool values_equal(Signal a, Signal b) const noexcept;
+
+ private:
+  const Network& net_;
+  int num_words_;
+  std::vector<std::uint64_t> values_;
+};
+
+/// Exhaustive simulation: complete truth table of every PO over the PIs.
+/// \pre net.num_pis() <= TruthTable::kMaxVars.
+std::vector<TruthTable> simulate_pos(const Network& net);
+
+/// Exhaustive simulation of a single signal's global function.
+TruthTable simulate_signal(const Network& net, Signal s);
+
+}  // namespace mcs

@@ -1,0 +1,64 @@
+#include "mcs/tt/npn.hpp"
+
+#include <algorithm>
+
+namespace mcs {
+
+NpnCanonResult npn_canonicalize_exact(Tt6 f, int num_vars) {
+  f = tt6_replicate(f, num_vars);
+
+  NpnCanonResult best;
+  best.canon = ~0ull;
+  bool first = true;
+
+  std::array<int, 6> perm{0, 1, 2, 3, 4, 5};
+  // Enumerate permutations of the first num_vars entries.
+  std::array<int, 6> p = perm;
+  do {
+    for (std::uint32_t flips = 0; flips < (1u << num_vars); ++flips) {
+      for (int out = 0; out < 2; ++out) {
+        NpnTransform t;
+        t.num_vars = num_vars;
+        t.perm = p;
+        t.flips = flips;
+        t.out_flip = (out == 1);
+        const Tt6 image = t.apply(f) & tt6_mask(num_vars);
+        if (first || image < (best.canon & tt6_mask(num_vars))) {
+          first = false;
+          best.canon = tt6_replicate(image, num_vars);
+          best.transform = t;
+        }
+      }
+    }
+  } while (std::next_permutation(p.begin(), p.begin() + num_vars));
+
+  return best;
+}
+
+NpnMatch npn_match(const NpnTransform& tf, const NpnTransform& tg) noexcept {
+  const int n = tf.num_vars;
+  // Inverse of g's permutation: where did cell variable j end up?
+  std::array<int, 6> g_inv{0, 1, 2, 3, 4, 5};
+  for (int i = 0; i < n; ++i) g_inv[tg.perm[i]] = i;
+
+  NpnMatch m;
+  for (int j = 0; j < n; ++j) {
+    const int leaf = tf.perm[g_inv[j]];
+    m.pin_to_leaf[j] = leaf;
+    const bool neg = ((tf.flips >> leaf) & 1u) != ((tg.flips >> j) & 1u);
+    if (neg) m.pin_negation |= (1u << j);
+  }
+  m.output_negation = tf.out_flip != tg.out_flip;
+  return m;
+}
+
+const NpnCanonResult& Npn4Cache::canonicalize(Tt6 f) {
+  const auto key = static_cast<std::uint16_t>(f & tt6_mask(4));
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, npn_canonicalize_exact(key, 4)).first;
+  }
+  return it->second;
+}
+
+}  // namespace mcs

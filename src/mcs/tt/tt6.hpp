@@ -1,0 +1,167 @@
+/// \file tt6.hpp
+/// \brief Single-word truth tables for functions of up to 6 variables.
+///
+/// A function of n <= 6 variables is stored in the low 2^n bits of a
+/// std::uint64_t, replicated to fill the word (the replication makes variable
+/// operations independent of n).  This is the workhorse representation for
+/// cut functions, NPN matching and library-cell functions: one word, no
+/// allocation, branch-free operations.
+
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace mcs {
+
+/// Truth table word for up to 6 variables.
+using Tt6 = std::uint64_t;
+
+inline constexpr int kTt6MaxVars = 6;
+
+/// Elementary variable truth tables: kTt6Projections[i] is the function x_i.
+inline constexpr std::array<Tt6, 6> kTt6Projections = {
+    0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull, 0xf0f0f0f0f0f0f0f0ull,
+    0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull,
+};
+
+/// Mask selecting the 2^n valid function bits for an n-variable function.
+constexpr Tt6 tt6_mask(int num_vars) noexcept {
+  return num_vars >= 6 ? ~0ull : ((1ull << (1u << num_vars)) - 1ull);
+}
+
+/// The projection function x_i replicated over the full word.
+constexpr Tt6 tt6_var(int i) noexcept { return kTt6Projections[i]; }
+
+/// Constant functions over the full word.
+constexpr Tt6 tt6_const0() noexcept { return 0ull; }
+constexpr Tt6 tt6_const1() noexcept { return ~0ull; }
+
+/// Restricts \p t to the canonical replicated form for \p num_vars variables:
+/// the low 2^n bits are replicated across the word.
+constexpr Tt6 tt6_replicate(Tt6 t, int num_vars) noexcept {
+  t &= tt6_mask(num_vars);
+  for (int v = num_vars; v < kTt6MaxVars; ++v) t |= t << (1u << v);
+  return t;
+}
+
+/// Negative cofactor with respect to variable \p var (result replicated).
+constexpr Tt6 tt6_cofactor0(Tt6 t, int var) noexcept {
+  const Tt6 lo = t & ~kTt6Projections[var];
+  return lo | (lo << (1u << var));
+}
+
+/// Positive cofactor with respect to variable \p var (result replicated).
+constexpr Tt6 tt6_cofactor1(Tt6 t, int var) noexcept {
+  const Tt6 hi = t & kTt6Projections[var];
+  return hi | (hi >> (1u << var));
+}
+
+/// True iff \p t depends on variable \p var.
+constexpr bool tt6_has_var(Tt6 t, int var) noexcept {
+  return tt6_cofactor0(t, var) != tt6_cofactor1(t, var);
+}
+
+/// Flips (complements) variable \p var in \p t.
+constexpr Tt6 tt6_flip_var(Tt6 t, int var) noexcept {
+  const unsigned shift = 1u << var;
+  return ((t & kTt6Projections[var]) >> shift) |
+         ((t & ~kTt6Projections[var]) << shift);
+}
+
+/// Swap masks for adjacent-variable exchange: bits where var i is 1 and
+/// var i+1 is 0.
+inline constexpr std::array<Tt6, 5> kTt6SwapMasks = {
+    0x2222222222222222ull, 0x0c0c0c0c0c0c0c0cull, 0x00f000f000f000f0ull,
+    0x0000ff000000ff00ull, 0x00000000ffff0000ull,
+};
+
+/// Exchanges adjacent variables \p var and \p var + 1.
+constexpr Tt6 tt6_swap_adjacent(Tt6 t, int var) noexcept {
+  const unsigned shift = 1u << var;
+  const Tt6 mv = kTt6SwapMasks[var];
+  const Tt6 keep = t & ~(mv | (mv << shift));
+  return keep | ((t & mv) << shift) | ((t >> shift) & mv);
+}
+
+/// Exchanges arbitrary variables \p a and \p b.
+constexpr Tt6 tt6_swap(Tt6 t, int a, int b) noexcept {
+  if (a == b) return t;
+  if (a > b) {
+    const int tmp = a;
+    a = b;
+    b = tmp;
+  }
+  for (int v = a; v < b; ++v) t = tt6_swap_adjacent(t, v);
+  for (int v = b - 2; v >= a; --v) t = tt6_swap_adjacent(t, v);
+  return t;
+}
+
+/// Applies the permutation \p perm : new position -> old variable, i.e. the
+/// result r satisfies r(x_0, ..) = t(x_{perm[0]}, ..) -- variable perm[i] of
+/// \p t is moved to position i.
+constexpr Tt6 tt6_permute(Tt6 t, const std::array<int, 6>& perm,
+                          int num_vars) noexcept {
+  std::array<int, 6> where{};  // where[v] = current position of original var v
+  for (int v = 0; v < num_vars; ++v) where[v] = v;
+  std::array<int, 6> at{};  // at[p] = original var currently at position p
+  for (int v = 0; v < num_vars; ++v) at[v] = v;
+  for (int pos = 0; pos < num_vars; ++pos) {
+    const int want = perm[pos];
+    const int cur = where[want];
+    if (cur == pos) continue;
+    t = tt6_swap(t, pos, cur);
+    const int displaced = at[pos];
+    at[cur] = displaced;
+    where[displaced] = cur;
+    at[pos] = want;
+    where[want] = pos;
+  }
+  return t;
+}
+
+/// Number of minterms (ones) of an n-variable function.
+constexpr int tt6_count_ones(Tt6 t, int num_vars) noexcept {
+  return std::popcount(t & tt6_mask(num_vars));
+}
+
+/// True iff two n-variable functions are equal.
+constexpr bool tt6_equal(Tt6 a, Tt6 b, int num_vars) noexcept {
+  return ((a ^ b) & tt6_mask(num_vars)) == 0;
+}
+
+constexpr bool tt6_is_const0(Tt6 t, int num_vars) noexcept {
+  return (t & tt6_mask(num_vars)) == 0;
+}
+
+constexpr bool tt6_is_const1(Tt6 t, int num_vars) noexcept {
+  return ((~t) & tt6_mask(num_vars)) == 0;
+}
+
+/// Support mask: bit i set iff the function depends on variable i.
+constexpr std::uint32_t tt6_support(Tt6 t, int num_vars) noexcept {
+  std::uint32_t s = 0;
+  for (int v = 0; v < num_vars; ++v) {
+    if (tt6_has_var(t, v)) s |= (1u << v);
+  }
+  return s;
+}
+
+/// Compacts the support of \p t: variables not in the support are removed and
+/// the remaining ones renumbered in order.  \p map_out[i] receives the old
+/// index of new variable i.  Returns the new number of variables.
+constexpr int tt6_shrink_support(Tt6& t, int num_vars,
+                                 std::array<int, 6>& map_out) noexcept {
+  int new_vars = 0;
+  for (int v = 0; v < num_vars; ++v) {
+    if (!tt6_has_var(t, v)) continue;
+    if (v != new_vars) t = tt6_swap(t, new_vars, v);
+    map_out[new_vars] = v;
+    ++new_vars;
+  }
+  t = tt6_replicate(t & tt6_mask(new_vars), new_vars);
+  return new_vars;
+}
+
+}  // namespace mcs

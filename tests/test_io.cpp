@@ -1,0 +1,171 @@
+/// Tests for AIGER round-tripping and the BLIF/Verilog writers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mcs/io/aiger.hpp"
+#include "mcs/io/blif_read.hpp"
+#include "mcs/io/writers.hpp"
+#include "mcs/map/asic_mapper.hpp"
+#include "mcs/map/lut_mapper.hpp"
+#include "mcs/network/convert.hpp"
+#include "mcs/sim/simulator.hpp"
+#include "mcs/sat/cec.hpp"
+#include "test_util.hpp"
+
+namespace mcs {
+namespace {
+
+class AigerRoundTrip : public ::testing::TestWithParam<std::tuple<int, bool>> {
+};
+
+TEST_P(AigerRoundTrip, PreservesFunction) {
+  const auto [seed, binary] = GetParam();
+  const auto net = expand_to_aig(testing::random_network(
+      {.num_pis = 6,
+       .num_gates = 60,
+       .num_pos = 4,
+       .basis = GateBasis::xmg(),
+       .seed = static_cast<std::uint64_t>(seed)}));
+  std::stringstream ss;
+  write_aiger(net, ss, binary);
+  const Network back = read_aiger(ss);
+  ASSERT_EQ(back.num_pis(), net.num_pis());
+  ASSERT_EQ(back.num_pos(), net.num_pos());
+  EXPECT_EQ(check_equivalence(net, back), CecResult::kEquivalent);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndFormats, AigerRoundTrip,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(false, true)));
+
+TEST(Aiger, RejectsNonAig) {
+  Network net;
+  const auto a = net.create_pi(), b = net.create_pi();
+  net.create_po(net.create_xor(a, b));
+  std::stringstream ss;
+  EXPECT_THROW(write_aiger(net, ss), std::runtime_error);
+}
+
+TEST(Aiger, HandlesConstantsAndPassThrough) {
+  Network net;
+  const auto a = net.create_pi();
+  net.create_po(net.constant(true));
+  net.create_po(a);
+  net.create_po(!a);
+  std::stringstream ss;
+  write_aiger(net, ss, /*binary=*/false);
+  const Network back = read_aiger(ss);
+  EXPECT_EQ(check_equivalence(net, back), CecResult::kEquivalent);
+}
+
+TEST(Blif, WritesNetworkCover) {
+  Network net;
+  const auto a = net.create_pi("a"), b = net.create_pi("b"),
+             c = net.create_pi("c");
+  net.create_po(net.create_maj(a, !b, c), "f");
+  std::stringstream ss;
+  write_blif(net, ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find(".model"), std::string::npos);
+  EXPECT_NE(text.find(".names a b c"), std::string::npos);
+  EXPECT_NE(text.find(".end"), std::string::npos);
+}
+
+TEST(Blif, WritesLutNetwork) {
+  const auto net = testing::random_network({.num_gates = 40, .seed = 5});
+  const auto lnet = lut_map(net);
+  std::stringstream ss;
+  write_blif(lnet, ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find(".model"), std::string::npos);
+  EXPECT_NE(text.find("lut0"), std::string::npos);
+}
+
+TEST(Blif, RoundTripsNetwork) {
+  const auto net = testing::random_network(
+      {.num_pis = 6, .num_gates = 50, .num_pos = 4, .seed = 77});
+  std::stringstream ss;
+  write_blif(net, ss);
+  const Network back = read_blif(ss);
+  ASSERT_EQ(back.num_pis(), net.num_pis());
+  ASSERT_EQ(back.num_pos(), net.num_pos());
+  EXPECT_EQ(check_equivalence(net, back), CecResult::kEquivalent);
+}
+
+TEST(Blif, RoundTripsLutNetwork) {
+  const auto net = testing::random_network({.num_gates = 60, .seed = 78});
+  const auto lnet = lut_map(net);
+  std::stringstream ss;
+  write_blif(lnet, ss);
+  const Network back = read_blif(ss);
+  EXPECT_EQ(check_equivalence(net, back), CecResult::kEquivalent);
+}
+
+TEST(Blif, ParsesDontCaresAndOffsetCovers) {
+  const std::string text = R"(
+.model t
+.inputs a b c
+.outputs f g h
+.names a b c f
+1-- 1
+-11 1
+.names a b g
+00 0
+01 0
+10 0
+.names h
+1
+.end
+)";
+  std::stringstream ss(text);
+  const Network net = read_blif(ss);
+  ASSERT_EQ(net.num_pis(), 3u);
+  ASSERT_EQ(net.num_pos(), 3u);
+  const auto pos = simulate_pos(net);
+  for (int m = 0; m < 8; ++m) {
+    const bool a = m & 1, b = m & 2, c = m & 4;
+    EXPECT_EQ(pos[0].get_bit(m), a || (b && c));
+    EXPECT_EQ(pos[1].get_bit(m), a && b) << "offset cover";
+    EXPECT_EQ(pos[2].get_bit(m), true) << "constant block";
+  }
+}
+
+TEST(Blif, RejectsLatchesAndCycles) {
+  {
+    std::stringstream ss(".model t\n.inputs a\n.outputs q\n"
+                         ".latch a q re clk 0\n.end\n");
+    EXPECT_THROW(read_blif(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss(".model t\n.inputs a\n.outputs x\n"
+                         ".names y a x\n11 1\n.names x a y\n11 1\n.end\n");
+    EXPECT_THROW(read_blif(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss(".model t\n.inputs a\n.outputs x\n.end\n");
+    EXPECT_THROW(read_blif(ss), std::runtime_error) << "undriven output";
+  }
+}
+
+TEST(Verilog, WritesNetworkAndNetlist) {
+  const auto net = testing::random_network({.num_gates = 30, .seed = 6});
+  {
+    std::stringstream ss;
+    write_verilog(net, ss);
+    EXPECT_NE(ss.str().find("module top"), std::string::npos);
+    EXPECT_NE(ss.str().find("endmodule"), std::string::npos);
+  }
+  {
+    const TechLibrary lib = TechLibrary::asap7_mini();
+    const auto mapped = asic_map(net, lib);
+    std::stringstream ss;
+    write_verilog(mapped, ss);
+    EXPECT_NE(ss.str().find("module top"), std::string::npos);
+    EXPECT_NE(ss.str().find("INVx1"), std::string::npos) << ss.str();
+  }
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,309 @@
+/// Unit tests for the mixed network: strashing rules, constant folding,
+/// levels, choices, traversal utilities, cones and cleanup.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mcs/network/network.hpp"
+#include "mcs/network/network_utils.hpp"
+#include "mcs/sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Network, ConstantsAndPis) {
+  Network net;
+  EXPECT_EQ(net.size(), 1u);
+  EXPECT_TRUE(net.is_const0(0));
+  const Signal a = net.create_pi("a");
+  EXPECT_TRUE(net.is_pi(a.node()));
+  EXPECT_EQ(net.num_pis(), 1u);
+  EXPECT_EQ(net.pi_name(0), "a");
+  EXPECT_EQ(net.constant(true), !net.constant(false));
+}
+
+TEST(Network, AndFoldingRules) {
+  Network net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  EXPECT_EQ(net.create_and(a, net.constant(false)), net.constant(false));
+  EXPECT_EQ(net.create_and(a, net.constant(true)), a);
+  EXPECT_EQ(net.create_and(a, a), a);
+  EXPECT_EQ(net.create_and(a, !a), net.constant(false));
+  const Signal g1 = net.create_and(a, b);
+  const Signal g2 = net.create_and(b, a);
+  EXPECT_EQ(g1, g2) << "strashing must canonicalize operand order";
+  EXPECT_EQ(net.num_gates(), 1u);
+}
+
+TEST(Network, XorNormalizesComplements) {
+  Network net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal x1 = net.create_xor(a, b);
+  const Signal x2 = net.create_xor(!a, b);
+  const Signal x3 = net.create_xor(a, !b);
+  const Signal x4 = net.create_xor(!a, !b);
+  EXPECT_EQ(x1, !x2);
+  EXPECT_EQ(x2, x3);
+  EXPECT_EQ(x1, x4);
+  EXPECT_EQ(net.num_gates(), 1u) << "all four XORs share one node";
+  EXPECT_EQ(net.create_xor(a, a), net.constant(false));
+  EXPECT_EQ(net.create_xor(a, !a), net.constant(true));
+}
+
+TEST(Network, MajSpecialCases) {
+  Network net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  // Constant fanins degrade to AND/OR.
+  EXPECT_EQ(net.create_maj(a, b, net.constant(false)), net.create_and(a, b));
+  EXPECT_EQ(net.create_maj(a, b, net.constant(true)), net.create_or(a, b));
+  // Duplicate / complementary fanins.
+  EXPECT_EQ(net.create_maj(a, a, c), a);
+  EXPECT_EQ(net.create_maj(a, !a, c), c);
+  // Self-duality normalization.
+  const Signal m1 = net.create_maj(a, b, c);
+  const Signal m2 = net.create_maj(!a, !b, !c);
+  EXPECT_EQ(m1, !m2);
+}
+
+TEST(Network, MajSelfDualSimulation) {
+  Network net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  net.create_po(net.create_maj(!a, !b, c));  // two complements: normalized
+  const auto pos = simulate_pos(net);
+  // MAJ(!a,!b,c) truth table over (a,b,c).
+  for (int m = 0; m < 8; ++m) {
+    const bool va = m & 1, vb = m & 2, vc = m & 4;
+    const int ones = !va + !vb + vc;
+    EXPECT_EQ(pos[0].get_bit(m), ones >= 2);
+  }
+}
+
+TEST(Network, Xor3PushesComplementsOut) {
+  Network net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  const Signal x1 = net.create_xor3(a, b, c);
+  const Signal x2 = net.create_xor3(!a, b, c);
+  const Signal x3 = net.create_xor3(!a, !b, !c);
+  EXPECT_EQ(x1, !x2);
+  EXPECT_EQ(x1, !x3);
+  EXPECT_EQ(net.num_gates(), 1u);
+  EXPECT_EQ(net.create_xor3(a, a, c), c);
+  EXPECT_EQ(net.create_xor3(a, !a, c), !c);
+}
+
+TEST(Network, LevelsAndDepth) {
+  Network net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  const Signal g1 = net.create_and(a, b);
+  const Signal g2 = net.create_and(g1, c);
+  net.create_po(g2);
+  EXPECT_EQ(net.level(g1.node()), 1u);
+  EXPECT_EQ(net.level(g2.node()), 2u);
+  EXPECT_EQ(net.depth(), 2u);
+  Network copy = net;
+  EXPECT_EQ(recompute_levels(copy), 2u);
+}
+
+TEST(Network, FanoutCounts) {
+  Network net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal g1 = net.create_and(a, b);
+  const Signal g2 = net.create_and(g1, !a);
+  net.create_po(g1);
+  net.create_po(g2);
+  EXPECT_EQ(net.node(a.node()).fanout_size, 2u);  // g1 and g2
+  EXPECT_EQ(net.node(g1.node()).fanout_size, 2u); // g2 and PO
+  EXPECT_EQ(net.node(g2.node()).fanout_size, 1u); // PO
+}
+
+TEST(Network, ChoiceLinks) {
+  Network net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  const Signal r = net.create_and(net.create_and(a, b), c);
+  const Signal m = net.create_and(a, net.create_and(b, c));
+  net.create_po(r);
+  ASSERT_NE(r.node(), m.node());
+  EXPECT_TRUE(net.is_repr(r.node()));
+  net.add_choice(r.node(), m.node(), false);
+  EXPECT_TRUE(net.has_choice(r.node()));
+  EXPECT_FALSE(net.is_repr(m.node()));
+  EXPECT_EQ(net.repr_of(m.node()), r.node());
+  EXPECT_EQ(net.num_choices(), 1u);
+  net.clear_choices();
+  EXPECT_EQ(net.num_choices(), 0u);
+  EXPECT_TRUE(net.is_repr(m.node()));
+}
+
+TEST(NetworkUtils, TopoOrderRespectsFanins) {
+  const auto net = testing::random_network({});
+  const auto order = topo_order(net);
+  std::vector<int> pos(net.size(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = (int)i;
+  for (const NodeId n : order) {
+    const Node& nd = net.node(n);
+    for (int i = 0; i < nd.num_fanins; ++i) {
+      EXPECT_LT(pos[nd.fanin[i].node()], pos[n]);
+    }
+  }
+}
+
+TEST(NetworkUtils, ChoiceTopoOrderPutsMembersFirst) {
+  Network net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  const Signal r = net.create_and(net.create_and(a, b), c);
+  const Signal m = net.create_and(a, net.create_and(b, c));
+  net.create_po(r);
+  net.add_choice(r.node(), m.node(), false);
+  const auto order = choice_topo_order(net);
+  std::vector<int> pos(net.size(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = (int)i;
+  ASSERT_GE(pos[m.node()], 0) << "member must be visited";
+  EXPECT_LT(pos[m.node()], pos[r.node()]);
+  for (const NodeId n : order) {
+    const Node& nd = net.node(n);
+    for (int i = 0; i < nd.num_fanins; ++i) {
+      EXPECT_LT(pos[nd.fanin[i].node()], pos[n]);
+    }
+  }
+}
+
+TEST(NetworkUtils, Reaches) {
+  Network net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal g1 = net.create_and(a, b);
+  const Signal g2 = net.create_and(g1, !a);
+  EXPECT_TRUE(reaches(net, g2.node(), a.node()));
+  EXPECT_TRUE(reaches(net, g2.node(), g1.node()));
+  EXPECT_FALSE(reaches(net, g1.node(), g2.node()));
+}
+
+TEST(NetworkUtils, MffcOfTree) {
+  Network net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  const Signal d = net.create_pi();
+  const Signal g1 = net.create_and(a, b);
+  const Signal g2 = net.create_and(c, d);
+  const Signal g3 = net.create_and(g1, g2);
+  net.create_po(g3);
+  const auto cone = compute_mffc(net, g3.node(), 8);
+  EXPECT_EQ(cone.inner.size(), 3u) << "whole tree is fanout-free";
+  EXPECT_EQ(cone.leaves.size(), 4u);
+}
+
+TEST(NetworkUtils, MffcStopsAtSharedNodes) {
+  Network net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  const Signal g1 = net.create_and(a, b);
+  const Signal g2 = net.create_and(g1, c);
+  net.create_po(g2);
+  net.create_po(g1);  // g1 is shared: not in MFFC of g2
+  const auto cone = compute_mffc(net, g2.node(), 8);
+  EXPECT_EQ(cone.inner.size(), 1u);
+  ASSERT_EQ(cone.leaves.size(), 2u);
+  EXPECT_TRUE(std::find(cone.leaves.begin(), cone.leaves.end(), g1.node()) !=
+              cone.leaves.end());
+}
+
+TEST(NetworkUtils, ConeFunctionMatchesSimulation) {
+  const auto net = testing::random_network({.num_pis = 5, .num_gates = 30});
+  const auto pos = simulate_pos(net);
+  std::vector<NodeId> pis(net.pis());
+  for (std::size_t i = 0; i < net.num_pos(); ++i) {
+    EXPECT_EQ(cone_function(net, net.po_at(i), pis), pos[i]);
+  }
+}
+
+TEST(NetworkUtils, CleanupDropsDanglingAndPreservesFunction) {
+  auto net = testing::random_network({.num_pis = 5, .num_gates = 40});
+  const auto before = simulate_pos(net);
+  const Network compact = cleanup(net);
+  const auto after = simulate_pos(compact);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]);
+  }
+  EXPECT_LE(compact.num_gates(), net.num_gates());
+  // Every gate in the compact network is reachable from a PO.
+  const auto order = topo_order(compact);
+  std::size_t gates_in_order = 0;
+  for (const NodeId n : order) {
+    if (compact.is_gate(n)) ++gates_in_order;
+  }
+  EXPECT_EQ(gates_in_order, compact.num_gates());
+}
+
+TEST(NetworkUtils, CleanupKeepsChoices) {
+  Network net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  const Signal r = net.create_and(net.create_and(a, b), c);
+  const Signal m = net.create_and(a, net.create_and(b, c));
+  net.create_po(r);
+  net.add_choice(r.node(), m.node(), false);
+  const Network kept = cleanup(net, {.keep_choices = true});
+  EXPECT_EQ(kept.num_choices(), 1u);
+  const Network dropped = cleanup(net);
+  EXPECT_EQ(dropped.num_choices(), 0u);
+}
+
+TEST(NetworkUtils, CopyConeSubstitutesLeaves) {
+  Network src;
+  const Signal a = src.create_pi();
+  const Signal b = src.create_pi();
+  const Signal f = src.create_xor(a, src.create_and(a, b));
+  Network dst;
+  const Signal x = dst.create_pi();
+  const Signal y = dst.create_pi();
+  const Signal g = copy_cone(src, dst, f, {y, x});  // swap the inputs
+  dst.create_po(g);
+  const auto pos = simulate_pos(dst);
+  // g(x, y) = f(y, x) = y ^ (y & x).
+  for (int m = 0; m < 4; ++m) {
+    const bool vx = m & 1, vy = m & 2;
+    EXPECT_EQ(pos[0].get_bit(m), vy != (vy && vx));
+  }
+}
+
+TEST(NetworkUtils, StatsCountGateTypes) {
+  Network net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  net.create_po(net.create_and(a, b));
+  net.create_po(net.create_xor(a, c));
+  net.create_po(net.create_maj(a, b, c));
+  net.create_po(net.create_xor3(a, b, c));
+  const auto s = network_stats(net);
+  EXPECT_EQ(s.num_and2, 1u);
+  EXPECT_EQ(s.num_xor2, 1u);
+  EXPECT_EQ(s.num_maj3, 1u);
+  EXPECT_EQ(s.num_xor3, 1u);
+  EXPECT_EQ(s.num_gates, 4u);
+  EXPECT_EQ(s.depth, 1u);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,117 @@
+/// Tests for the STA module and the choice-network analysis.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mcs/choice/analysis.hpp"
+#include "mcs/choice/mch.hpp"
+#include "mcs/map/sta.hpp"
+#include "mcs/network/network_utils.hpp"
+#include "test_util.hpp"
+
+namespace mcs {
+namespace {
+
+const TechLibrary& lib() {
+  static const TechLibrary l = TechLibrary::asap7_mini();
+  return l;
+}
+
+TEST(Sta, ArrivalMatchesMapperDelay) {
+  const auto net = testing::random_network(
+      {.num_pis = 8, .num_gates = 120, .num_pos = 5, .seed = 41});
+  const auto m = asic_map(net, lib());
+  const TimingInfo t = analyze_timing(m);
+  EXPECT_NEAR(t.clock, m.delay, 1e-6)
+      << "STA must agree with the mapper's reported delay";
+}
+
+TEST(Sta, SlacksAreNonNegativeAndZeroOnCriticalPath) {
+  const auto net = testing::random_network(
+      {.num_pis = 8, .num_gates = 150, .num_pos = 4, .seed = 42});
+  const auto m = asic_map(net, lib());
+  const TimingInfo t = analyze_timing(m);
+  for (std::size_t r = 0; r < t.arrival.size(); ++r) {
+    EXPECT_GE(t.slack(r), -1e-9) << "ref " << r;
+  }
+  const auto path = critical_path(m, t);
+  ASSERT_GE(path.size(), 2u);
+  // Path is monotone in arrival and ends at the clock.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_GE(path[i].arrival, path[i - 1].arrival);
+  }
+  EXPECT_NEAR(path.back().arrival, t.clock, 1e-9);
+  // Every step of the critical path has (near) zero slack.
+  for (const auto& s : path) {
+    EXPECT_NEAR(t.slack(s.ref), 0.0, 1e-6);
+  }
+}
+
+TEST(Sta, PathStartsAtPrimaryInput) {
+  const auto net = testing::random_network({.num_gates = 80, .seed = 43});
+  const auto m = asic_map(net, lib());
+  const auto path = critical_path(m, analyze_timing(m));
+  ASSERT_FALSE(path.empty());
+  EXPECT_LT(path.front().ref, m.num_pis);
+  EXPECT_TRUE(path.front().cell_name.empty());
+}
+
+TEST(Sta, ReportIsWellFormed) {
+  const auto net = testing::random_network({.num_gates = 60, .seed = 44});
+  const auto m = asic_map(net, lib());
+  std::stringstream ss;
+  report_timing(m, ss);
+  EXPECT_NE(ss.str().find("critical path"), std::string::npos);
+  EXPECT_NE(ss.str().find("slack histogram"), std::string::npos);
+}
+
+TEST(ChoiceAnalysis, CountsClassesAndMembers) {
+  Network net;
+  const auto a = net.create_pi(), b = net.create_pi(), c = net.create_pi();
+  const auto r = net.create_and(net.create_and(a, b), c);
+  const auto m1 = net.create_and(a, net.create_and(b, c));
+  const auto m2 = net.create_and(b, net.create_and(a, c));
+  net.create_po(r);
+  net.add_choice(r.node(), m1.node(), false);
+  net.add_choice(r.node(), m2.node(), false);
+  const auto an = analyze_choices(net);
+  EXPECT_EQ(an.num_classes, 1u);
+  EXPECT_EQ(an.num_members, 2u);
+  EXPECT_EQ(an.max_class_size, 2u);
+  EXPECT_DOUBLE_EQ(an.avg_class_size, 2.0);
+}
+
+TEST(ChoiceAnalysis, DetectsHeterogeneity) {
+  // AIG original + XMG candidates: candidate gates should be largely
+  // foreign (MAJ/XOR) primitives.
+  const auto input = testing::random_network({.num_pis = 6,
+                                              .num_gates = 80,
+                                              .num_pos = 4,
+                                              .basis = GateBasis::aig(),
+                                              .seed = 45});
+  MchParams xmg_params;
+  xmg_params.candidate_basis = GateBasis::xmg();
+  const auto xmg_mch = build_mch(input, xmg_params);
+  const auto hetero = analyze_choices(xmg_mch);
+  EXPECT_GT(hetero.heterogeneity, 0.0);
+  EXPECT_GT(hetero.num_classes, 0u);
+
+  // AIG candidates on an AIG original: zero heterogeneity by definition.
+  MchParams aig_params;
+  aig_params.candidate_basis = GateBasis::aig();
+  const auto aig_mch = build_mch(input, aig_params);
+  EXPECT_DOUBLE_EQ(analyze_choices(aig_mch).heterogeneity, 0.0);
+}
+
+TEST(ChoiceAnalysis, ReportIsWellFormed) {
+  const auto input = testing::random_network({.num_gates = 50, .seed = 46});
+  const auto mch = build_mch(input, {});
+  std::stringstream ss;
+  report_choices(mch, ss);
+  EXPECT_NE(ss.str().find("choice network:"), std::string::npos);
+  EXPECT_NE(ss.str().find("heterogeneity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,57 @@
+/// Shared helpers for the test suite: random network generation and
+/// brute-force oracles.
+
+#pragma once
+
+#include <vector>
+
+#include "mcs/common/rng.hpp"
+#include "mcs/network/network.hpp"
+#include "mcs/resyn/basis.hpp"
+
+namespace mcs::testing {
+
+struct RandomNetworkSpec {
+  int num_pis = 6;
+  int num_gates = 40;
+  int num_pos = 4;
+  GateBasis basis = GateBasis::xmg();
+  std::uint64_t seed = 1;
+};
+
+/// Builds a random strashed network in the given basis.  Gates draw fanins
+/// from all previously created signals (with random complementation), so the
+/// result is a well-formed DAG exercising every gate type of the basis.
+inline Network random_network(const RandomNetworkSpec& spec) {
+  Network net;
+  Rng rng(spec.seed);
+  std::vector<Signal> pool;
+  for (int i = 0; i < spec.num_pis; ++i) pool.push_back(net.create_pi());
+
+  auto pick = [&]() {
+    Signal s = pool[rng.next_below(pool.size())];
+    return s ^ rng.next_bool();
+  };
+
+  for (int i = 0; i < spec.num_gates; ++i) {
+    std::vector<GateType> types{GateType::kAnd2};
+    if (spec.basis.use_xor) types.push_back(GateType::kXor2);
+    if (spec.basis.use_maj) types.push_back(GateType::kMaj3);
+    if (spec.basis.use_xor && spec.basis.use_maj) {
+      types.push_back(GateType::kXor3);
+    }
+    const GateType t = types[rng.next_below(types.size())];
+    const Signal s = net.create_gate(t, {pick(), pick(), pick()});
+    if (net.is_gate(s.node())) pool.push_back(s);
+  }
+
+  // POs: prefer the most recently created signals so most logic is live.
+  for (int i = 0; i < spec.num_pos; ++i) {
+    const std::size_t idx =
+        pool.size() - 1 - rng.next_below(std::min<std::size_t>(8, pool.size()));
+    net.create_po(pool[idx] ^ rng.next_bool());
+  }
+  return net;
+}
+
+}  // namespace mcs::testing
