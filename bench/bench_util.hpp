@@ -97,6 +97,63 @@ inline bool sim_check(const Network& net, const CellNetlist& m,
   return true;
 }
 
+/// Minimal machine-readable result emitter: one JSON object per line, e.g.
+///   bench::JsonLine("parallel").field("threads", 4).field("seconds", 1.5);
+/// prints {"bench": "parallel", "threads": 4, "seconds": 1.5} on
+/// destruction.  Keeps the bench outputs greppable and scriptable without
+/// a JSON dependency.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) {
+    line_ = "{\"bench\": ";
+    append_quoted(bench);
+  }
+  JsonLine(const JsonLine&) = delete;
+  JsonLine& operator=(const JsonLine&) = delete;
+  ~JsonLine() { std::printf("%s}\n", line_.c_str()); }
+
+  JsonLine& field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return raw(key, buf);
+  }
+  JsonLine& field(const std::string& key, std::size_t value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonLine& field(const std::string& key, int value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonLine& field(const std::string& key, const std::string& value) {
+    begin_field(key);
+    append_quoted(value);
+    return *this;
+  }
+  JsonLine& field(const std::string& key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+
+ private:
+  void append_quoted(const std::string& s) {
+    line_ += '"';
+    for (const char c : s) {
+      if (c == '"' || c == '\\') line_ += '\\';
+      line_ += c;
+    }
+    line_ += '"';
+  }
+  void begin_field(const std::string& key) {
+    line_ += ", ";
+    append_quoted(key);
+    line_ += ": ";
+  }
+  JsonLine& raw(const std::string& key, const std::string& value) {
+    begin_field(key);
+    line_ += value;
+    return *this;
+  }
+  std::string line_;
+};
+
 /// Network-vs-network simulation check (same PI/PO interface).
 inline bool sim_check(const Network& a, const Network& b,
                       std::uint64_t seed = 0xbadc0de) {

@@ -6,6 +6,10 @@
 ///   ./build/examples/mcs_shell                 # interactive
 ///   echo "gen adder 16; mch; map_lut; ps" | ./build/examples/mcs_shell
 ///   ./build/examples/mcs_shell script.mcs      # batch file
+///
+/// The `threads <n>` command selects the worker count for the parallel
+/// partition-based commands (`popt`, `pmch`, `pmap_lut`; see mcs/par/);
+/// their results are bit-identical for any thread count.
 
 #include <cstdio>
 #include <fstream>
@@ -13,6 +17,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mcs/choice/dch.hpp"
@@ -26,6 +31,8 @@
 #include "mcs/network/convert.hpp"
 #include "mcs/network/network_utils.hpp"
 #include "mcs/opt/optimize.hpp"
+#include "mcs/par/par_engine.hpp"
+#include "mcs/par/thread_pool.hpp"
 #include "mcs/sat/cec.hpp"
 
 using namespace mcs;
@@ -38,6 +45,7 @@ struct ShellState {
   std::optional<LutNetwork> luts;
   std::optional<CellNetlist> cells;
   TechLibrary lib = TechLibrary::asap7_mini();
+  ParParams par;  ///< thread count + partition size for the p* commands
   bool quit = false;
 };
 
@@ -70,6 +78,12 @@ void cmd_help() {
   map_lut [k]           choice-aware K-LUT mapping (default k = 6)
   map_asic [delay|area] choice-aware standard-cell mapping (mini-ASAP7)
   graph_map [basis]     graph mapping into a representation
+  threads [n]           set worker threads for the p* commands (0 = auto);
+                        with no argument, print the current setting
+  partsize <gates>      set the partition size target (default 4000)
+  popt [rounds]         parallel partitioned compress2rs
+  pmch [basis] [r]      parallel partitioned mixed structural choices
+  pmap_lut [k]          parallel partitioned choice-aware K-LUT mapping
   cec                   verify current network against the first loaded one
   quit
 )");
@@ -206,6 +220,47 @@ void execute(ShellState& st, const std::vector<std::string>& tok) {
     params.target = parse_basis(arg(1, "xmg"), GateBasis::xmg());
     st.net = graph_map(st.net, params);
     cmd_ps(st);
+  } else if (cmd == "threads") {
+    if (tok.size() > 1) st.par.num_threads = std::atoi(tok[1].c_str());
+    std::printf("threads: %zu (requested %d, hardware %u)\n",
+                ThreadPool::resolve_threads(st.par.num_threads),
+                st.par.num_threads, std::thread::hardware_concurrency());
+  } else if (cmd == "partsize") {
+    if (tok.size() > 1) {
+      const long v = std::atol(tok[1].c_str());
+      if (v > 0) st.par.partition.max_gates = static_cast<std::size_t>(v);
+    }
+    std::printf("partsize: %zu gates\n", st.par.partition.max_gates);
+  } else if (cmd == "popt") {
+    const int rounds = tok.size() > 1 ? std::atoi(tok[1].c_str()) : 3;
+    ParStats ps;
+    st.net = par_optimize(st.net, GateBasis::xmg(), rounds, st.par, &ps);
+    std::printf("popt: %zu partitions on %zu threads "
+                "(%.2fs work, %.2fs partition+stitch)\n",
+                ps.num_partitions, ps.num_threads, ps.work_seconds,
+                ps.partition_seconds + ps.reassemble_seconds);
+    cmd_ps(st);
+  } else if (cmd == "pmch") {
+    MchParams params;
+    params.candidate_basis = parse_basis(arg(1, "xmg"), GateBasis::xmg());
+    if (tok.size() > 2) params.critical_ratio = std::atof(tok[2].c_str());
+    ParStats ps;
+    MchStats stats;
+    st.net = par_mch(st.net, params, st.par, &ps, &stats);
+    std::printf("pmch: %zu choices added (%zu candidates tried) across "
+                "%zu partitions on %zu threads\n",
+                stats.num_choices_added, stats.num_candidates_tried,
+                ps.num_partitions, ps.num_threads);
+    cmd_ps(st);
+  } else if (cmd == "pmap_lut") {
+    LutMapParams params;
+    if (tok.size() > 1) params.lut_size = std::atoi(tok[1].c_str());
+    ParStats ps;
+    st.luts = par_map_lut(st.net, params, st.par, &ps);
+    std::printf("mapped: %zu LUTs, depth %u (%zu partitions on %zu "
+                "threads)\n",
+                st.luts->size(), st.luts->depth(), ps.num_partitions,
+                ps.num_threads);
   } else if (cmd == "cec") {
     if (!st.original) {
       std::printf("no reference network loaded\n");

@@ -9,13 +9,21 @@ namespace mcs {
 
 namespace {
 
+/// `prefix` + decimal `number` without operator+ chains (GCC 12's
+/// -Wrestrict false-positives on inlined literal-plus-to_string concats).
+std::string numbered(const char* prefix, std::uint64_t number) {
+  std::string s(prefix);
+  s += std::to_string(number);
+  return s;
+}
+
 std::string net_name(NodeId n, const Network& net) {
   if (net.is_pi(n)) {
     for (std::size_t i = 0; i < net.num_pis(); ++i) {
       if (net.pi_at(i) == n) return net.pi_name(i);
     }
   }
-  return "n" + std::to_string(n);
+  return numbered("n", n);
 }
 
 /// BLIF cover rows of one gate type over non-complemented inputs; the
@@ -93,8 +101,8 @@ void write_blif(const LutNetwork& lnet, std::ostream& os,
   os << '\n';
 
   auto ref_name = [&](std::int32_t r) {
-    return r < lnet.num_pis ? "pi" + std::to_string(r)
-                            : "lut" + std::to_string(r - lnet.num_pis);
+    return r < lnet.num_pis ? numbered("pi", r)
+                            : numbered("lut", r - lnet.num_pis);
   };
 
   for (std::size_t i = 0; i < lnet.luts.size(); ++i) {
@@ -193,8 +201,8 @@ void write_verilog(const CellNetlist& netlist, std::ostream& os,
     os << "  output po" << i << ";\n";
   }
   auto ref_name = [&](std::int32_t r) {
-    return r < netlist.num_pis ? "pi" + std::to_string(r)
-                               : "w" + std::to_string(r - netlist.num_pis);
+    return r < netlist.num_pis ? numbered("pi", r)
+                               : numbered("w", r - netlist.num_pis);
   };
   for (std::size_t i = 0; i < netlist.instances.size(); ++i) {
     os << "  wire w" << i << ";\n";

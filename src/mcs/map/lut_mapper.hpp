@@ -40,11 +40,17 @@ struct LutNetwork {
   struct Lut {
     std::vector<std::int32_t> inputs;  ///< references (see above)
     Tt6 function = 0;                  ///< over the inputs
+
+    friend bool operator==(const Lut&, const Lut&) = default;
   };
   int num_pis = 0;
   std::vector<Lut> luts;
   std::vector<std::int32_t> po_refs;
   std::vector<bool> po_compl;
+
+  /// Structural bit-identity (the LUT-network analogue of
+  /// structurally_identical(); used by the mcs::par determinism checks).
+  friend bool operator==(const LutNetwork&, const LutNetwork&) = default;
 
   std::size_t size() const noexcept { return luts.size(); }
   std::uint32_t depth() const;

@@ -389,4 +389,27 @@ NetworkStats network_stats(const Network& net) {
   return s;
 }
 
+bool structurally_identical(const Network& a, const Network& b) {
+  if (a.size() != b.size() || a.pis() != b.pis() ||
+      a.num_pos() != b.num_pos()) {
+    return false;
+  }
+  for (NodeId n = 0; n < a.size(); ++n) {
+    const Node& x = a.node(n);
+    const Node& y = b.node(n);
+    if (x.type != y.type || x.num_fanins != y.num_fanins ||
+        x.repr != y.repr || x.next_choice != y.next_choice ||
+        x.choice_phase != y.choice_phase) {
+      return false;
+    }
+    for (int i = 0; i < x.num_fanins; ++i) {
+      if (x.fanin[i] != y.fanin[i]) return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.num_pos(); ++i) {
+    if (a.po_at(i) != b.po_at(i)) return false;
+  }
+  return true;
+}
+
 }  // namespace mcs

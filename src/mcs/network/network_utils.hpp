@@ -91,4 +91,11 @@ struct NetworkStats {
 
 NetworkStats network_stats(const Network& net);
 
+/// True iff the two networks are structurally bit-identical: same node
+/// table (types, fanins, choice links and phases) and the same PI/PO
+/// interface.  Mutable traversal scratch state is ignored.  This is the
+/// check behind the mcs::par determinism contract (results must not depend
+/// on the thread count); it is stricter than functional equivalence.
+bool structurally_identical(const Network& a, const Network& b);
+
 }  // namespace mcs

@@ -1,0 +1,228 @@
+#include "mcs/par/par_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <future>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "mcs/par/thread_pool.hpp"
+#include "mcs/tt/tt6.hpp"
+
+namespace mcs {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Runs \p fn(i) for every shard index, on the pool when it pays off.
+/// Futures are joined in index order, so exceptions surface
+/// deterministically; with one thread (or one shard) everything runs
+/// inline, making the single-threaded baseline free of pool overhead.
+template <typename Fn>
+void for_each_shard(std::size_t num_shards, std::size_t num_threads, Fn fn) {
+  if (num_threads <= 1 || num_shards <= 1) {
+    for (std::size_t i = 0; i < num_shards; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(num_threads, num_shards));
+  std::vector<std::future<void>> done;
+  done.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    done.push_back(pool.submit([&fn, i]() { fn(i); }));
+  }
+  for (auto& f : done) f.get();
+}
+
+struct Phase {
+  ParStats* stats;
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  void lap(double ParStats::* field) {
+    if (stats) stats->*field = seconds_since(t0);
+    t0 = std::chrono::steady_clock::now();
+  }
+};
+
+void fill_pre(ParStats* stats, const Network& net, std::size_t parts,
+              std::size_t threads) {
+  if (!stats) return;
+  stats->num_partitions = parts;
+  stats->num_threads = threads;
+  stats->initial_gates = net.num_gates();
+  stats->initial_depth = net.depth();
+}
+
+void fill_post(ParStats* stats, const Network& net) {
+  if (!stats) return;
+  stats->final_gates = net.num_gates();
+  stats->final_depth = net.depth();
+}
+
+}  // namespace
+
+Network par_optimize(const Network& net, GateBasis basis, int max_rounds,
+                     const ParParams& params, ParStats* stats) {
+  const std::size_t threads = ThreadPool::resolve_threads(params.num_threads);
+  Phase phase{stats};
+  PartitionSet parts = partition_network(net, params.partition);
+  phase.lap(&ParStats::partition_seconds);
+  fill_pre(stats, net, parts.parts.size(), threads);
+
+  for_each_shard(parts.parts.size(), threads, [&](std::size_t i) {
+    Partition& p = parts.parts[i];
+    p.net = compress2rs_like(p.net, basis, max_rounds);
+  });
+  phase.lap(&ParStats::work_seconds);
+
+  Network result = reassemble(net, parts);
+  phase.lap(&ParStats::reassemble_seconds);
+  fill_post(stats, result);
+  return result;
+}
+
+Network par_mch(const Network& net, const MchParams& mch_params,
+                const ParParams& params, ParStats* stats,
+                MchStats* mch_stats) {
+  const std::size_t threads = ThreadPool::resolve_threads(params.num_threads);
+  Phase phase{stats};
+  PartitionSet parts = partition_network(net, params.partition);
+  phase.lap(&ParStats::partition_seconds);
+  fill_pre(stats, net, parts.parts.size(), threads);
+
+  std::vector<MchStats> shard_stats(parts.parts.size());
+  for_each_shard(parts.parts.size(), threads, [&](std::size_t i) {
+    Partition& p = parts.parts[i];
+    p.net = build_mch(p.net, mch_params, mch_stats ? &shard_stats[i] : nullptr);
+  });
+  phase.lap(&ParStats::work_seconds);
+
+  if (mch_stats) {
+    for (const MchStats& s : shard_stats) {
+      mch_stats->num_critical_nodes += s.num_critical_nodes;
+      mch_stats->num_candidates_tried += s.num_candidates_tried;
+      mch_stats->num_choices_added += s.num_choices_added;
+      mch_stats->num_rejected_same += s.num_rejected_same;
+      mch_stats->num_rejected_cycle += s.num_rejected_cycle;
+      mch_stats->num_rejected_class += s.num_rejected_class;
+      mch_stats->num_rejected_cap += s.num_rejected_cap;
+    }
+  }
+
+  Network result = reassemble(net, parts, {.keep_choices = true});
+  phase.lap(&ParStats::reassemble_seconds);
+  fill_post(stats, result);
+  return result;
+}
+
+LutNetwork par_map_lut(const Network& net, const LutMapParams& map_params,
+                       const ParParams& params, ParStats* stats,
+                       LutMapStats* map_stats) {
+  const std::size_t threads = ThreadPool::resolve_threads(params.num_threads);
+  Phase phase{stats};
+  PartitionParams part_params = params.partition;
+  part_params.keep_choices = map_params.use_choices;
+  PartitionSet parts = partition_network(net, part_params);
+  phase.lap(&ParStats::partition_seconds);
+  fill_pre(stats, net, parts.parts.size(), threads);
+
+  std::vector<LutNetwork> shard_luts(parts.parts.size());
+  std::vector<LutMapStats> shard_stats(parts.parts.size());
+  for_each_shard(parts.parts.size(), threads, [&](std::size_t i) {
+    shard_luts[i] = lut_map(parts.parts[i].net, map_params,
+                            map_stats ? &shard_stats[i] : nullptr);
+  });
+  phase.lap(&ParStats::work_seconds);
+
+  // Stitch the shard LUT networks over the original interface.  Reference
+  // space of LutNetwork: 0..num_pis-1 are the PIs, num_pis + i is luts[i].
+  // Each boundary source node resolves to a (merged ref, complemented)
+  // pair; a complemented boundary feeding a LUT is absorbed into that
+  // LUT's function (LUT inputs carry no polarity).  LUTs are structurally
+  // hashed on (function, inputs) while stitching -- the LUT-level analogue
+  // of reassemble()'s re-strashing -- so logic duplicated across shards
+  // (kOutputCones) collapses back to one copy.
+  LutNetwork merged;
+  merged.num_pis = static_cast<int>(net.num_pis());
+  merged.po_refs.resize(net.num_pos(), 0);
+  merged.po_compl.resize(net.num_pos(), false);
+  std::map<std::pair<Tt6, std::vector<std::int32_t>>, std::int32_t> strash;
+  auto strashed_lut = [&](LutNetwork::Lut lut) {
+    const auto key = std::make_pair(lut.function, lut.inputs);
+    const auto it = strash.find(key);
+    if (it != strash.end()) return it->second;
+    merged.luts.push_back(std::move(lut));
+    const auto ref =
+        static_cast<std::int32_t>(merged.num_pis + merged.luts.size() - 1);
+    strash.emplace(key, ref);
+    return ref;
+  };
+  std::vector<std::int32_t> ref_of(net.size(), -1);
+  std::vector<bool> compl_of(net.size(), false);
+  for (std::size_t i = 0; i < net.num_pis(); ++i) {
+    ref_of[net.pi_at(i)] = static_cast<std::int32_t>(i);
+  }
+
+  for (std::size_t i = 0; i < parts.parts.size(); ++i) {
+    const Partition& p = parts.parts[i];
+    const LutNetwork& sl = shard_luts[i];
+    // Merged refs of this shard's LUTs (shard LUT arrays are topologically
+    // ordered, so a forward pass resolves all internal references).
+    std::vector<std::int32_t> shard_ref(sl.luts.size(), -1);
+    auto resolve = [&](std::int32_t ref) -> std::pair<std::int32_t, bool> {
+      if (ref >= sl.num_pis) return {shard_ref[ref - sl.num_pis], false};
+      const NodeId src = p.inputs[ref];
+      assert(ref_of[src] >= 0 && "shard consumes an unresolved boundary");
+      return {ref_of[src], compl_of[src]};
+    };
+    for (std::size_t k = 0; k < sl.luts.size(); ++k) {
+      LutNetwork::Lut copy = sl.luts[k];
+      for (std::size_t in = 0; in < copy.inputs.size(); ++in) {
+        const auto [ref, compl_in] = resolve(copy.inputs[in]);
+        copy.inputs[in] = ref;
+        if (compl_in) {
+          copy.function = tt6_flip_var(copy.function, static_cast<int>(in));
+        }
+      }
+      shard_ref[k] = strashed_lut(std::move(copy));
+    }
+    for (std::size_t j = 0; j < sl.po_refs.size(); ++j) {
+      const auto [ref, compl_in] = resolve(sl.po_refs[j]);
+      ref_of[p.outputs[j]] = ref;
+      compl_of[p.outputs[j]] = compl_in ^ static_cast<bool>(sl.po_compl[j]);
+    }
+  }
+
+  for (std::size_t i = 0; i < net.num_pos(); ++i) {
+    const Signal s = net.po_at(i);
+    if (net.is_const0(s.node())) {
+      merged.po_refs[i] = strashed_lut({});  // 0-input constant-0 LUT
+      merged.po_compl[i] = s.complemented();
+      continue;
+    }
+    assert(ref_of[s.node()] >= 0 && "source PO not covered by any shard");
+    merged.po_refs[i] = ref_of[s.node()];
+    merged.po_compl[i] = compl_of[s.node()] ^ s.complemented();
+  }
+  phase.lap(&ParStats::reassemble_seconds);
+
+  if (map_stats) {
+    map_stats->num_luts = merged.size();
+    map_stats->depth = merged.depth();
+    for (const LutMapStats& s : shard_stats) {
+      map_stats->num_choice_cuts_used += s.num_choice_cuts_used;
+    }
+  }
+  if (stats) {
+    stats->final_gates = merged.luts.size();
+    stats->final_depth = merged.depth();
+  }
+  return merged;
+}
+
+}  // namespace mcs

@@ -1,0 +1,63 @@
+/// \file par_engine.hpp
+/// \brief Parallel partition-based drivers for the synthesis passes.
+///
+/// Each driver shards the input network with partition_network(), runs an
+/// existing single-threaded pass on every shard via a ThreadPool, and
+/// stitches the results back with reassemble().  Because shards are
+/// self-contained Networks and reassembly happens in fixed partition order,
+/// the output is bit-identical for any thread count (see partition.hpp for
+/// the determinism contract); threads only change the wall-clock time.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mcs/choice/mch.hpp"
+#include "mcs/map/lut_mapper.hpp"
+#include "mcs/network/network.hpp"
+#include "mcs/opt/optimize.hpp"
+#include "mcs/par/partition.hpp"
+#include "mcs/resyn/basis.hpp"
+
+namespace mcs {
+
+struct ParParams {
+  /// Worker threads; values < 1 resolve to the hardware concurrency.
+  int num_threads = 0;
+  PartitionParams partition;
+};
+
+struct ParStats {
+  std::size_t num_partitions = 0;
+  std::size_t num_threads = 0;
+  std::size_t initial_gates = 0;
+  std::size_t final_gates = 0;
+  std::uint32_t initial_depth = 0;
+  std::uint32_t final_depth = 0;
+  double partition_seconds = 0.0;   ///< sharding (serial)
+  double work_seconds = 0.0;        ///< per-shard passes (parallel section)
+  double reassemble_seconds = 0.0;  ///< stitching (serial)
+};
+
+/// Parallel compress2rs_like(): optimizes every shard independently in
+/// \p basis, then reassembles.  Equivalent function, deterministic result.
+Network par_optimize(const Network& net, GateBasis basis, int max_rounds = 3,
+                     const ParParams& params = {}, ParStats* stats = nullptr);
+
+/// Parallel build_mch(): builds the mixed choice network per shard and
+/// reassembles with choice classes preserved.  \p mch_stats (optional)
+/// receives the sum of the per-shard construction statistics.
+Network par_mch(const Network& net, const MchParams& mch_params = {},
+                const ParParams& params = {}, ParStats* stats = nullptr,
+                MchStats* mch_stats = nullptr);
+
+/// Parallel choice-aware LUT mapping: shards the network (carrying choice
+/// classes into the shards), maps every shard, and stitches the LUT
+/// networks over the original PI/PO interface.  \p map_stats (optional)
+/// receives the merged mapping statistics.
+LutNetwork par_map_lut(const Network& net, const LutMapParams& map_params = {},
+                       const ParParams& params = {}, ParStats* stats = nullptr,
+                       LutMapStats* map_stats = nullptr);
+
+}  // namespace mcs

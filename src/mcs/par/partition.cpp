@@ -1,0 +1,414 @@
+#include "mcs/par/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mcs/network/network_utils.hpp"
+
+namespace mcs {
+
+namespace {
+
+constexpr std::uint32_t kNoBand = 0xffffffffu;
+
+/// All nodes reachable from \p roots through fanin edges (and, with
+/// \p follow_choices, the choice members of reached representatives,
+/// including the members' own cones), as an ascending-id list.  Ascending
+/// node ids are a valid topological order for fanin edges (fanins always
+/// precede their fanouts in a strashed Network).
+std::vector<NodeId> collect_cone(const Network& net,
+                                 const std::vector<NodeId>& roots,
+                                 bool follow_choices) {
+  net.new_traversal();
+  std::vector<NodeId> stack;
+  std::vector<NodeId> nodes;
+  auto push = [&](NodeId n) {
+    if (!net.marked(n)) {
+      net.mark(n);
+      stack.push_back(n);
+      nodes.push_back(n);
+    }
+  };
+  for (const NodeId r : roots) push(r);
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    const Node& nd = net.node(n);
+    for (int i = 0; i < nd.num_fanins; ++i) push(nd.fanin[i].node());
+    if (follow_choices && net.is_repr(n)) {
+      for (NodeId m = nd.next_choice; m != kNullNode;
+           m = net.node(m).next_choice) {
+        push(m);
+      }
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+/// Re-strashes the gates of \p nodes (ascending-id, in-shard fanins always
+/// listed before their fanouts) into \p dst, recording which source nodes
+/// were copied.  \p map must already cover the constant and every external
+/// reference (PIs / boundary nodes).
+void copy_gates(const Network& src, const std::vector<NodeId>& nodes,
+                Network& dst, std::vector<Signal>& map,
+                std::vector<bool>& copied) {
+  for (const NodeId n : nodes) {
+    if (!src.is_gate(n)) continue;
+    const Node& nd = src.node(n);
+    std::array<Signal, 3> fi{};
+    for (int i = 0; i < nd.num_fanins; ++i) {
+      fi[i] = map[nd.fanin[i].node()] ^ nd.fanin[i].complemented();
+    }
+    map[n] = dst.create_gate(nd.type, fi);
+    copied[n] = true;
+  }
+}
+
+/// Transfers the choice classes among the copied nodes into \p dst, with
+/// the same guards as cleanup(): re-strashing may merge a member with its
+/// representative or with a node already classed, and a member may not
+/// have been copied at all (windows drop the rare member whose cone
+/// escapes its band); in those cases the link is dropped.
+void copy_choices(const Network& src, const std::vector<NodeId>& nodes,
+                  Network& dst, const std::vector<Signal>& map,
+                  const std::vector<bool>& copied) {
+  for (const NodeId n : nodes) {
+    if (!copied[n] || !src.is_repr(n)) continue;
+    if (src.node(n).next_choice == kNullNode) continue;
+    for (NodeId m = src.node(n).next_choice; m != kNullNode;
+         m = src.node(m).next_choice) {
+      if (!copied[m]) continue;
+      const NodeId new_repr = map[n].node();
+      const NodeId new_member = map[m].node();
+      if (new_member == new_repr) continue;  // re-strashing merged them
+      if (!dst.is_repr(new_member) || !dst.is_repr(new_repr)) continue;
+      if (dst.node(new_member).next_choice != kNullNode) continue;
+      const bool phase = src.node(m).choice_phase ^ map[n].complemented() ^
+                         map[m].complemented();
+      dst.add_choice(new_repr, new_member, phase);
+    }
+  }
+}
+
+/// Reverse PI lookup (node id -> interface position), shared by all
+/// shards of one partitioning run.
+std::vector<std::size_t> pi_ordinals(const Network& net) {
+  std::vector<std::size_t> ord(net.size(), 0);
+  for (std::size_t i = 0; i < net.num_pis(); ++i) ord[net.pi_at(i)] = i;
+  return ord;
+}
+
+/// Builds one shard from \p gates (ascending-id gate subset of \p net;
+/// membership in \p in_shard).  Every fanin outside the shard -- original
+/// PI or lower-shard node -- becomes a boundary PI; gates with
+/// \p exported set become boundary POs.
+Partition build_shard(const Network& net, const std::vector<NodeId>& gates,
+                      const std::vector<bool>& in_shard,
+                      const std::vector<bool>& exported, bool keep_choices,
+                      const std::vector<std::size_t>& pi_ordinal) {
+  Partition part;
+
+  // Boundary inputs, deduplicated, in ascending source-node order.
+  std::vector<NodeId> ext;
+  {
+    std::vector<bool> seen(net.size(), false);
+    for (const NodeId n : gates) {
+      const Node& nd = net.node(n);
+      for (int i = 0; i < nd.num_fanins; ++i) {
+        const NodeId f = nd.fanin[i].node();
+        if (net.is_const0(f) || in_shard[f] || seen[f]) continue;
+        seen[f] = true;
+        ext.push_back(f);
+      }
+    }
+    std::sort(ext.begin(), ext.end());
+  }
+
+  std::vector<Signal> map(net.size());
+  std::vector<bool> copied(net.size(), false);
+  map[0] = part.net.constant(false);
+  for (const NodeId f : ext) {
+    map[f] = part.net.create_pi(net.is_pi(f) ? net.pi_name(pi_ordinal[f])
+                                             : std::string{});
+    part.inputs.push_back(f);
+  }
+
+  copy_gates(net, gates, part.net, map, copied);
+  if (keep_choices) copy_choices(net, gates, part.net, map, copied);
+
+  for (const NodeId n : gates) {
+    if (!exported[n]) continue;
+    part.net.create_po(map[n]);
+    part.outputs.push_back(n);
+  }
+  return part;
+}
+
+/// Marks the gate roots of the source POs as exported.
+void export_po_roots(const Network& net, std::vector<bool>& exported) {
+  for (const auto s : net.pos()) {
+    if (net.is_gate(s.node())) exported[s.node()] = true;
+  }
+}
+
+// --- kOutputCones ----------------------------------------------------------
+
+PartitionSet partition_cones(const Network& net,
+                             const PartitionParams& params) {
+  PartitionSet set;
+
+  // Group POs greedily in interface order: `stamp[n] == g` marks n as
+  // counted for group g, so shared cones inside one group count once.
+  std::vector<std::uint32_t> stamp(net.size(), kNoBand);
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<NodeId> stack;
+  std::size_t group_gates = 0;
+
+  auto count_cone = [&](NodeId root, std::uint32_t g) {
+    auto visit = [&](NodeId n) {
+      if (stamp[n] == g) return;
+      stamp[n] = g;
+      if (net.is_gate(n)) ++group_gates;
+      stack.push_back(n);
+    };
+    visit(root);
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      const Node& nd = net.node(n);
+      for (int i = 0; i < nd.num_fanins; ++i) visit(nd.fanin[i].node());
+      if (params.keep_choices && net.is_repr(n)) {
+        for (NodeId m = nd.next_choice; m != kNullNode;
+             m = net.node(m).next_choice) {
+          visit(m);
+        }
+      }
+    }
+  };
+
+  groups.emplace_back();
+  for (std::size_t i = 0; i < net.num_pos(); ++i) {
+    const bool last_allowed =
+        params.max_partitions != 0 && groups.size() >= params.max_partitions;
+    if (!groups.back().empty() && group_gates > params.max_gates &&
+        !last_allowed) {
+      groups.emplace_back();
+      group_gates = 0;
+    }
+    groups.back().push_back(i);
+    count_cone(net.po_at(i).node(),
+               static_cast<std::uint32_t>(groups.size() - 1));
+  }
+
+  std::vector<bool> exported(net.size(), false);
+  export_po_roots(net, exported);
+  const std::vector<std::size_t> pi_ordinal = pi_ordinals(net);
+
+  for (const auto& group : groups) {
+    std::vector<NodeId> roots;
+    for (const std::size_t po : group) {
+      const NodeId r = net.po_at(po).node();
+      if (net.is_gate(r)) roots.push_back(r);
+    }
+    if (roots.empty()) continue;  // all-degenerate group: nothing to shard
+
+    std::vector<NodeId> gates;
+    std::vector<bool> in_shard(net.size(), false);
+    for (const NodeId n : collect_cone(net, roots, params.keep_choices)) {
+      if (!net.is_gate(n)) continue;
+      gates.push_back(n);
+      in_shard[n] = true;
+    }
+    set.parts.push_back(build_shard(net, gates, in_shard, exported,
+                                    params.keep_choices, pi_ordinal));
+  }
+  return set;
+}
+
+// --- kLevelWindows ---------------------------------------------------------
+
+PartitionSet partition_windows(const Network& net,
+                               const PartitionParams& params) {
+  PartitionSet set;
+
+  // PO-reachable gates through fanin edges: the "regular" structure.
+  // Choice members are not PO-reachable and are banded with their
+  // representative below.
+  std::vector<bool> regular(net.size(), false);
+  std::size_t num_regular = 0;
+  for (const NodeId n : topo_order(net)) {
+    if (net.is_gate(n)) {
+      regular[n] = true;
+      ++num_regular;
+    }
+  }
+  const std::uint32_t depth = net.depth();
+  if (num_regular == 0 || depth == 0) return set;
+
+  std::size_t want =
+      (num_regular + params.max_gates - 1) / std::max<std::size_t>(
+                                                 1, params.max_gates);
+  want = std::max<std::size_t>(1, want);
+  if (params.max_partitions != 0) {
+    want = std::min(want, params.max_partitions);
+  }
+  const std::uint32_t width = std::max<std::uint32_t>(
+      1, (depth + static_cast<std::uint32_t>(want) - 1) /
+             static_cast<std::uint32_t>(want));
+  const std::uint32_t num_bands = (depth + width - 1) / width;
+
+  std::vector<std::uint32_t> band(net.size(), kNoBand);
+  for (NodeId n = 0; n < net.size(); ++n) {
+    if (!regular[n]) continue;
+    band[n] = std::min((net.level(n) - 1) / width, num_bands - 1);
+  }
+
+  // Choice members ride in their representative's band.  A member cone is
+  // every node reachable from the member that is not regular; it may only
+  // consume regular nodes of the same or lower bands (always true for MCH
+  // candidates, which are built over cut/MFFC leaves of the
+  // representative) -- violating members are dropped.
+  std::vector<std::vector<NodeId>> extra(num_bands);
+  if (params.keep_choices) {
+    std::vector<std::uint32_t> extra_band(net.size(), kNoBand);
+    std::vector<NodeId> cone;
+    std::vector<NodeId> stack;
+    for (NodeId n = 0; n < net.size(); ++n) {
+      if (!regular[n] || !net.is_repr(n)) continue;
+      const std::uint32_t b = band[n];
+      for (NodeId m = net.node(n).next_choice; m != kNullNode;
+           m = net.node(m).next_choice) {
+        cone.clear();
+        bool fits = true;
+        if (extra_band[m] != b && !regular[m]) {
+          stack.push_back(m);
+          while (!stack.empty()) {
+            const NodeId c = stack.back();
+            stack.pop_back();
+            if (extra_band[c] == b) continue;
+            extra_band[c] = b;
+            cone.push_back(c);
+            const Node& cd = net.node(c);
+            for (int i = 0; i < cd.num_fanins; ++i) {
+              const NodeId f = cd.fanin[i].node();
+              if (net.is_const0(f) || net.is_pi(f)) continue;
+              if (regular[f]) {
+                if (band[f] > b) fits = false;
+                continue;
+              }
+              if (extra_band[f] != b) stack.push_back(f);
+            }
+          }
+        }
+        if (fits) {
+          extra[b].insert(extra[b].end(), cone.begin(), cone.end());
+        } else {
+          // Un-stamp so a later class in this band can still adopt the
+          // shared nodes it can legally host.
+          for (const NodeId c : cone) extra_band[c] = kNoBand;
+        }
+      }
+    }
+  }
+
+  // Exports: a regular gate consumed by any higher band (through regular
+  // fanins or member cones) or rooting a source PO.
+  std::vector<bool> exported(net.size(), false);
+  export_po_roots(net, exported);
+  auto mark_uses = [&](NodeId n, std::uint32_t consumer_band) {
+    const Node& nd = net.node(n);
+    for (int i = 0; i < nd.num_fanins; ++i) {
+      const NodeId f = nd.fanin[i].node();
+      if (regular[f] && band[f] < consumer_band) exported[f] = true;
+    }
+  };
+  for (NodeId n = 0; n < net.size(); ++n) {
+    if (regular[n]) mark_uses(n, band[n]);
+  }
+  for (std::uint32_t b = 0; b < num_bands; ++b) {
+    for (const NodeId n : extra[b]) mark_uses(n, b);
+  }
+
+  const std::vector<std::size_t> pi_ordinal = pi_ordinals(net);
+  for (std::uint32_t b = 0; b < num_bands; ++b) {
+    std::vector<NodeId> gates;
+    for (NodeId n = 0; n < net.size(); ++n) {
+      if (regular[n] && band[n] == b) gates.push_back(n);
+    }
+    gates.insert(gates.end(), extra[b].begin(), extra[b].end());
+    std::sort(gates.begin(), gates.end());
+    if (gates.empty()) continue;
+    std::vector<bool> in_shard(net.size(), false);
+    for (const NodeId n : gates) in_shard[n] = true;
+    set.parts.push_back(build_shard(net, gates, in_shard, exported,
+                                    params.keep_choices, pi_ordinal));
+  }
+  return set;
+}
+
+}  // namespace
+
+PartitionSet partition_network(const Network& net,
+                               const PartitionParams& params) {
+  if (net.num_pos() == 0) return {};
+  switch (params.strategy) {
+    case PartitionStrategy::kOutputCones:
+      return partition_cones(net, params);
+    case PartitionStrategy::kLevelWindows:
+    default:
+      return partition_windows(net, params);
+  }
+}
+
+Network reassemble(const Network& source, const PartitionSet& parts,
+                   const ReassembleOptions& opts) {
+  Network dst;
+  std::vector<Signal> map(source.size());
+  std::vector<bool> have(source.size(), false);
+  map[0] = dst.constant(false);
+  have[0] = true;
+  for (std::size_t i = 0; i < source.num_pis(); ++i) {
+    map[source.pi_at(i)] = dst.create_pi(source.pi_name(i));
+    have[source.pi_at(i)] = true;
+  }
+
+  for (const Partition& part : parts.parts) {
+    const Network& sn = part.net;
+    assert(sn.num_pis() == part.inputs.size() &&
+           "pass changed a shard's PI interface");
+    assert(sn.num_pos() == part.outputs.size() &&
+           "pass changed a shard's PO interface");
+
+    std::vector<Signal> smap(sn.size());
+    std::vector<bool> copied(sn.size(), false);
+    smap[0] = dst.constant(false);
+    for (std::size_t j = 0; j < sn.num_pis(); ++j) {
+      assert(have[part.inputs[j]] && "shard consumes an unresolved boundary");
+      smap[sn.pi_at(j)] = map[part.inputs[j]];
+    }
+
+    std::vector<NodeId> roots;
+    roots.reserve(sn.num_pos());
+    for (const auto s : sn.pos()) roots.push_back(s.node());
+    const std::vector<NodeId> nodes =
+        collect_cone(sn, roots, opts.keep_choices);
+    copy_gates(sn, nodes, dst, smap, copied);
+    if (opts.keep_choices) copy_choices(sn, nodes, dst, smap, copied);
+
+    for (std::size_t j = 0; j < sn.num_pos(); ++j) {
+      const Signal s = sn.po_at(j);
+      map[part.outputs[j]] = smap[s.node()] ^ s.complemented();
+      have[part.outputs[j]] = true;
+    }
+  }
+
+  for (std::size_t i = 0; i < source.num_pos(); ++i) {
+    const Signal s = source.po_at(i);
+    assert(have[s.node()] && "source PO not covered by any shard");
+    dst.create_po(map[s.node()] ^ s.complemented(), source.po_name(i));
+  }
+  return dst;
+}
+
+}  // namespace mcs

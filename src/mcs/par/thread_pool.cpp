@@ -1,0 +1,59 @@
+#include "mcs/par/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mcs {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = resolve_threads(0);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return unfinished_;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this]() { return unfinished_ == 0; });
+}
+
+std::size_t ThreadPool::resolve_threads(int requested) noexcept {
+  if (requested >= 1) return static_cast<std::size_t>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1u, hw);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to do
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --unfinished_;
+      if (unfinished_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace mcs

@@ -1,0 +1,78 @@
+/// \file thread_pool.hpp
+/// \brief A fixed-size worker pool with a task queue and futures.
+///
+/// This is the execution substrate of the `mcs::par` subsystem: partitions
+/// of a network are submitted as independent tasks and joined through
+/// futures, in a deterministic order fixed by the caller (never by task
+/// completion order).  The pool itself is generic and reusable for any
+/// future sharding/batching work.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mcs {
+
+class ThreadPool {
+ public:
+  /// Spawns \p num_threads workers; 0 means resolve_threads(0) workers.
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains the queue (pending tasks still run) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const noexcept { return workers_.size(); }
+
+  /// Number of tasks submitted and not yet finished.
+  std::size_t pending() const;
+
+  /// Enqueues \p fn and returns a future for its result.  Exceptions thrown
+  /// by the task are captured in the future.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task]() { (*task)(); });
+      ++unfinished_;
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Resolves a user-facing thread-count request: values < 1 mean "use the
+  /// hardware concurrency" (at least 1).
+  static std::size_t resolve_threads(int requested) noexcept;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t unfinished_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mcs

@@ -109,7 +109,13 @@ std::optional<Signal> NpnDatabase::instantiate(
 }
 
 NpnDatabase& NpnDatabase::shared(GateBasis basis, Objective objective) {
-  static std::map<std::pair<int, int>, NpnDatabase> instances;
+  // One instance per (basis, objective) *per thread*: lookups mutate the
+  // database (lazy class synthesis + canonicalization cache), so sharing
+  // across mcs::par workers would need a lock on the hot path.  Entries are
+  // pure functions of the key, so per-thread copies are bit-identical and
+  // parallel results stay independent of the thread count; the 222-class
+  // NPN-4 space makes the duplication cheap.
+  static thread_local std::map<std::pair<int, int>, NpnDatabase> instances;
   const int basis_key = (basis.use_xor ? 1 : 0) | (basis.use_maj ? 2 : 0);
   const auto key = std::make_pair(basis_key, static_cast<int>(objective));
   auto it = instances.find(key);

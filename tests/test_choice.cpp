@@ -210,8 +210,12 @@ TEST(Convert, BasisRoundTripsPreserveFunction) {
     EXPECT_EQ(check_equivalence(net, conv), CecResult::kEquivalent)
         << basis.name();
     const auto stats = network_stats(conv);
-    if (!basis.use_xor) EXPECT_EQ(stats.num_xor2 + stats.num_xor3, 0u);
-    if (!basis.use_maj) EXPECT_EQ(stats.num_maj3, 0u);
+    if (!basis.use_xor) {
+      EXPECT_EQ(stats.num_xor2 + stats.num_xor3, 0u);
+    }
+    if (!basis.use_maj) {
+      EXPECT_EQ(stats.num_maj3, 0u);
+    }
   }
 }
 

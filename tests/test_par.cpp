@@ -1,0 +1,305 @@
+/// Unit tests for the mcs::par subsystem: thread pool semantics, partition
+/// + reassemble round trips (CEC-equivalent to the original) for both
+/// strategies, choice preservation across sharding, and the determinism
+/// contract (1 thread vs N threads yield bit-identical networks and LUT
+/// mappings).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "mcs/choice/mch.hpp"
+#include "mcs/circuits/circuits.hpp"
+#include "mcs/network/convert.hpp"
+#include "mcs/network/network_utils.hpp"
+#include "mcs/par/par_engine.hpp"
+#include "mcs/par/partition.hpp"
+#include "mcs/par/thread_pool.hpp"
+#include "mcs/sat/cec.hpp"
+#include "test_util.hpp"
+
+namespace mcs {
+namespace {
+
+// --- thread pool ----------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> sum{0};
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.submit([i, &sum]() {
+      sum.fetch_add(1);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futs[i].get(), i * i);
+  EXPECT_EQ(sum.load(), 100);
+  pool.wait_idle();
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3u);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_GE(ThreadPool::resolve_threads(-1), 1u);
+}
+
+// --- partitioner ----------------------------------------------------------
+
+/// Every gate-rooted PO of \p net must be produced by some shard.
+void expect_pos_covered(const Network& net, const PartitionSet& parts) {
+  std::set<NodeId> produced;
+  for (const auto& p : parts.parts) {
+    EXPECT_EQ(p.net.num_pis(), p.inputs.size());
+    EXPECT_EQ(p.net.num_pos(), p.outputs.size());
+    for (const NodeId n : p.outputs) produced.insert(n);
+  }
+  for (const auto s : net.pos()) {
+    if (net.is_gate(s.node())) {
+      EXPECT_TRUE(produced.count(s.node())) << "PO root not exported";
+    }
+  }
+}
+
+TEST(Partition, ConesCoverEveryPo) {
+  const Network net = circuits::adder(32);
+  PartitionParams params;
+  params.strategy = PartitionStrategy::kOutputCones;
+  params.max_gates = 40;
+  const PartitionSet parts = partition_network(net, params);
+  EXPECT_GT(parts.parts.size(), 1u);
+  expect_pos_covered(net, parts);
+}
+
+TEST(Partition, WindowsCoverEveryPoWithoutDuplication) {
+  const Network net = circuits::multiplier(8);
+  PartitionParams params;
+  params.max_gates = 150;  // default strategy: level windows
+  const PartitionSet parts = partition_network(net, params);
+  EXPECT_GT(parts.parts.size(), 1u);
+  expect_pos_covered(net, parts);
+  // Internal boundaries mean zero duplication: total shard gates equal the
+  // PO-reachable gate count (this is what keeps multipliers tractable).
+  std::size_t shard_gates = 0;
+  for (const auto& p : parts.parts) shard_gates += p.net.num_gates();
+  std::size_t reachable = 0;
+  for (const NodeId n : topo_order(net)) {
+    if (net.is_gate(n)) ++reachable;
+  }
+  EXPECT_EQ(shard_gates, reachable);
+}
+
+TEST(Partition, RespectsMaxPartitions) {
+  const Network net = circuits::adder(64);
+  for (const auto strategy : {PartitionStrategy::kLevelWindows,
+                              PartitionStrategy::kOutputCones}) {
+    PartitionParams params;
+    params.strategy = strategy;
+    params.max_gates = 10;
+    params.max_partitions = 4;
+    const PartitionSet parts = partition_network(net, params);
+    EXPECT_LE(parts.parts.size(), 4u);
+    EXPECT_GT(parts.parts.size(), 1u);
+  }
+}
+
+TEST(Partition, RoundTripIsEquivalentOnAdderBothStrategies) {
+  const Network net = circuits::adder(48);
+  for (const auto strategy : {PartitionStrategy::kLevelWindows,
+                              PartitionStrategy::kOutputCones}) {
+    PartitionParams params;
+    params.strategy = strategy;
+    params.max_gates = 60;
+    const PartitionSet parts = partition_network(net, params);
+    EXPECT_GT(parts.parts.size(), 1u);
+    const Network back = reassemble(net, parts);
+    EXPECT_EQ(back.num_pis(), net.num_pis());
+    EXPECT_EQ(back.num_pos(), net.num_pos());
+    EXPECT_EQ(check_equivalence(net, back), CecResult::kEquivalent);
+  }
+}
+
+TEST(Partition, RoundTripIsEquivalentOnMultiplierBothStrategies) {
+  const Network net = circuits::multiplier(8);
+  for (const auto strategy : {PartitionStrategy::kLevelWindows,
+                              PartitionStrategy::kOutputCones}) {
+    PartitionParams params;
+    params.strategy = strategy;
+    params.max_gates = 150;
+    const PartitionSet parts = partition_network(net, params);
+    EXPECT_GT(parts.parts.size(), 1u);
+    const Network back = reassemble(net, parts);
+    EXPECT_EQ(check_equivalence(net, back), CecResult::kEquivalent);
+  }
+}
+
+TEST(Partition, RoundTripHandlesDegeneratePos) {
+  // POs referencing constants and PIs directly must survive sharding.
+  Network net;
+  const Signal a = net.create_pi("a");
+  const Signal b = net.create_pi("b");
+  net.create_po(net.constant(true), "const1");
+  net.create_po(!a, "na");
+  net.create_po(net.create_and(a, b), "ab");
+  for (const auto strategy : {PartitionStrategy::kLevelWindows,
+                              PartitionStrategy::kOutputCones}) {
+    PartitionParams params;
+    params.strategy = strategy;
+    params.max_gates = 1;
+    const PartitionSet parts = partition_network(net, params);
+    const Network back = reassemble(net, parts);
+    EXPECT_EQ(check_equivalence(net, back), CecResult::kEquivalent);
+    EXPECT_EQ(back.po_name(0), "const1");
+  }
+}
+
+TEST(Partition, KeepChoicesCarriesClassesIntoShards) {
+  const Network net = expand_to_aig(circuits::adder(24));
+  MchParams mch;
+  mch.candidate_basis = GateBasis::xmg();
+  const Network choices = build_mch(net, mch);
+  ASSERT_GT(choices.num_choices(), 0u);
+
+  for (const auto strategy : {PartitionStrategy::kLevelWindows,
+                              PartitionStrategy::kOutputCones}) {
+    PartitionParams params;
+    params.strategy = strategy;
+    params.max_gates = 80;
+    params.keep_choices = true;
+    const PartitionSet parts = partition_network(choices, params);
+    std::size_t shard_choices = 0;
+    for (const auto& p : parts.parts) shard_choices += p.net.num_choices();
+    EXPECT_GT(shard_choices, 0u);
+
+    const Network back = reassemble(choices, parts, {.keep_choices = true});
+    EXPECT_GT(back.num_choices(), 0u);
+    EXPECT_EQ(check_equivalence(net, back), CecResult::kEquivalent);
+  }
+}
+
+// --- parallel drivers -----------------------------------------------------
+
+TEST(ParEngine, ParOptimizeIsEquivalentAndDeterministic) {
+  const Network net = expand_to_aig(circuits::multiplier(8));
+  ParParams one;
+  one.num_threads = 1;
+  one.partition.max_gates = 120;
+  ParParams four = one;
+  four.num_threads = 4;
+
+  ParStats stats;
+  const Network r1 = par_optimize(net, GateBasis::xmg(), 2, one, &stats);
+  EXPECT_GT(stats.num_partitions, 1u);
+  const Network r4 = par_optimize(net, GateBasis::xmg(), 2, four);
+
+  EXPECT_EQ(check_equivalence(net, r1), CecResult::kEquivalent);
+  EXPECT_LT(r1.num_gates(), net.num_gates());
+  EXPECT_TRUE(structurally_identical(r1, r4))
+      << "par_optimize must be bit-identical for any thread count";
+}
+
+TEST(ParEngine, ParOptimizeReducesRandomNetworks) {
+  const auto net = testing::random_network({.num_pis = 10,
+                                            .num_gates = 400,
+                                            .num_pos = 16,
+                                            .basis = GateBasis::xmg(),
+                                            .seed = 7});
+  ParParams params;
+  params.num_threads = 2;
+  params.partition.max_gates = 100;
+  const Network opt = par_optimize(net, GateBasis::xmg(), 2, params);
+  EXPECT_EQ(check_equivalence(net, opt), CecResult::kEquivalent);
+  EXPECT_LE(opt.num_gates(), net.num_gates());
+}
+
+TEST(ParEngine, ParMchAddsChoicesAndStaysEquivalent) {
+  const Network net = expand_to_aig(circuits::adder(24));
+  ParParams params;
+  params.num_threads = 2;
+  params.partition.max_gates = 80;
+  MchStats mch_stats;
+  const Network choices = par_mch(net, {}, params, nullptr, &mch_stats);
+  EXPECT_GT(mch_stats.num_choices_added, 0u);
+  EXPECT_GT(choices.num_choices(), 0u);
+  EXPECT_EQ(check_equivalence(net, choices), CecResult::kEquivalent);
+
+  ParParams one = params;
+  one.num_threads = 1;
+  const Network c1 = par_mch(net, {}, one);
+  EXPECT_TRUE(structurally_identical(c1, choices))
+      << "par_mch must be bit-identical for any thread count";
+}
+
+TEST(ParEngine, ParMapLutMatchesFunctionAndIsDeterministic) {
+  const Network net = circuits::multiplier(8);
+  ParParams one;
+  one.num_threads = 1;
+  one.partition.max_gates = 120;
+  ParParams four = one;
+  four.num_threads = 4;
+
+  LutMapStats ms;
+  const LutNetwork l1 = par_map_lut(net, {}, one, nullptr, &ms);
+  EXPECT_EQ(ms.num_luts, l1.size());
+  const LutNetwork l4 = par_map_lut(net, {}, four);
+  EXPECT_TRUE(l1 == l4)
+      << "par_map_lut must be bit-identical for any thread count";
+
+  // Functional check of the stitched LUT network against the source.
+  const Network back = lut_network_to_network(l1);
+  EXPECT_EQ(check_equivalence(net, back), CecResult::kEquivalent);
+}
+
+TEST(ParEngine, ParMapLutStrashesDuplicatedConeLogic) {
+  // Cone shards of a multiplier duplicate most of the array; the stitch's
+  // LUT-level strashing must fold identical sub-mappings back and the
+  // result must stay functionally correct.
+  const Network net = circuits::multiplier(8);
+  ParParams cones;
+  cones.num_threads = 1;
+  cones.partition.strategy = PartitionStrategy::kOutputCones;
+  cones.partition.max_gates = 150;
+  const LutNetwork lc = par_map_lut(net, {}, cones);
+  const Network back = lut_network_to_network(lc);
+  EXPECT_EQ(check_equivalence(net, back), CecResult::kEquivalent);
+}
+
+TEST(ParEngine, FullParallelFlowOnChoiceNetwork) {
+  // popt -> pmch -> pmap_lut, all partitioned, verified end to end.
+  const Network net = circuits::adder(32);
+  ParParams params;
+  params.num_threads = 2;
+  params.partition.max_gates = 100;
+  const Network opt = par_optimize(net, GateBasis::xmg(), 1, params);
+  const Network choices = par_mch(opt, {}, params);
+  const LutNetwork luts = par_map_lut(choices, {}, params);
+  const Network back = lut_network_to_network(luts);
+  EXPECT_EQ(check_equivalence(net, back), CecResult::kEquivalent);
+}
+
+TEST(ParEngine, FullParallelFlowOnMultiplier) {
+  // The structure that defeats cone partitioning: global sharing.  The
+  // window strategy keeps it tractable end to end.
+  const Network net = expand_to_aig(circuits::multiplier(8));
+  ParParams params;
+  params.num_threads = 2;
+  params.partition.max_gates = 200;
+  const Network opt = par_optimize(net, GateBasis::xmg(), 1, params);
+  const Network choices = par_mch(opt, {}, params);
+  const LutNetwork luts = par_map_lut(choices, {}, params);
+  const Network back = lut_network_to_network(luts);
+  EXPECT_EQ(check_equivalence(net, back), CecResult::kEquivalent);
+}
+
+}  // namespace
+}  // namespace mcs
