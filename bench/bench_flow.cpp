@@ -1,0 +1,74 @@
+/// \file bench_flow.cpp
+/// \brief The paper flow (optimize -> mch -> map_lut -> cec) as a flow
+/// spec, run over a slice of the generated suite through the shared
+/// run_flow() entry point.  Demonstrates that a bench is now one spec
+/// string instead of a hand-wired pass sequence, and emits one JSON line
+/// per stage (see bench_util::emit_flow_report).
+///
+/// Knobs:
+///   MCS_FLOW_SPEC      override the per-circuit spec; "%s" is replaced by
+///                      the circuit's `gen` stage (default paper flow)
+///   MCS_FLOW_THREADS   > 1 switches to the partition-parallel variant
+///                      (popt / pmch / pmap_lut) with that worker count
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mcs/flow/flow.hpp"
+
+using namespace mcs;
+
+namespace {
+
+struct Circuit {
+  const char* name;
+  const char* gen;  ///< the flow `gen` stage (kept small for CI runs)
+};
+
+constexpr Circuit kCircuits[] = {
+    {"adder", "gen:adder,bits=32"},
+    {"bar", "gen:bar,bits=16"},
+    {"multiplier", "gen:multiplier,bits=8"},
+    {"dec", "gen:dec,bits=5"},
+    {"ctrl", "gen:ctrl"},
+};
+
+}  // namespace
+
+int main() {
+  const char* spec_env = std::getenv("MCS_FLOW_SPEC");
+  int threads = 1;
+  if (const char* t = std::getenv("MCS_FLOW_THREADS")) {
+    threads = std::atoi(t);
+  }
+
+  const std::string serial_tail =
+      "; compress2rs:rounds=2; mch:basis=xmg,ratio=0.9; map_lut:k=6; cec";
+  const std::string parallel_tail =
+      "; popt:rounds=2; pmch:basis=xmg,ratio=0.9; pmap_lut:k=6; cec";
+
+  bool all_ok = true;
+  for (const Circuit& circuit : kCircuits) {
+    std::string spec;
+    if (spec_env) {
+      spec = spec_env;
+      const std::size_t hole = spec.find("%s");
+      if (hole != std::string::npos) {
+        spec.replace(hole, 2, circuit.gen);
+      }
+    } else {
+      spec = std::string(circuit.gen) +
+             (threads > 1 ? parallel_tail : serial_tail);
+    }
+
+    flow::FlowContext ctx;
+    ctx.par.num_threads = threads;
+    const flow::FlowReport report = flow::run_flow(spec, ctx);
+    bench::emit_flow_report("flow", circuit.name, report);
+    all_ok = all_ok && report.ok;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "mcs/flow/flow.hpp"
 #include "mcs/map/asic_mapper.hpp"
 #include "mcs/map/lut_mapper.hpp"
 #include "mcs/network/network.hpp"
@@ -136,8 +137,16 @@ class JsonLine {
   void append_quoted(const std::string& s) {
     line_ += '"';
     for (const char c : s) {
-      if (c == '"' || c == '\\') line_ += '\\';
-      line_ += c;
+      // Control characters (e.g. newlines in captured error notes) would
+      // break the one-JSON-object-per-line contract.
+      switch (c) {
+        case '"': line_ += "\\\""; break;
+        case '\\': line_ += "\\\\"; break;
+        case '\n': line_ += "\\n"; break;
+        case '\r': line_ += "\\r"; break;
+        case '\t': line_ += "\\t"; break;
+        default: line_ += c; break;
+      }
     }
     line_ += '"';
   }
@@ -153,6 +162,41 @@ class JsonLine {
   }
   std::string line_;
 };
+
+/// Emits a flow::FlowReport as JSON lines: one line per stage plus a
+/// summary line, each tagged with the bench and circuit names.  This is
+/// how the flow-based benches keep their output greppable/scriptable.
+inline void emit_flow_report(const std::string& bench,
+                             const std::string& circuit,
+                             const flow::FlowReport& report) {
+  for (std::size_t i = 0; i < report.stages.size(); ++i) {
+    const flow::StageReport& s = report.stages[i];
+    JsonLine line(bench);
+    line.field("circuit", circuit)
+        .field("stage", i)
+        .field("pass", s.pass)
+        .field("args", s.args)
+        .field("ok", s.ok)
+        .field("seconds", s.seconds)
+        .field("gates", s.gates)
+        .field("depth", static_cast<std::size_t>(s.depth))
+        .field("choices", s.choices);
+    if (s.luts) {
+      line.field("luts", s.luts)
+          .field("lut_depth", static_cast<std::size_t>(s.lut_depth));
+    }
+    if (s.cells) {
+      line.field("cells", s.cells).field("area", s.area).field("delay",
+                                                               s.delay);
+    }
+    if (!s.note.empty()) line.field("note", s.note);
+  }
+  JsonLine(bench)
+      .field("circuit", circuit)
+      .field("summary", true)
+      .field("ok", report.ok)
+      .field("total_seconds", report.total_seconds);
+}
 
 /// Network-vs-network simulation check (same PI/PO interface).
 inline bool sim_check(const Network& a, const Network& b,

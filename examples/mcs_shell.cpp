@@ -1,286 +1,159 @@
 /// \file mcs_shell.cpp
-/// \brief An ABC-style interactive shell over the library: load/generate
-/// networks, run optimization passes, build choice networks, map, verify
-/// and write results -- each as a one-word command.
+/// \brief An ABC-style shell over the library, driven entirely by the
+/// mcs::flow pass registry: every registered pass is a command, `help` is
+/// generated from the registered schemas, and `flow "<spec>"` runs a whole
+/// pipeline from a flow-spec string.
 ///
 ///   ./build/examples/mcs_shell                 # interactive
 ///   echo "gen adder 16; mch; map_lut; ps" | ./build/examples/mcs_shell
 ///   ./build/examples/mcs_shell script.mcs      # batch file
 ///
+/// Command arguments may be positional (`gen adder 16`, bound in schema
+/// order) or key=value (`gen name=adder bits=16`); values are validated --
+/// junk numbers are errors, not silently zero.  In batch mode (script file
+/// or piped stdin) the first unknown command or failed pass stops the run
+/// and exits nonzero, so CI scripts cannot silently pass.
+///
 /// The `threads <n>` command selects the worker count for the parallel
-/// partition-based commands (`popt`, `pmch`, `pmap_lut`; see mcs/par/);
-/// their results are bit-identical for any thread count.
+/// partition-based commands (`popt`, `pmch`, `pmap_lut`, `par`); their
+/// results are bit-identical for any thread count.
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <optional>
-#include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "mcs/choice/dch.hpp"
-#include "mcs/choice/mch.hpp"
-#include "mcs/circuits/circuits.hpp"
-#include "mcs/io/aiger.hpp"
-#include "mcs/io/writers.hpp"
-#include "mcs/map/asic_mapper.hpp"
-#include "mcs/map/graph_mapper.hpp"
-#include "mcs/map/lut_mapper.hpp"
-#include "mcs/network/convert.hpp"
-#include "mcs/network/network_utils.hpp"
-#include "mcs/opt/optimize.hpp"
-#include "mcs/par/par_engine.hpp"
-#include "mcs/par/thread_pool.hpp"
-#include "mcs/sat/cec.hpp"
+#include "mcs/flow/flow.hpp"
 
 using namespace mcs;
 
 namespace {
 
-struct ShellState {
-  Network net;                      ///< current working network
-  std::optional<Network> original;  ///< snapshot for `cec`
-  std::optional<LutNetwork> luts;
-  std::optional<CellNetlist> cells;
-  TechLibrary lib = TechLibrary::asap7_mini();
-  ParParams par;  ///< thread count + partition size for the p* commands
-  bool quit = false;
-};
-
-GateBasis parse_basis(const std::string& s, GateBasis fallback) {
-  if (s == "aig") return GateBasis::aig();
-  if (s == "xag") return GateBasis::xag();
-  if (s == "mig") return GateBasis::mig();
-  if (s == "xmg") return GateBasis::xmg();
-  return fallback;
-}
-
-void cmd_help() {
-  std::printf(R"(commands (separate with newlines or ';'):
-  gen <name> [bits]     generate a benchmark circuit (adder, bar, div, hyp,
-                        log2, max, multiplier, sin, sqrt, square, arbiter,
-                        cavlc, ctrl, dec, i2c, int2float, mem_ctrl,
-                        priority, router, voter)
-  read_aiger <file>     load an AIGER file
-  write_aiger <file>    write the current network (AND-expanded) as AIGER
-  write_blif <file>     write the current network as BLIF
-  write_verilog <file>  write the current network (or mapped netlist) as Verilog
-  ps                    print statistics
-  strash                re-hash / remove dangling nodes
-  to <basis>            convert to aig / xag / mig / xmg
-  balance | rewrite | refactor | resub | sweep
-                        one optimization pass
-  compress2rs [rounds]  the full optimization script
-  dch                   traditional structural choices (snapshots + SAT)
-  mch [basis] [r]       mixed structural choices (default xmg, r = 0.9)
-  map_lut [k]           choice-aware K-LUT mapping (default k = 6)
-  map_asic [delay|area] choice-aware standard-cell mapping (mini-ASAP7)
-  graph_map [basis]     graph mapping into a representation
-  threads [n]           set worker threads for the p* commands (0 = auto);
-                        with no argument, print the current setting
-  partsize <gates>      set the partition size target (default 4000)
-  popt [rounds]         parallel partitioned compress2rs
-  pmch [basis] [r]      parallel partitioned mixed structural choices
-  pmap_lut [k]          parallel partitioned choice-aware K-LUT mapping
-  cec                   verify current network against the first loaded one
-  quit
-)");
-}
-
-void cmd_ps(const ShellState& st) {
-  const auto s = network_stats(st.net);
-  std::printf("net: pi=%zu po=%zu gates=%zu (and=%zu xor2=%zu maj=%zu "
-              "xor3=%zu) depth=%u choices=%zu\n",
-              st.net.num_pis(), st.net.num_pos(), s.num_gates, s.num_and2,
-              s.num_xor2, s.num_maj3, s.num_xor3, s.depth, s.num_choices);
-  if (st.luts) {
-    std::printf("lut: %zu LUTs, depth %u\n", st.luts->size(),
-                st.luts->depth());
+/// Splits \p line on \p sep, keeping double-quoted sections intact
+/// (so `flow "a; b"` is one command even though the spec contains ';').
+std::vector<std::string> split_outside_quotes(const std::string& line,
+                                              char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool quoted = false;
+  for (const char c : line) {
+    if (c == '"') {
+      quoted = !quoted;
+      cur += c;
+    } else if (c == sep && !quoted) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
   }
-  if (st.cells) {
-    std::printf("asic: %zu cells, %.3f um^2, %.2f ps\n", st.cells->size(),
-                st.cells->area, st.cells->delay);
-  }
+  out.push_back(cur);
+  return out;
 }
 
-void execute(ShellState& st, const std::vector<std::string>& tok) {
-  const std::string& cmd = tok[0];
-  auto arg = [&](std::size_t i, const std::string& dflt = "") {
-    return tok.size() > i ? tok[i] : dflt;
-  };
+/// Whitespace tokenization with double quotes (stripped from the token).
+std::vector<std::string> tokenize(const std::string& command) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  bool quoted = false;
+  bool have = false;
+  for (const char c : command) {
+    if (c == '"') {
+      quoted = !quoted;
+      have = true;
+    } else if ((c == ' ' || c == '\t') && !quoted) {
+      if (have) tokens.push_back(cur);
+      cur.clear();
+      have = false;
+    } else {
+      cur += c;
+      have = true;
+    }
+  }
+  if (have) tokens.push_back(cur);
+  return tokens;
+}
 
+std::string join(const std::vector<std::string>& tokens, std::size_t from) {
+  std::string out;
+  for (std::size_t i = from; i < tokens.size(); ++i) {
+    if (i > from) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+void print_help() {
+  std::fputs(flow::PassRegistry::instance().help().c_str(), stdout);
+  std::fputs(
+      " shell built-ins:\n"
+      "  flow \"<spec>\"        run a whole pipeline, e.g.\n"
+      "                        flow \"gen:adder,bits=16; compress2rs; "
+      "mch; map_lut:k=6; cec\"\n"
+      "  help                  this text\n"
+      "  quit | exit\n"
+      "commands separate with newlines or ';'; args are positional or "
+      "key=value\n",
+      stdout);
+}
+
+/// Executes one tokenized command.  Returns false on error (unknown
+/// command, bad arguments, failed pass).
+bool execute(flow::FlowContext& ctx, const std::vector<std::string>& tokens,
+             bool* quit) {
+  const std::string& cmd = tokens[0];
+  if (cmd == "quit" || cmd == "exit") {
+    *quit = true;
+    return true;
+  }
   if (cmd == "help") {
-    cmd_help();
-  } else if (cmd == "quit" || cmd == "exit") {
-    st.quit = true;
-  } else if (cmd == "gen") {
-    const std::string name = arg(1, "adder");
-    const int bits = tok.size() > 2 ? std::atoi(tok[2].c_str()) : 0;
-    for (auto& bc : circuits::epfl_suite(1.0)) {
-      if (bc.name != name) continue;
-      st.net = bits > 0 && name == "adder"        ? circuits::adder(bits)
-               : bits > 0 && name == "multiplier" ? circuits::multiplier(bits)
-               : bits > 0 && name == "bar" ? circuits::barrel_shifter(bits)
-               : bits > 0 && name == "voter" ? circuits::voter(bits)
-                                             : std::move(bc.net);
-      st.original = st.net;
-      st.luts.reset();
-      st.cells.reset();
-      cmd_ps(st);
-      return;
+    print_help();
+    return true;
+  }
+  if (cmd == "flow") {
+    if (tokens.size() < 2) {
+      std::printf("flow: missing spec (flow \"a; b; c\")\n");
+      return false;
     }
-    std::printf("unknown circuit '%s'\n", name.c_str());
-  } else if (cmd == "read_aiger") {
     try {
-      st.net = read_aiger_file(arg(1));
-      st.original = st.net;
-      cmd_ps(st);
-    } catch (const std::exception& e) {
-      std::printf("error: %s\n", e.what());
+      const flow::Flow f = flow::Flow::parse(join(tokens, 1));
+      const flow::FlowReport report = f.run(ctx);
+      std::printf("flow: %s (%zu stages, %.2fs)\n",
+                  report.ok ? "ok" : "FAILED", report.stages.size(),
+                  report.total_seconds);
+      return report.ok;
+    } catch (const flow::FlowError& e) {
+      std::printf("flow: %s\n", e.what());
+      return false;
     }
-  } else if (cmd == "write_aiger") {
-    try {
-      write_aiger_file(expand_to_aig(st.net), arg(1));
-    } catch (const std::exception& e) {
-      std::printf("error: %s\n", e.what());
-    }
-  } else if (cmd == "write_blif") {
-    std::ofstream os(arg(1));
-    if (st.luts) {
-      write_blif(*st.luts, os);
-    } else {
-      write_blif(st.net, os);
-    }
-  } else if (cmd == "write_verilog") {
-    std::ofstream os(arg(1));
-    if (st.cells) {
-      write_verilog(*st.cells, os);
-    } else {
-      write_verilog(st.net, os);
-    }
-  } else if (cmd == "ps") {
-    cmd_ps(st);
-  } else if (cmd == "strash") {
-    st.net = cleanup(st.net);
-    cmd_ps(st);
-  } else if (cmd == "to") {
-    st.net = convert_basis(st.net, parse_basis(arg(1, "aig"),
-                                               GateBasis::aig()));
-    cmd_ps(st);
-  } else if (cmd == "balance") {
-    st.net = balance(st.net);
-    cmd_ps(st);
-  } else if (cmd == "rewrite") {
-    st.net = rewrite(st.net);
-    cmd_ps(st);
-  } else if (cmd == "refactor") {
-    st.net = refactor(st.net);
-    cmd_ps(st);
-  } else if (cmd == "resub") {
-    st.net = resub(st.net);
-    cmd_ps(st);
-  } else if (cmd == "sweep") {
-    st.net = sweep(st.net);
-    cmd_ps(st);
-  } else if (cmd == "compress2rs") {
-    const int rounds = tok.size() > 1 ? std::atoi(tok[1].c_str()) : 3;
-    st.net = compress2rs_like(st.net, GateBasis::xmg(), rounds);
-    cmd_ps(st);
-  } else if (cmd == "dch") {
-    st.net = build_dch({st.net, balance(st.net), rewrite(st.net)});
-    cmd_ps(st);
-  } else if (cmd == "mch") {
-    MchParams params;
-    params.candidate_basis = parse_basis(arg(1, "xmg"), GateBasis::xmg());
-    if (tok.size() > 2) params.critical_ratio = std::atof(tok[2].c_str());
-    MchStats stats;
-    st.net = build_mch(st.net, params, &stats);
-    std::printf("mch: %zu choices added (%zu candidates tried)\n",
-                stats.num_choices_added, stats.num_candidates_tried);
-    cmd_ps(st);
-  } else if (cmd == "map_lut") {
-    LutMapParams params;
-    if (tok.size() > 1) params.lut_size = std::atoi(tok[1].c_str());
-    st.luts = lut_map(st.net, params);
-    std::printf("mapped: %zu LUTs, depth %u\n", st.luts->size(),
-                st.luts->depth());
-  } else if (cmd == "map_asic") {
-    AsicMapParams params;
-    if (arg(1) == "area") params.objective = AsicMapParams::Objective::kArea;
-    st.cells = asic_map(st.net, st.lib, params);
-    std::printf("mapped: %zu cells, %.3f um^2, %.2f ps\n", st.cells->size(),
-                st.cells->area, st.cells->delay);
-    for (const auto& [name, count] : st.cells->cell_histogram()) {
-      std::printf("  %-10s x%d\n", name.c_str(), count);
-    }
-  } else if (cmd == "graph_map") {
-    GraphMapParams params;
-    params.target = parse_basis(arg(1, "xmg"), GateBasis::xmg());
-    st.net = graph_map(st.net, params);
-    cmd_ps(st);
-  } else if (cmd == "threads") {
-    if (tok.size() > 1) st.par.num_threads = std::atoi(tok[1].c_str());
-    std::printf("threads: %zu (requested %d, hardware %u)\n",
-                ThreadPool::resolve_threads(st.par.num_threads),
-                st.par.num_threads, std::thread::hardware_concurrency());
-  } else if (cmd == "partsize") {
-    if (tok.size() > 1) {
-      const long v = std::atol(tok[1].c_str());
-      if (v > 0) st.par.partition.max_gates = static_cast<std::size_t>(v);
-    }
-    std::printf("partsize: %zu gates\n", st.par.partition.max_gates);
-  } else if (cmd == "popt") {
-    const int rounds = tok.size() > 1 ? std::atoi(tok[1].c_str()) : 3;
-    ParStats ps;
-    st.net = par_optimize(st.net, GateBasis::xmg(), rounds, st.par, &ps);
-    std::printf("popt: %zu partitions on %zu threads "
-                "(%.2fs work, %.2fs partition+stitch)\n",
-                ps.num_partitions, ps.num_threads, ps.work_seconds,
-                ps.partition_seconds + ps.reassemble_seconds);
-    cmd_ps(st);
-  } else if (cmd == "pmch") {
-    MchParams params;
-    params.candidate_basis = parse_basis(arg(1, "xmg"), GateBasis::xmg());
-    if (tok.size() > 2) params.critical_ratio = std::atof(tok[2].c_str());
-    ParStats ps;
-    MchStats stats;
-    st.net = par_mch(st.net, params, st.par, &ps, &stats);
-    std::printf("pmch: %zu choices added (%zu candidates tried) across "
-                "%zu partitions on %zu threads\n",
-                stats.num_choices_added, stats.num_candidates_tried,
-                ps.num_partitions, ps.num_threads);
-    cmd_ps(st);
-  } else if (cmd == "pmap_lut") {
-    LutMapParams params;
-    if (tok.size() > 1) params.lut_size = std::atoi(tok[1].c_str());
-    ParStats ps;
-    st.luts = par_map_lut(st.net, params, st.par, &ps);
-    std::printf("mapped: %zu LUTs, depth %u (%zu partitions on %zu "
-                "threads)\n",
-                st.luts->size(), st.luts->depth(), ps.num_partitions,
-                ps.num_threads);
-  } else if (cmd == "cec") {
-    if (!st.original) {
-      std::printf("no reference network loaded\n");
-      return;
-    }
-    const auto r = check_equivalence(*st.original, st.net);
-    std::printf("cec: %s\n", r == CecResult::kEquivalent    ? "equivalent"
-                             : r == CecResult::kNotEquivalent ? "NOT equivalent"
-                                                              : "unknown");
-  } else {
+  }
+  const flow::PassInfo* pass = flow::PassRegistry::instance().find(cmd);
+  if (!pass) {
     std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    return false;
+  }
+  try {
+    const flow::PassArgs args = flow::PassArgs::bind(
+        *pass, {tokens.begin() + 1, tokens.end()});
+    return flow::run_stage(ctx, *pass, args).ok;
+  } catch (const flow::FlowError& e) {
+    std::printf("%s\n", e.what());
+    return false;
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  ShellState st;
+  flow::FlowContext ctx;
+  ctx.verbose = true;
+
   std::istream* in = &std::cin;
   std::ifstream file;
+  bool batch = !isatty(fileno(stdin));
   if (argc > 1) {
     file.open(argv[1]);
     if (!file) {
@@ -288,22 +161,26 @@ int main(int argc, char** argv) {
       return 1;
     }
     in = &file;
-  } else {
-    std::printf("mcs shell -- type 'help' for commands\n");
+    batch = true;
   }
+  if (!batch) std::printf("mcs shell -- type 'help' for commands\n");
 
+  bool quit = false;
   std::string line;
-  while (!st.quit && std::getline(*in, line)) {
-    // Allow ';'-separated command sequences.
-    std::stringstream commands(line);
-    std::string one;
-    while (!st.quit && std::getline(commands, one, ';')) {
-      std::stringstream ts(one);
-      std::vector<std::string> tok;
-      std::string t;
-      while (ts >> t) tok.push_back(t);
-      if (tok.empty() || tok[0][0] == '#') continue;
-      execute(st, tok);
+  while (!quit && std::getline(*in, line)) {
+    // Whole-line comments are skipped before ';' splitting, so a '#'
+    // line may mention ';' without its tail running as a command.
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    for (const std::string& one : split_outside_quotes(line, ';')) {
+      if (quit) break;
+      const std::vector<std::string> tokens = tokenize(one);
+      if (tokens.empty() || tokens[0][0] == '#') continue;
+      if (!execute(ctx, tokens, &quit) && batch) {
+        std::fprintf(stderr, "mcs_shell: stopping on failed command '%s'\n",
+                     tokens[0].c_str());
+        return 1;
+      }
     }
   }
   return 0;

@@ -1,0 +1,80 @@
+/// \file choice_passes.cpp
+/// \brief Flow registrations for choice construction: `mch` (the paper's
+/// mixed structural choices, Algorithms 1-2) and `dch` (the traditional
+/// snapshot-based baseline).
+
+#include "mcs/choice/dch.hpp"
+#include "mcs/choice/mch.hpp"
+#include "mcs/flow/flow.hpp"
+#include "mcs/flow/registration.hpp"
+#include "mcs/opt/optimize.hpp"
+
+// The registrations below use designated initializers and deliberately
+// leave defaulted PassInfo/ParamSpec members out; GCC's -Wextra flags
+// every omitted member, so silence that one diagnostic here.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+#endif
+
+namespace mcs::flow {
+
+void register_choice_passes(PassRegistry& registry) {
+  registry.add({
+      .name = "mch",
+      .summary = "attach mixed structural choices (heterogeneous candidates)",
+      .kind = PassKind::kChoice,
+      .params = {{.key = "basis",
+                  .type = ParamType::kBasis,
+                  .default_value = "xmg",
+                  .help = "candidate synthesis basis"},
+                 {.key = "ratio",
+                  .type = ParamType::kDouble,
+                  .default_value = "0.9",
+                  .help = "critical-path ratio r"},
+                 {.key = "cut",
+                  .type = ParamType::kInt,
+                  .default_value = "4",
+                  .help = "cut size k"},
+                 {.key = "max_choices",
+                  .type = ParamType::kInt,
+                  .default_value = "4",
+                  .help = "choices per representative"}},
+      .parallel_ok = true,
+      .run =
+          [](FlowContext& ctx, const PassArgs& args) {
+            MchParams params;
+            params.candidate_basis = args.get_basis("basis");
+            params.critical_ratio = args.get_double("ratio");
+            params.cut_size = static_cast<int>(args.get_int("cut"));
+            params.max_choices_per_node =
+                static_cast<int>(args.get_int("max_choices"));
+            if (params.critical_ratio < 0.0 || params.critical_ratio > 1.0) {
+              throw FlowError("mch: ratio must be in [0, 1]");
+            }
+            MchStats stats;
+            ctx.net = build_mch(ctx.net, params, &stats);
+            ctx.note = std::to_string(stats.num_choices_added) +
+                       " choices added (" +
+                       std::to_string(stats.num_candidates_tried) +
+                       " candidates tried)";
+          },
+  });
+
+  registry.add({
+      .name = "dch",
+      .summary = "traditional structural choices (snapshots + SAT)",
+      .kind = PassKind::kChoice,
+      .parallel_ok = true,
+      .run =
+          [](FlowContext& ctx, const PassArgs&) {
+            DchParams params;
+            if (ctx.seed != 0) params.sim_seed = ctx.seed;
+            DchStats stats;
+            ctx.net = build_dch({ctx.net, balance(ctx.net), rewrite(ctx.net)},
+                                params, &stats);
+            ctx.note = std::to_string(stats.num_proven) + " choices proven";
+          },
+  });
+}
+
+}  // namespace mcs::flow

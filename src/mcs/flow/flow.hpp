@@ -1,0 +1,278 @@
+/// \file flow.hpp
+/// \brief Unified pass/pipeline API: composable passes, a pass registry and
+/// a flow-spec mini-language.
+///
+/// The paper's experimental setup is a *flow* -- optimize, build choices,
+/// map, verify -- but each step used to be a free function with its own
+/// `*Params` struct, hand-wired separately in the shell, the parallel
+/// drivers and every bench.  This layer gives all of them one abstraction:
+///
+///   - FlowContext: the state a flow threads through its stages (working
+///     network, reference snapshot, mapped artifacts, tech library, thread
+///     pool settings, RNG seed, per-stage reports).
+///   - PassInfo + PassRegistry: every pass self-describes (name, summary,
+///     typed param schema) and registers once; shells, flows and benches
+///     all dispatch through registry lookups.  `help` text and the README
+///     pass table are generated/checked from the same schemas.
+///   - Flow: a pipeline parsed from a spec string, e.g.
+///         "gen:multiplier,bits=64; compress2rs; mch:basis=xmg,ratio=0.9;
+///          map_lut:k=6; cec"
+///     Stages are `name[:arg,...]`; args are `key=value` or positional (in
+///     schema order).  The whole spec is validated *before* execution.
+///   - FlowReport: structured per-stage results (gates/depth/LUTs/time),
+///     JSON-serializable for scripted runs (see bench_util's emitter).
+///
+/// Adding a new pass costs one registration: fill a PassInfo (schema +
+/// run lambda over FlowContext) in the subsystem's `*_passes.cpp` and it is
+/// immediately available as a shell command, a flow stage, and -- for
+/// network transforms -- a target of the generic partition-parallel driver
+/// (`par:pass=<name>`; see mcs/par/par_engine.hpp).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mcs/map/asic_mapper.hpp"
+#include "mcs/map/lut_mapper.hpp"
+#include "mcs/map/techlib.hpp"
+#include "mcs/network/network.hpp"
+#include "mcs/par/par_engine.hpp"
+#include "mcs/resyn/basis.hpp"
+
+namespace mcs::flow {
+
+/// Raised on malformed flow specs, unknown passes/params, junk argument
+/// values and pass failures (e.g. a failing `cec` stage).
+class FlowError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// --- validated scalar parsing ----------------------------------------------
+
+/// Strict parsers: the whole trimmed token must be consumed, otherwise
+/// std::nullopt (no atoi-style silent truncation of junk to 0).
+std::optional<long long> parse_int(std::string_view text);
+std::optional<double> parse_double(std::string_view text);
+std::optional<bool> parse_bool(std::string_view text);
+std::optional<GateBasis> parse_basis(std::string_view text);
+
+// --- pass schemas -----------------------------------------------------------
+
+enum class ParamType { kInt, kUint64, kDouble, kBool, kString, kBasis };
+
+/// One parameter of a pass.  A parameter may be bound by key (`bits=64`) or
+/// positionally (bare tokens bind to the schema's params in order).
+struct ParamSpec {
+  std::string key;
+  ParamType type = ParamType::kString;
+  std::string default_value;  ///< textual; empty and !required = truly optional
+  bool required = false;
+  std::string help;
+};
+
+enum class PassKind {
+  kSource,     ///< loads/generates the working network (resets the reference)
+  kTransform,  ///< Network -> Network
+  kChoice,     ///< Network -> choice Network (classes must survive stitching)
+  kMapping,    ///< Network -> LutNetwork / CellNetlist
+  kAnalysis,   ///< reads state (ps, cec)
+  kOutput,     ///< writes files
+  kSetting,    ///< mutates flow settings (threads, partsize, seed)
+};
+
+struct FlowContext;
+struct PassInfo;
+
+/// Parsed, type-validated arguments of one pass invocation.  Construction
+/// (bind) rejects unknown keys, duplicate keys, surplus positionals, junk
+/// values and missing required params with a descriptive FlowError.
+class PassArgs {
+ public:
+  PassArgs() = default;
+
+  /// Binds raw tokens (`key=value` or positional) against \p info's schema.
+  static PassArgs bind(const PassInfo& info,
+                       const std::vector<std::string>& tokens);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters; fall back to the schema default when the key was not
+  /// bound.  Calling a getter for an unbound key without a default is a
+  /// programming error and throws.
+  long long get_int(const std::string& key) const;
+  std::uint64_t get_uint64(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+  std::string get_string(const std::string& key) const;
+  GateBasis get_basis(const std::string& key) const;
+
+  /// Unmatched key=value pairs (only passes with allow_extra_args collect
+  /// these; the `par` meta-pass forwards them to its inner pass).
+  const std::vector<std::pair<std::string, std::string>>& extras() const {
+    return extras_;
+  }
+
+  /// Canonical textual form, e.g. "basis=xmg,ratio=0.9" (bound args only).
+  std::string canonical() const;
+
+ private:
+  std::string raw(const std::string& key) const;  ///< bound value or default
+
+  const PassInfo* info_ = nullptr;
+  std::vector<std::pair<std::string, std::string>> values_;
+  std::vector<std::pair<std::string, std::string>> extras_;
+};
+
+/// A registered pass: self-describing metadata plus the run hook.
+struct PassInfo {
+  std::string name;
+  std::string summary;
+  PassKind kind = PassKind::kTransform;
+  std::vector<ParamSpec> params;
+
+  /// Collect unknown key=value args instead of rejecting them (used by the
+  /// `par` meta-pass to forward params to its inner pass).
+  bool allow_extra_args = false;
+
+  /// Network->network passes that are safe to run per-shard under the
+  /// generic partition-parallel driver (`par:pass=<name>`).
+  bool parallel_ok = false;
+
+  /// Executes the pass.  Failures are reported by throwing FlowError.
+  std::function<void(FlowContext&, const PassArgs&)> run;
+
+  /// Optional extra parse-time validation (after bind), e.g. the `par`
+  /// meta-pass validating its forwarded inner-pass args.
+  std::function<void(const PassArgs&)> validate;
+};
+
+/// "k=6, zero=false" rendering of a schema (defaults shown; required /
+/// default-less params as a bare key).  Shared by `help` and the README
+/// pass table (checked in tests/test_flow.cpp).
+std::string params_summary(const PassInfo& info);
+
+/// The global pass registry.  Built-in passes (opt, choice, map, par, io,
+/// gen, analysis, settings) register on first access; libraries embedding
+/// mcs may add their own passes at startup.
+class PassRegistry {
+ public:
+  static PassRegistry& instance();
+
+  /// Registers \p info.  Throws std::logic_error on duplicate names,
+  /// duplicate param keys or schema defaults that fail their own type.
+  void add(PassInfo info);
+
+  /// Looks up a pass by name; nullptr when unknown.
+  const PassInfo* find(std::string_view name) const;
+
+  /// All passes in registration order.
+  std::vector<const PassInfo*> all() const;
+
+  /// Generated command reference, grouped by PassKind (the shell's `help`).
+  std::string help() const;
+
+ private:
+  PassRegistry();
+
+  std::vector<std::unique_ptr<PassInfo>> passes_;
+  std::unordered_map<std::string, const PassInfo*> by_name_;
+};
+
+// --- flow state and reports -------------------------------------------------
+
+/// Timing and result snapshot of one executed stage.
+struct StageReport {
+  std::string pass;
+  std::string args;  ///< canonical args, "" when none
+  bool ok = true;
+  std::string note;  ///< pass message, or the error text when !ok
+  double seconds = 0.0;
+
+  // Working-network snapshot after the stage.
+  std::size_t gates = 0;
+  std::uint32_t depth = 0;
+  std::size_t choices = 0;
+
+  // Mapped artifacts, when present.
+  std::size_t luts = 0;
+  std::uint32_t lut_depth = 0;
+  std::size_t cells = 0;
+  double area = 0.0;
+  double delay = 0.0;
+};
+
+/// Structured result of a whole flow; stages in execution order (a failed
+/// stage is recorded and stops the flow).
+struct FlowReport {
+  bool ok = true;
+  std::string error;  ///< first failure message, "" when ok
+  double total_seconds = 0.0;
+  std::vector<StageReport> stages;
+
+  /// One self-contained JSON object (no external dependencies).
+  std::string to_json() const;
+};
+
+/// The state a flow threads through its passes.
+struct FlowContext {
+  Network net;                      ///< working network
+  std::optional<Network> original;  ///< reference snapshot for `cec`
+  std::optional<LutNetwork> luts;   ///< last LUT mapping
+  std::optional<CellNetlist> cells;  ///< last standard-cell mapping
+  TechLibrary lib = TechLibrary::asap7_mini();
+  ParParams par;           ///< threads + partitioning for the parallel passes
+  std::uint64_t seed = 0;  ///< flow RNG seed; 0 = per-pass defaults
+  bool verbose = false;    ///< passes print per-stage summaries (the shell)
+  std::string note;        ///< set by the running pass, harvested per stage
+  std::vector<StageReport> history;  ///< every stage executed on this context
+};
+
+/// Executes one bound pass on \p ctx: times it, captures errors (returned
+/// as !ok, never thrown), snapshots stats, appends to ctx.history and
+/// prints a summary when ctx.verbose.  The shell and Flow::run share this.
+StageReport run_stage(FlowContext& ctx, const PassInfo& pass,
+                      const PassArgs& args);
+
+/// A validated pipeline of bound passes.
+class Flow {
+ public:
+  struct Stage {
+    const PassInfo* pass = nullptr;
+    PassArgs args;
+  };
+
+  /// Parses and validates \p spec (see file comment for the grammar).
+  /// Throws FlowError on any malformed stage; nothing is executed.
+  static Flow parse(const std::string& spec);
+
+  const std::vector<Stage>& stages() const { return stages_; }
+
+  /// Canonical spec string ("gen:name=adder,bits=16; compress2rs; ...").
+  std::string canonical() const;
+
+  /// Runs the stages in order on \p ctx; stops at the first failure.
+  FlowReport run(FlowContext& ctx) const;
+
+ private:
+  std::vector<Stage> stages_;
+};
+
+/// Parses and runs \p spec on \p ctx (the shared entry point of the shell's
+/// `flow` command, the benches and the tests).  Parse errors throw
+/// FlowError; stage failures are reported in the returned FlowReport.
+FlowReport run_flow(const std::string& spec, FlowContext& ctx);
+
+/// Same, on a fresh default FlowContext.
+FlowReport run_flow(const std::string& spec);
+
+}  // namespace mcs::flow

@@ -1,0 +1,317 @@
+/// \file passes.cpp
+/// \brief Core pass registrations: benchmark generation, AIGER/BLIF/Verilog
+/// io, network analysis (ps/cec), structural housekeeping (strash/to) and
+/// the flow settings (threads/partsize/seed).
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "mcs/circuits/circuits.hpp"
+#include "mcs/flow/flow.hpp"
+#include "mcs/flow/registration.hpp"
+#include "mcs/io/aiger.hpp"
+#include "mcs/io/writers.hpp"
+#include "mcs/network/convert.hpp"
+#include "mcs/network/network_utils.hpp"
+#include "mcs/par/thread_pool.hpp"
+#include "mcs/sat/cec.hpp"
+
+// The registrations below use designated initializers and deliberately
+// leave defaulted PassInfo/ParamSpec members out; GCC's -Wextra flags
+// every omitted member, so silence that one diagnostic here.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+#endif
+
+namespace mcs::flow {
+
+namespace {
+
+/// Generator table for `gen`: bits == 0 picks the family's default width
+/// (the epfl_suite sizes); non-parametrizable circuits ignore bits.
+struct Generator {
+  const char* name;
+  int default_bits;                 ///< 0 = not parametrizable
+  Network (*make)(int bits);
+};
+
+const Generator kGenerators[] = {
+    {"adder", 64, [](int b) { return circuits::adder(b); }},
+    {"bar", 64, [](int b) { return circuits::barrel_shifter(b); }},
+    {"div", 16, [](int b) { return circuits::divider(b); }},
+    {"hyp", 12, [](int b) { return circuits::hypotenuse(b); }},
+    {"log2", 16, [](int b) { return circuits::log2_approx(b); }},
+    {"max", 32, [](int b) { return circuits::max4(b); }},
+    {"multiplier", 16, [](int b) { return circuits::multiplier(b); }},
+    {"sin", 10, [](int b) { return circuits::sin_approx(b); }},
+    {"sqrt", 24, [](int b) { return circuits::sqrt_circuit(b); }},
+    {"square", 20, [](int b) { return circuits::square(b); }},
+    {"arbiter", 32, [](int b) { return circuits::round_robin_arbiter(b); }},
+    {"cavlc", 0, [](int) { return circuits::cavlc_like(); }},
+    {"ctrl", 0, [](int) { return circuits::ctrl_like(); }},
+    {"dec", 7, [](int b) { return circuits::decoder(b); }},
+    {"i2c", 0, [](int) { return circuits::i2c_like(); }},
+    {"int2float", 0, [](int) { return circuits::int2float_like(); }},
+    {"mem_ctrl", 0, [](int) { return circuits::mem_ctrl_like(); }},
+    {"priority", 64, [](int b) { return circuits::priority_encoder(b); }},
+    {"router", 0, [](int) { return circuits::router_like(); }},
+    {"voter", 63, [](int b) { return circuits::voter(b); }},
+};
+
+void load_network(FlowContext& ctx, Network net) {
+  ctx.net = std::move(net);
+  ctx.original = ctx.net;
+  ctx.luts.reset();
+  ctx.cells.reset();
+}
+
+}  // namespace
+
+void register_core_passes(PassRegistry& registry) {
+  // --- sources --------------------------------------------------------------
+  registry.add({
+      .name = "gen",
+      .summary = "generate a benchmark circuit (EPFL-analogue suite)",
+      .kind = PassKind::kSource,
+      .params = {{.key = "name",
+                  .type = ParamType::kString,
+                  .default_value = "adder",
+                  .help = "circuit family"},
+                 {.key = "bits",
+                  .type = ParamType::kInt,
+                  .default_value = "0",
+                  .help = "width; 0 = family default"}},
+      .run =
+          [](FlowContext& ctx, const PassArgs& args) {
+            const std::string name = args.get_string("name");
+            const long long bits = args.get_int("bits");
+            if (bits < 0) {
+              throw FlowError("gen: bits must be >= 0");
+            }
+            for (const Generator& g : kGenerators) {
+              if (name != g.name) continue;
+              const int width =
+                  bits > 0 ? static_cast<int>(bits) : g.default_bits;
+              load_network(ctx, g.make(width));
+              ctx.note = "generated " + name;
+              return;
+            }
+            std::string known;
+            for (const Generator& g : kGenerators) {
+              if (!known.empty()) known += ", ";
+              known += g.name;
+            }
+            throw FlowError("gen: unknown circuit '" + name +
+                            "' (known: " + known + ")");
+          },
+  });
+
+  registry.add({
+      .name = "read_aiger",
+      .summary = "load an AIGER file (ascii or binary)",
+      .kind = PassKind::kSource,
+      .params = {{.key = "file",
+                  .type = ParamType::kString,
+                  .required = true,
+                  .help = "path to .aig/.aag"}},
+      .run =
+          [](FlowContext& ctx, const PassArgs& args) {
+            load_network(ctx, read_aiger_file(args.get_string("file")));
+            ctx.note = "read " + args.get_string("file");
+          },
+  });
+
+  // --- transforms -----------------------------------------------------------
+  registry.add({
+      .name = "strash",
+      .summary = "re-hash the network and drop dangling nodes",
+      .kind = PassKind::kTransform,
+      .parallel_ok = true,
+      .run = [](FlowContext& ctx,
+                const PassArgs&) { ctx.net = cleanup(ctx.net); },
+  });
+
+  registry.add({
+      .name = "to",
+      .summary = "convert the network to a gate basis",
+      .kind = PassKind::kTransform,
+      .params = {{.key = "basis",
+                  .type = ParamType::kBasis,
+                  .default_value = "aig",
+                  .help = "target basis"}},
+      .parallel_ok = true,
+      .run =
+          [](FlowContext& ctx, const PassArgs& args) {
+            ctx.net = convert_basis(ctx.net, args.get_basis("basis"));
+          },
+  });
+
+  // --- analysis -------------------------------------------------------------
+  registry.add({
+      .name = "ps",
+      .summary = "print network / mapping statistics",
+      .kind = PassKind::kAnalysis,
+      .run =
+          [](FlowContext& ctx, const PassArgs&) {
+            const NetworkStats s = network_stats(ctx.net);
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "pi=%zu po=%zu and=%zu xor2=%zu maj=%zu xor3=%zu",
+                          ctx.net.num_pis(), ctx.net.num_pos(), s.num_and2,
+                          s.num_xor2, s.num_maj3, s.num_xor3);
+            ctx.note = buf;
+          },
+  });
+
+  registry.add({
+      .name = "cec",
+      .summary = "verify against the originally loaded network (sim + SAT)",
+      .kind = PassKind::kAnalysis,
+      .run =
+          [](FlowContext& ctx, const PassArgs&) {
+            if (!ctx.original) {
+              throw FlowError("cec: no reference network loaded");
+            }
+            // When a mapping is present, verify the mapped artifact
+            // (rebuilt as a network); otherwise the working network.
+            const Network* subject = &ctx.net;
+            Network rebuilt;
+            if (ctx.luts) {
+              rebuilt = lut_network_to_network(*ctx.luts);
+              subject = &rebuilt;
+            }
+            const CecResult r = check_equivalence(*ctx.original, *subject);
+            if (r == CecResult::kNotEquivalent) {
+              throw FlowError("NOT equivalent");
+            }
+            if (r == CecResult::kUnknown) {
+              throw FlowError("unknown (resource limit)");
+            }
+            ctx.note = ctx.luts ? "equivalent (LUT network)" : "equivalent";
+          },
+  });
+
+  // --- output ---------------------------------------------------------------
+  registry.add({
+      .name = "write_aiger",
+      .summary = "write the network (AND-expanded) as AIGER",
+      .kind = PassKind::kOutput,
+      .params = {{.key = "file",
+                  .type = ParamType::kString,
+                  .required = true,
+                  .help = "output path"}},
+      .run =
+          [](FlowContext& ctx, const PassArgs& args) {
+            write_aiger_file(expand_to_aig(ctx.net), args.get_string("file"));
+            ctx.note = "wrote " + args.get_string("file");
+          },
+  });
+
+  registry.add({
+      .name = "write_blif",
+      .summary = "write the network (or LUT mapping) as BLIF",
+      .kind = PassKind::kOutput,
+      .params = {{.key = "file",
+                  .type = ParamType::kString,
+                  .required = true,
+                  .help = "output path"}},
+      .run =
+          [](FlowContext& ctx, const PassArgs& args) {
+            std::ofstream os(args.get_string("file"));
+            if (!os) {
+              throw FlowError("write_blif: cannot open " +
+                              args.get_string("file"));
+            }
+            if (ctx.luts) {
+              write_blif(*ctx.luts, os);
+            } else {
+              write_blif(ctx.net, os);
+            }
+            ctx.note = "wrote " + args.get_string("file");
+          },
+  });
+
+  registry.add({
+      .name = "write_verilog",
+      .summary = "write the network (or cell netlist) as Verilog",
+      .kind = PassKind::kOutput,
+      .params = {{.key = "file",
+                  .type = ParamType::kString,
+                  .required = true,
+                  .help = "output path"}},
+      .run =
+          [](FlowContext& ctx, const PassArgs& args) {
+            std::ofstream os(args.get_string("file"));
+            if (!os) {
+              throw FlowError("write_verilog: cannot open " +
+                              args.get_string("file"));
+            }
+            if (ctx.cells) {
+              write_verilog(*ctx.cells, os);
+            } else {
+              write_verilog(ctx.net, os);
+            }
+            ctx.note = "wrote " + args.get_string("file");
+          },
+  });
+
+  // --- settings -------------------------------------------------------------
+  registry.add({
+      .name = "threads",
+      .summary = "set worker threads for the parallel passes (0 = auto)",
+      .kind = PassKind::kSetting,
+      .params = {{.key = "n",
+                  .type = ParamType::kInt,
+                  .help = "thread count; omit to print the current setting"}},
+      .run =
+          [](FlowContext& ctx, const PassArgs& args) {
+            if (args.has("n")) {
+              ctx.par.num_threads = static_cast<int>(args.get_int("n"));
+            }
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "threads: %zu (requested %d, hardware %u)",
+                          ThreadPool::resolve_threads(ctx.par.num_threads),
+                          ctx.par.num_threads,
+                          std::thread::hardware_concurrency());
+            ctx.note = buf;
+          },
+  });
+
+  registry.add({
+      .name = "partsize",
+      .summary = "set the partition size target for the parallel passes",
+      .kind = PassKind::kSetting,
+      .params = {{.key = "gates",
+                  .type = ParamType::kInt,
+                  .help = "soft gate cap per shard; omit to print"}},
+      .run =
+          [](FlowContext& ctx, const PassArgs& args) {
+            if (args.has("gates")) {
+              const long long v = args.get_int("gates");
+              if (v <= 0) throw FlowError("partsize: gates must be > 0");
+              ctx.par.partition.max_gates = static_cast<std::size_t>(v);
+            }
+            ctx.note = "partsize: " +
+                       std::to_string(ctx.par.partition.max_gates) + " gates";
+          },
+  });
+
+  registry.add({
+      .name = "seed",
+      .summary = "set the flow RNG seed (0 = per-pass defaults)",
+      .kind = PassKind::kSetting,
+      .params = {{.key = "value",
+                  .type = ParamType::kUint64,
+                  .default_value = "0",
+                  .help = "seed"}},
+      .run =
+          [](FlowContext& ctx, const PassArgs& args) {
+            ctx.seed = args.get_uint64("value");
+            ctx.note = "seed: " + std::to_string(ctx.seed);
+          },
+  });
+}
+
+}  // namespace mcs::flow

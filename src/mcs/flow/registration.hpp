@@ -1,0 +1,23 @@
+/// \file registration.hpp
+/// \brief Internal: built-in pass registration hooks.
+///
+/// Each subsystem contributes its passes from its own directory
+/// (opt/opt_passes.cpp, choice/choice_passes.cpp, map/map_passes.cpp,
+/// par/par_passes.cpp); the core passes (gen, io, analysis, settings) live
+/// in flow/passes.cpp.  PassRegistry's constructor calls every hook
+/// explicitly -- static-initializer self-registration would be dropped by
+/// the linker for unreferenced objects of a static library.
+
+#pragma once
+
+namespace mcs::flow {
+
+class PassRegistry;
+
+void register_core_passes(PassRegistry& registry);    // flow/passes.cpp
+void register_opt_passes(PassRegistry& registry);     // opt/opt_passes.cpp
+void register_choice_passes(PassRegistry& registry);  // choice/choice_passes.cpp
+void register_map_passes(PassRegistry& registry);     // map/map_passes.cpp
+void register_par_passes(PassRegistry& registry);     // par/par_passes.cpp
+
+}  // namespace mcs::flow

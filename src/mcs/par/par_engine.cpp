@@ -66,76 +66,52 @@ void fill_post(ParStats* stats, const Network& net) {
 
 }  // namespace
 
-Network par_optimize(const Network& net, GateBasis basis, int max_rounds,
-                     const ParParams& params, ParStats* stats) {
-  const std::size_t threads = ThreadPool::resolve_threads(params.num_threads);
-  Phase phase{stats};
-  PartitionSet parts = partition_network(net, params.partition);
-  phase.lap(&ParStats::partition_seconds);
-  fill_pre(stats, net, parts.parts.size(), threads);
-
-  for_each_shard(parts.parts.size(), threads, [&](std::size_t i) {
-    Partition& p = parts.parts[i];
-    p.net = compress2rs_like(p.net, basis, max_rounds);
-  });
-  phase.lap(&ParStats::work_seconds);
-
-  Network result = reassemble(net, parts);
-  phase.lap(&ParStats::reassemble_seconds);
-  fill_post(stats, result);
-  return result;
-}
-
-Network par_mch(const Network& net, const MchParams& mch_params,
+Network par_run(const Network& net, const ShardPassFn& pass,
                 const ParParams& params, ParStats* stats,
-                MchStats* mch_stats) {
-  const std::size_t threads = ThreadPool::resolve_threads(params.num_threads);
+                const ReassembleOptions& reassemble_opts) {
   Phase phase{stats};
   PartitionSet parts = partition_network(net, params.partition);
   phase.lap(&ParStats::partition_seconds);
+  return par_run(net, std::move(parts), pass, params, stats, reassemble_opts);
+}
+
+Network par_run(const Network& net, PartitionSet parts, const ShardPassFn& pass,
+                const ParParams& params, ParStats* stats,
+                const ReassembleOptions& reassemble_opts) {
+  const std::size_t threads = ThreadPool::resolve_threads(params.num_threads);
+  Phase phase{stats};
   fill_pre(stats, net, parts.parts.size(), threads);
 
-  std::vector<MchStats> shard_stats(parts.parts.size());
   for_each_shard(parts.parts.size(), threads, [&](std::size_t i) {
     Partition& p = parts.parts[i];
-    p.net = build_mch(p.net, mch_params, mch_stats ? &shard_stats[i] : nullptr);
+    p.net = pass(p.net, i);
   });
   phase.lap(&ParStats::work_seconds);
 
-  if (mch_stats) {
-    for (const MchStats& s : shard_stats) {
-      mch_stats->num_critical_nodes += s.num_critical_nodes;
-      mch_stats->num_candidates_tried += s.num_candidates_tried;
-      mch_stats->num_choices_added += s.num_choices_added;
-      mch_stats->num_rejected_same += s.num_rejected_same;
-      mch_stats->num_rejected_cycle += s.num_rejected_cycle;
-      mch_stats->num_rejected_class += s.num_rejected_class;
-      mch_stats->num_rejected_cap += s.num_rejected_cap;
-    }
-  }
-
-  Network result = reassemble(net, parts, {.keep_choices = true});
+  Network result = reassemble(net, parts, reassemble_opts);
   phase.lap(&ParStats::reassemble_seconds);
   fill_post(stats, result);
   return result;
 }
 
-LutNetwork par_map_lut(const Network& net, const LutMapParams& map_params,
-                       const ParParams& params, ParStats* stats,
-                       LutMapStats* map_stats) {
+LutNetwork par_run_lut(const Network& net, const ShardMapFn& map_shard,
+                       const ParParams& params, ParStats* stats) {
+  Phase phase{stats};
+  PartitionSet parts = partition_network(net, params.partition);
+  phase.lap(&ParStats::partition_seconds);
+  return par_run_lut(net, std::move(parts), map_shard, params, stats);
+}
+
+LutNetwork par_run_lut(const Network& net, PartitionSet parts,
+                       const ShardMapFn& map_shard, const ParParams& params,
+                       ParStats* stats) {
   const std::size_t threads = ThreadPool::resolve_threads(params.num_threads);
   Phase phase{stats};
-  PartitionParams part_params = params.partition;
-  part_params.keep_choices = map_params.use_choices;
-  PartitionSet parts = partition_network(net, part_params);
-  phase.lap(&ParStats::partition_seconds);
   fill_pre(stats, net, parts.parts.size(), threads);
 
   std::vector<LutNetwork> shard_luts(parts.parts.size());
-  std::vector<LutMapStats> shard_stats(parts.parts.size());
   for_each_shard(parts.parts.size(), threads, [&](std::size_t i) {
-    shard_luts[i] = lut_map(parts.parts[i].net, map_params,
-                            map_stats ? &shard_stats[i] : nullptr);
+    shard_luts[i] = map_shard(parts.parts[i].net, i);
   });
   phase.lap(&ParStats::work_seconds);
 
@@ -211,16 +187,77 @@ LutNetwork par_map_lut(const Network& net, const LutMapParams& map_params,
   }
   phase.lap(&ParStats::reassemble_seconds);
 
+  if (stats) {
+    stats->final_gates = merged.luts.size();
+    stats->final_depth = merged.depth();
+  }
+  return merged;
+}
+
+Network par_optimize(const Network& net, GateBasis basis, int max_rounds,
+                     const ParParams& params, ParStats* stats) {
+  return par_run(
+      net,
+      [&](const Network& shard, std::size_t) {
+        return compress2rs_like(shard, basis, max_rounds);
+      },
+      params, stats);
+}
+
+Network par_mch(const Network& net, const MchParams& mch_params,
+                const ParParams& params, ParStats* stats,
+                MchStats* mch_stats) {
+  // Partition up front: per-shard stats are indexed by shard, so the
+  // shard count is needed before the work phase.
+  Phase phase{stats};
+  PartitionSet parts = partition_network(net, params.partition);
+  phase.lap(&ParStats::partition_seconds);
+  std::vector<MchStats> shard_stats(mch_stats ? parts.parts.size() : 0);
+  Network result = par_run(
+      net, std::move(parts),
+      [&](const Network& shard, std::size_t i) {
+        return build_mch(shard, mch_params,
+                         mch_stats ? &shard_stats[i] : nullptr);
+      },
+      params, stats, {.keep_choices = true});
+
+  if (mch_stats) {
+    for (const MchStats& s : shard_stats) {
+      mch_stats->num_critical_nodes += s.num_critical_nodes;
+      mch_stats->num_candidates_tried += s.num_candidates_tried;
+      mch_stats->num_choices_added += s.num_choices_added;
+      mch_stats->num_rejected_same += s.num_rejected_same;
+      mch_stats->num_rejected_cycle += s.num_rejected_cycle;
+      mch_stats->num_rejected_class += s.num_rejected_class;
+      mch_stats->num_rejected_cap += s.num_rejected_cap;
+    }
+  }
+  return result;
+}
+
+LutNetwork par_map_lut(const Network& net, const LutMapParams& map_params,
+                       const ParParams& params, ParStats* stats,
+                       LutMapStats* map_stats) {
+  ParParams lut_params = params;
+  lut_params.partition.keep_choices = map_params.use_choices;
+  Phase phase{stats};
+  PartitionSet parts = partition_network(net, lut_params.partition);
+  phase.lap(&ParStats::partition_seconds);
+  std::vector<LutMapStats> shard_stats(map_stats ? parts.parts.size() : 0);
+  LutNetwork merged = par_run_lut(
+      net, std::move(parts),
+      [&](const Network& shard, std::size_t i) {
+        return lut_map(shard, map_params,
+                       map_stats ? &shard_stats[i] : nullptr);
+      },
+      lut_params, stats);
+
   if (map_stats) {
     map_stats->num_luts = merged.size();
     map_stats->depth = merged.depth();
     for (const LutMapStats& s : shard_stats) {
       map_stats->num_choice_cuts_used += s.num_choice_cuts_used;
     }
-  }
-  if (stats) {
-    stats->final_gates = merged.luts.size();
-    stats->final_depth = merged.depth();
   }
   return merged;
 }

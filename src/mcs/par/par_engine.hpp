@@ -1,17 +1,23 @@
 /// \file par_engine.hpp
-/// \brief Parallel partition-based drivers for the synthesis passes.
+/// \brief Generic partition-parallel driver for the synthesis passes.
 ///
-/// Each driver shards the input network with partition_network(), runs an
-/// existing single-threaded pass on every shard via a ThreadPool, and
-/// stitches the results back with reassemble().  Because shards are
+/// par_run() shards the input network with partition_network(), runs *any*
+/// network->network pass on every shard via a ThreadPool, and stitches the
+/// results back with reassemble(); par_run_lut() does the same for mapping
+/// passes that produce a LutNetwork per shard.  Because shards are
 /// self-contained Networks and reassembly happens in fixed partition order,
 /// the output is bit-identical for any thread count (see partition.hpp for
 /// the determinism contract); threads only change the wall-clock time.
+///
+/// par_optimize() / par_mch() / par_map_lut() are thin wrappers over the
+/// generic drivers, kept for source compatibility; the flow layer's `par`
+/// meta-pass (mcs/flow) drives any registered pass through par_run().
 
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "mcs/choice/mch.hpp"
 #include "mcs/map/lut_mapper.hpp"
@@ -39,6 +45,45 @@ struct ParStats {
   double work_seconds = 0.0;        ///< per-shard passes (parallel section)
   double reassemble_seconds = 0.0;  ///< stitching (serial)
 };
+
+/// A network->network pass applied to one shard.  The shard index is passed
+/// so callers can collect per-shard statistics deterministically (indexed,
+/// not append-ordered).  Must be safe to invoke concurrently on distinct
+/// shards.
+using ShardPassFn = std::function<Network(const Network&, std::size_t)>;
+
+/// Generic partition-parallel driver: partitions \p net (params.partition),
+/// applies \p pass to every shard on up to params.num_threads workers, and
+/// reassembles in fixed partition order.  Exceptions thrown by \p pass
+/// surface in shard-index order.  Bit-identical for any thread count.
+Network par_run(const Network& net, const ShardPassFn& pass,
+                const ParParams& params = {}, ParStats* stats = nullptr,
+                const ReassembleOptions& reassemble_opts = {});
+
+/// Pre-partitioned variant for callers that need the shard count before the
+/// work phase (e.g. to size per-shard stats arrays): \p parts must come
+/// from partition_network(net, ...).  stats->partition_seconds is left to
+/// the caller.
+Network par_run(const Network& net, PartitionSet parts,
+                const ShardPassFn& pass, const ParParams& params = {},
+                ParStats* stats = nullptr,
+                const ReassembleOptions& reassemble_opts = {});
+
+/// A mapping pass applied to one shard (same contract as ShardPassFn).
+using ShardMapFn = std::function<LutNetwork(const Network&, std::size_t)>;
+
+/// Generic partition-parallel mapping driver: maps every shard with
+/// \p map_shard and stitches the shard LUT networks over the original
+/// PI/PO interface, structurally hashing LUTs so logic duplicated across
+/// shards (kOutputCones) collapses back to one copy.
+LutNetwork par_run_lut(const Network& net, const ShardMapFn& map_shard,
+                       const ParParams& params = {}, ParStats* stats = nullptr);
+
+/// Pre-partitioned variant (see the par_run overload above).
+LutNetwork par_run_lut(const Network& net, PartitionSet parts,
+                       const ShardMapFn& map_shard,
+                       const ParParams& params = {},
+                       ParStats* stats = nullptr);
 
 /// Parallel compress2rs_like(): optimizes every shard independently in
 /// \p basis, then reassembles.  Equivalent function, deterministic result.

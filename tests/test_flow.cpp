@@ -1,0 +1,364 @@
+/// Unit tests for the mcs::flow layer: validated scalar parsing, pass
+/// registry invariants, spec-string parse/validate round trips (including
+/// malformed specs), end-to-end run_flow() equivalence against hand-wired
+/// pass sequences, the generic par_run determinism contract over registered
+/// passes, and the README pass table (auto-checked against the registry).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mcs/choice/mch.hpp"
+#include "mcs/circuits/circuits.hpp"
+#include "mcs/flow/flow.hpp"
+#include "mcs/map/lut_mapper.hpp"
+#include "mcs/network/network_utils.hpp"
+#include "mcs/opt/optimize.hpp"
+#include "mcs/par/par_engine.hpp"
+#include "mcs/sat/cec.hpp"
+
+namespace mcs {
+namespace {
+
+using flow::Flow;
+using flow::FlowContext;
+using flow::FlowError;
+using flow::FlowReport;
+using flow::PassArgs;
+using flow::PassInfo;
+using flow::PassRegistry;
+
+// --- validated scalar parsing ----------------------------------------------
+
+TEST(FlowParse, IntRejectsJunk) {
+  EXPECT_EQ(flow::parse_int("64"), 64);
+  EXPECT_EQ(flow::parse_int(" -3 "), -3);
+  EXPECT_FALSE(flow::parse_int("").has_value());
+  EXPECT_FALSE(flow::parse_int("abc").has_value());
+  EXPECT_FALSE(flow::parse_int("12x").has_value());
+  EXPECT_FALSE(flow::parse_int("1.5").has_value());
+  EXPECT_FALSE(flow::parse_int("99999999999999999999999").has_value());
+}
+
+TEST(FlowParse, DoubleRejectsJunk) {
+  EXPECT_DOUBLE_EQ(*flow::parse_double("0.9"), 0.9);
+  EXPECT_DOUBLE_EQ(*flow::parse_double("2"), 2.0);
+  EXPECT_FALSE(flow::parse_double("").has_value());
+  EXPECT_FALSE(flow::parse_double("0.9x").has_value());
+  EXPECT_FALSE(flow::parse_double("ratio").has_value());
+}
+
+TEST(FlowParse, BoolAndBasis) {
+  EXPECT_EQ(flow::parse_bool("true"), true);
+  EXPECT_EQ(flow::parse_bool("0"), false);
+  EXPECT_FALSE(flow::parse_bool("yes").has_value());
+  EXPECT_EQ(*flow::parse_basis("xmg"), GateBasis::xmg());
+  EXPECT_EQ(*flow::parse_basis("aig"), GateBasis::aig());
+  EXPECT_FALSE(flow::parse_basis("qmg").has_value());
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(FlowRegistry, EveryRegisteredPassIsFindable) {
+  const auto all = PassRegistry::instance().all();
+  ASSERT_FALSE(all.empty());
+  std::set<std::string> names;
+  for (const PassInfo* pass : all) {
+    EXPECT_EQ(PassRegistry::instance().find(pass->name), pass);
+    EXPECT_TRUE(names.insert(pass->name).second)
+        << "duplicate pass " << pass->name;
+    EXPECT_FALSE(pass->summary.empty()) << pass->name;
+    EXPECT_TRUE(static_cast<bool>(pass->run)) << pass->name;
+  }
+  EXPECT_EQ(PassRegistry::instance().find("no_such_pass"), nullptr);
+}
+
+TEST(FlowRegistry, CoversTheWholeShellVocabulary) {
+  // Every command of the pre-registry shell must exist as a pass.
+  for (const char* name :
+       {"gen", "read_aiger", "write_aiger", "write_blif", "write_verilog",
+        "ps", "strash", "to", "balance", "rewrite", "refactor", "resub",
+        "sweep", "compress2rs", "dch", "mch", "map_lut", "map_asic",
+        "graph_map", "threads", "partsize", "popt", "pmch", "pmap_lut",
+        "cec", "seed", "par"}) {
+    EXPECT_NE(PassRegistry::instance().find(name), nullptr) << name;
+  }
+}
+
+TEST(FlowRegistry, HelpMentionsEveryPass) {
+  const std::string help = PassRegistry::instance().help();
+  for (const PassInfo* pass : PassRegistry::instance().all()) {
+    EXPECT_NE(help.find("  " + pass->name), std::string::npos) << pass->name;
+  }
+}
+
+// --- arg binding ------------------------------------------------------------
+
+TEST(FlowArgs, PositionalAndKeyedBindingAgree) {
+  const PassInfo* gen = PassRegistry::instance().find("gen");
+  ASSERT_NE(gen, nullptr);
+  const PassArgs positional = PassArgs::bind(*gen, {"multiplier", "8"});
+  const PassArgs keyed = PassArgs::bind(*gen, {"bits=8", "name=multiplier"});
+  EXPECT_EQ(positional.get_string("name"), "multiplier");
+  EXPECT_EQ(positional.get_int("bits"), 8);
+  EXPECT_EQ(keyed.get_string("name"), "multiplier");
+  EXPECT_EQ(keyed.get_int("bits"), 8);
+}
+
+TEST(FlowArgs, DefaultsApplyWhenUnbound) {
+  const PassInfo* mch = PassRegistry::instance().find("mch");
+  ASSERT_NE(mch, nullptr);
+  const PassArgs args = PassArgs::bind(*mch, {});
+  EXPECT_EQ(args.get_basis("basis"), GateBasis::xmg());
+  EXPECT_DOUBLE_EQ(args.get_double("ratio"), 0.9);
+  EXPECT_FALSE(args.has("ratio"));
+}
+
+TEST(FlowArgs, RejectsBadBindings) {
+  const PassInfo* gen = PassRegistry::instance().find("gen");
+  const PassInfo* read = PassRegistry::instance().find("read_aiger");
+  ASSERT_NE(gen, nullptr);
+  ASSERT_NE(read, nullptr);
+  EXPECT_THROW(PassArgs::bind(*gen, {"bits=junk"}), FlowError);
+  EXPECT_THROW(PassArgs::bind(*gen, {"bits=1.5"}), FlowError);
+  EXPECT_THROW(PassArgs::bind(*gen, {"nope=1"}), FlowError);
+  EXPECT_THROW(PassArgs::bind(*gen, {"adder", "8", "surplus"}), FlowError);
+  EXPECT_THROW(PassArgs::bind(*gen, {"bits=1", "bits=2"}), FlowError);
+  EXPECT_THROW(PassArgs::bind(*read, {}), FlowError);  // missing required
+}
+
+// --- flow spec parsing ------------------------------------------------------
+
+TEST(FlowSpec, ParsesAndCanonicalizes) {
+  const Flow f = Flow::parse(
+      "gen:multiplier,bits=8 ; compress2rs ; mch:basis=xmg,ratio=0.9; "
+      "map_lut:k=6;cec");
+  ASSERT_EQ(f.stages().size(), 5u);
+  EXPECT_EQ(f.stages()[0].pass->name, "gen");
+  EXPECT_EQ(f.stages()[4].pass->name, "cec");
+  EXPECT_EQ(f.canonical(),
+            "gen:name=multiplier,bits=8; compress2rs; "
+            "mch:basis=xmg,ratio=0.9; map_lut:k=6; cec");
+  // A canonical spec re-parses to itself (round trip).
+  EXPECT_EQ(Flow::parse(f.canonical()).canonical(), f.canonical());
+}
+
+TEST(FlowSpec, MalformedSpecsThrowBeforeExecution) {
+  EXPECT_THROW(Flow::parse(""), FlowError);
+  EXPECT_THROW(Flow::parse(" ; ; "), FlowError);
+  EXPECT_THROW(Flow::parse("no_such_pass"), FlowError);
+  EXPECT_THROW(Flow::parse("gen:adder; frobnicate; cec"), FlowError);
+  EXPECT_THROW(Flow::parse("gen:bits=oops"), FlowError);
+  EXPECT_THROW(Flow::parse("mch:ratio=high"), FlowError);
+  EXPECT_THROW(Flow::parse(":bits=2"), FlowError);
+  EXPECT_THROW(Flow::parse("map_lut:k=6,k=6"), FlowError);
+  // par validates its inner pass and forwarded args at parse time.
+  EXPECT_THROW(Flow::parse("par:pass=no_such"), FlowError);
+  EXPECT_THROW(Flow::parse("par:pass=cec"), FlowError);
+  EXPECT_THROW(Flow::parse("par:pass=rewrite,k=junk"), FlowError);
+  EXPECT_THROW(Flow::parse("par:pass=popt"), FlowError);  // no nesting
+}
+
+TEST(FlowSpec, EveryParsedStageIsARegistryHit) {
+  const Flow f = Flow::parse("gen; balance; rewrite; sweep; map_lut");
+  for (const auto& stage : f.stages()) {
+    EXPECT_EQ(PassRegistry::instance().find(stage.pass->name), stage.pass);
+  }
+}
+
+// --- end-to-end flows -------------------------------------------------------
+
+TEST(FlowRun, PaperFlowMatchesHandWiredSequence) {
+  // The acceptance flow: opt -> mch -> map_lut -> cec through run_flow()
+  // must produce a LUT network structurally identical to the hand-wired
+  // sequence of direct pass calls.
+  FlowContext ctx;
+  const FlowReport report = flow::run_flow(
+      "gen:adder,bits=16; compress2rs:rounds=2; mch; map_lut:k=4; cec", ctx);
+  EXPECT_TRUE(report.ok) << report.error;
+  ASSERT_EQ(report.stages.size(), 5u);
+  ASSERT_TRUE(ctx.luts.has_value());
+
+  const Network net = circuits::adder(16);
+  const Network opt = compress2rs_like(net, GateBasis::xmg(), 2);
+  const Network choices = build_mch(opt, MchParams{});
+  LutMapParams lut_params;
+  lut_params.lut_size = 4;
+  const LutNetwork expected = lut_map(choices, lut_params);
+
+  EXPECT_TRUE(*ctx.luts == expected)
+      << "run_flow must reproduce the hand-wired pass sequence bit for bit";
+  EXPECT_EQ(report.stages.back().pass, "cec");
+  EXPECT_EQ(report.stages.back().note, "equivalent (LUT network)");
+}
+
+TEST(FlowRun, ReportCarriesPerStageStats) {
+  FlowContext ctx;
+  const FlowReport report =
+      flow::run_flow("gen:adder,bits=16; compress2rs:rounds=2; map_lut:k=4",
+                     ctx);
+  ASSERT_TRUE(report.ok) << report.error;
+  ASSERT_EQ(report.stages.size(), 3u);
+  EXPECT_GT(report.stages[0].gates, 0u);
+  EXPECT_LE(report.stages[1].gates, report.stages[0].gates);
+  EXPECT_GT(report.stages[2].luts, 0u);
+  EXPECT_GT(report.stages[2].lut_depth, 0u);
+  EXPECT_GE(report.total_seconds, 0.0);
+  // The context history mirrors the report.
+  ASSERT_EQ(ctx.history.size(), 3u);
+  EXPECT_EQ(ctx.history[2].luts, report.stages[2].luts);
+  // JSON serialization is well-formed enough to contain every pass name.
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"pass\": \"gen\""), std::string::npos);
+  EXPECT_NE(json.find("\"luts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
+}
+
+TEST(FlowRun, TransformsInvalidateStaleMappings) {
+  // A transform after a mapping must drop the mapped artifacts, so `cec`
+  // verifies the *current* network, not a stale LUT mapping.
+  FlowContext ctx;
+  const FlowReport report = flow::run_flow(
+      "gen:adder,bits=8; map_lut:k=4; rewrite; cec", ctx);
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_FALSE(ctx.luts.has_value());
+  EXPECT_EQ(report.stages.back().note, "equivalent");  // not "(LUT network)"
+  EXPECT_EQ(report.stages.back().luts, 0u);
+}
+
+TEST(FlowRun, FailedStageStopsTheFlow) {
+  FlowContext ctx;
+  // `cec` without a loaded reference fails; `balance` must not run.
+  const FlowReport report = flow::run_flow("cec; balance", ctx);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.stages.size(), 1u);
+  EXPECT_FALSE(report.stages[0].ok);
+  EXPECT_NE(report.error.find("no reference"), std::string::npos)
+      << report.error;
+}
+
+TEST(FlowRun, SettingsPassesSteerTheParallelDrivers) {
+  FlowContext ctx;
+  const FlowReport report = flow::run_flow(
+      "threads:n=2; partsize:gates=100; gen:adder,bits=32; popt:rounds=1; "
+      "cec",
+      ctx);
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(ctx.par.num_threads, 2);
+  EXPECT_EQ(ctx.par.partition.max_gates, 100u);
+}
+
+TEST(FlowRun, ParMetaPassMatchesSerialWrapperAndIsDeterministic) {
+  // The generic partition-parallel driver over a *registered* pass must be
+  // bit-identical for 1 vs N threads, and equivalent to the input.
+  FlowContext one;
+  one.par.num_threads = 1;
+  one.par.partition.max_gates = 120;
+  FlowContext four;
+  four.par.num_threads = 4;
+  four.par.partition.max_gates = 120;
+
+  const std::string spec =
+      "gen:multiplier,bits=8; to:aig; par:pass=rewrite,k=4; cec";
+  ASSERT_TRUE(flow::run_flow(spec, one).ok);
+  ASSERT_TRUE(flow::run_flow(spec, four).ok);
+  EXPECT_TRUE(structurally_identical(one.net, four.net))
+      << "par:pass=rewrite must be bit-identical for any thread count";
+}
+
+// --- generic par_run over registered passes ---------------------------------
+
+/// Wraps a registered flow pass as a ShardPassFn for mcs::par::par_run.
+ShardPassFn shard_fn(const PassInfo& pass, const PassArgs& args) {
+  return [&pass, args](const Network& shard, std::size_t) {
+    flow::FlowContext sub;
+    sub.net = shard;
+    pass.run(sub, args);
+    return std::move(sub.net);
+  };
+}
+
+TEST(FlowParRun, ArbitraryRegisteredPassIsDeterministicAcrossThreads) {
+  const Network net = circuits::multiplier(8);
+  for (const char* name : {"rewrite", "compress2rs", "balance"}) {
+    const PassInfo* pass = PassRegistry::instance().find(name);
+    ASSERT_NE(pass, nullptr) << name;
+    ASSERT_TRUE(pass->parallel_ok) << name;
+    const PassArgs args = PassArgs::bind(*pass, {});
+
+    ParParams one;
+    one.num_threads = 1;
+    one.partition.max_gates = 150;
+    ParParams four = one;
+    four.num_threads = 4;
+
+    const Network r1 = par_run(net, shard_fn(*pass, args), one);
+    const Network r4 = par_run(net, shard_fn(*pass, args), four);
+    EXPECT_TRUE(structurally_identical(r1, r4))
+        << "par_run(" << name << ") must not depend on the thread count";
+    EXPECT_EQ(check_equivalence(net, r1), CecResult::kEquivalent) << name;
+  }
+}
+
+// --- README pass table ------------------------------------------------------
+
+#ifdef MCS_SOURCE_DIR
+TEST(FlowDocs, ReadmePassTableMatchesRegistry) {
+  std::ifstream in(std::string(MCS_SOURCE_DIR) + "/README.md");
+  ASSERT_TRUE(in.good()) << "README.md not found next to the sources";
+
+  // Parse only the "### Registered passes" section; its rows look like:
+  // | `name` | params | description |
+  std::map<std::string, std::string> documented;  // name -> params cell
+  std::string line;
+  bool in_section = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("#", 0) == 0) {
+      in_section = line.find("Registered passes") != std::string::npos;
+      continue;
+    }
+    if (!in_section) continue;
+    if (line.rfind("| `", 0) != 0) continue;
+    const std::size_t name_end = line.find('`', 3);
+    if (name_end == std::string::npos) continue;
+    const std::string name = line.substr(3, name_end - 3);
+    std::size_t cell_start = line.find('|', name_end);
+    if (cell_start == std::string::npos) continue;
+    ++cell_start;
+    const std::size_t cell_end = line.find('|', cell_start);
+    if (cell_end == std::string::npos) continue;
+    std::string cell = line.substr(cell_start, cell_end - cell_start);
+    while (!cell.empty() && cell.front() == ' ') cell.erase(cell.begin());
+    while (!cell.empty() && cell.back() == ' ') cell.pop_back();
+    documented[name] = cell;
+  }
+
+  std::string expected_table;
+  for (const PassInfo* pass : PassRegistry::instance().all()) {
+    expected_table += "| `" + pass->name + "` | " + flow::params_summary(*pass) +
+                      " | " + pass->summary + " |\n";
+  }
+
+  for (const PassInfo* pass : PassRegistry::instance().all()) {
+    ASSERT_TRUE(documented.count(pass->name))
+        << "README pass table is missing `" << pass->name
+        << "`; the table must be:\n"
+        << expected_table;
+    EXPECT_EQ(documented[pass->name], flow::params_summary(*pass))
+        << "README params column for `" << pass->name
+        << "` is stale; the table must be:\n"
+        << expected_table;
+  }
+  for (const auto& [name, cell] : documented) {
+    EXPECT_NE(PassRegistry::instance().find(name), nullptr)
+        << "README documents `" << name << "`, which is not registered";
+  }
+}
+#endif
+
+}  // namespace
+}  // namespace mcs
