@@ -1,9 +1,22 @@
-/// Microbenchmarks (google-benchmark) for the core kernels: structural
-/// hashing, truth-table ops, NPN canonicalization, cut enumeration, random
-/// simulation, SAT solving, MCH construction and both mappers.
+/// Microbenchmarks for the core kernels: structural hashing, truth-table
+/// ops, NPN canonicalization, cut enumeration, random simulation, SAT
+/// solving, MCH construction and both mappers.
+///
+/// Two modes:
+///   - `bench_micro` (google-benchmark, when the library is available):
+///     the statistical microbench suite, incl. --benchmark_min_time etc.
+///   - `bench_micro --json[=PATH]`: the perf-baseline kernel suite -- a
+///     fixed set of hand-timed kernels (best of N repetitions) emitted as
+///     one JSON object per line (see bench_util::JsonLine), appended to
+///     PATH (default BENCH_kernel.json).  This output is the input of
+///     bench/compare_bench.py and the committed perf trajectory; it also
+///     serves as the fallback main when google-benchmark is absent.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "bench_util.hpp"
 #include "mcs/choice/mch.hpp"
 #include "mcs/circuits/circuits.hpp"
 #include "mcs/common/rng.hpp"
@@ -21,10 +34,168 @@ namespace {
 
 using namespace mcs;
 
-Network medium_circuit() {
+const Network& medium_circuit() {
   static const Network net = expand_to_aig(circuits::multiplier(8));
   return net;
 }
+
+const Network& large_circuit() {
+  static const Network net = expand_to_aig(circuits::multiplier(64));
+  return net;
+}
+
+// --- perf-baseline kernel suite ---------------------------------------------
+
+/// Times fn() `reps` times and returns the best (minimum) seconds.
+template <typename Fn>
+double best_of(int reps, const Fn& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    bench::Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+void run_kernel_suite(const char* path) {
+  std::FILE* out = std::fopen(path, "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_micro: cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(stderr, "bench_micro: kernel suite -> %s\n", path);
+
+  {
+    // Steady-state per-pass enumeration (reset + run), exactly how the
+    // mappers drive the kernel across their recovery passes.
+    const Network& net = large_circuit();
+    const auto order = topo_order(net);
+    CutEnumerator cuts(net, {.cut_size = 6, .cut_limit = 8});
+    std::size_t cuts_total = 0;
+    const double s = best_of(5, [&] {
+      cuts.reset();
+      cuts.run(order);
+      cuts_total = cuts.total_cuts();
+    });
+    bench::JsonLine("cut_enum_mult64_k6", out)
+        .field("seconds", s)
+        .field("gates", net.num_gates())
+        .field("cuts", cuts_total)
+        .field("items_per_sec", static_cast<double>(net.num_gates()) / s);
+  }
+  {
+    // Batched: one run is ~0.4 ms, too short for a stable reading.
+    constexpr int kBatch = 50;
+    const Network& net = medium_circuit();
+    const auto order = topo_order(net);
+    CutEnumerator cuts(net, {.cut_size = 4, .cut_limit = 8});
+    const double s = best_of(5, [&] {
+      for (int i = 0; i < kBatch; ++i) {
+        cuts.reset();
+        cuts.run(order);
+      }
+    }) / kBatch;
+    bench::JsonLine("cut_enum_mult8_k4", out)
+        .field("seconds", s)
+        .field("gates", net.num_gates())
+        .field("items_per_sec", static_cast<double>(net.num_gates()) / s);
+  }
+  {
+    constexpr int kOps = 500000;
+    const double s = best_of(7, [&] {
+      Network net;
+      Rng rng(7);
+      std::vector<Signal> pool;
+      for (int i = 0; i < 64; ++i) pool.push_back(net.create_pi());
+      for (int i = 0; i < kOps; ++i) {
+        const Signal a = pool[rng.next_below(pool.size())] ^ rng.next_bool();
+        const Signal b = pool[rng.next_below(pool.size())] ^ rng.next_bool();
+        pool.push_back(net.create_and(a, b));
+      }
+    });
+    bench::JsonLine("strash_insert", out)
+        .field("seconds", s)
+        .field("items_per_sec", static_cast<double>(kOps) / s);
+  }
+  {
+    // Hit-path lookups: every gate of the large circuit resolved again
+    // (batched for a stable reading).
+    constexpr int kBatch = 20;
+    const Network& net = large_circuit();
+    std::size_t hits = 0;
+    const double s = best_of(5, [&] {
+      hits = 0;
+      for (int i = 0; i < kBatch; ++i) {
+        for (NodeId n = 0; n < net.size(); ++n) {
+          if (!net.is_gate(n)) continue;
+          const Node& nd = net.node(n);
+          hits += net.lookup_gate(nd.type, nd.fanin) == n;
+        }
+      }
+    }) / kBatch;
+    bench::JsonLine("strash_lookup", out)
+        .field("seconds", s)
+        .field("hits", hits / kBatch)
+        .field("items_per_sec",
+               static_cast<double>(hits / kBatch) / s);
+  }
+  {
+    const Network& net = medium_circuit();
+    std::size_t luts = 0;
+    const double s = best_of(5, [&] {
+      LutMapStats stats;
+      const LutNetwork l = lut_map(net, {}, &stats);
+      luts = l.size();
+    });
+    bench::JsonLine("lut_map_mult8", out)
+        .field("seconds", s)
+        .field("luts", luts)
+        .field("items_per_sec", static_cast<double>(net.num_gates()) / s);
+  }
+  {
+    const Network& net = medium_circuit();
+    const TechLibrary lib = TechLibrary::asap7_mini();
+    const double s = best_of(2, [&] {
+      AsicMapParams p;
+      asic_map(net, lib, p);
+    });
+    bench::JsonLine("asic_map_mult8", out)
+        .field("seconds", s)
+        .field("items_per_sec", static_cast<double>(net.num_gates()) / s);
+  }
+  {
+    const Network& net = medium_circuit();
+    const double s = best_of(2, [&] {
+      MchParams params;
+      params.candidate_basis = GateBasis::xmg();
+      build_mch(net, params);
+    });
+    bench::JsonLine("mch_mult8", out)
+        .field("seconds", s)
+        .field("items_per_sec", static_cast<double>(net.num_gates()) / s);
+  }
+  std::fclose(out);
+}
+
+/// Returns the --json[=PATH] argument value, or nullptr when absent.
+const char* json_mode_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return "BENCH_kernel.json";
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+// --- google-benchmark suite -------------------------------------------------
+
+#ifdef MCS_HAVE_GBENCH
+
+#include <benchmark/benchmark.h>
+
+namespace {
 
 void BM_Strash(benchmark::State& state) {
   for (auto _ : state) {
@@ -42,6 +213,21 @@ void BM_Strash(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2000);
 }
 BENCHMARK(BM_Strash);
+
+void BM_StrashLookup(benchmark::State& state) {
+  const Network& net = medium_circuit();
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (NodeId n = 0; n < net.size(); ++n) {
+      if (!net.is_gate(n)) continue;
+      const Node& nd = net.node(n);
+      hits += net.lookup_gate(nd.type, nd.fanin) == n;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * net.num_gates());
+}
+BENCHMARK(BM_StrashLookup);
 
 void BM_NpnCanonExact4(benchmark::State& state) {
   Rng rng(3);
@@ -62,11 +248,12 @@ void BM_NpnCanonCached(benchmark::State& state) {
 BENCHMARK(BM_NpnCanonCached);
 
 void BM_CutEnumeration(benchmark::State& state) {
-  const Network net = medium_circuit();
+  const Network& net = medium_circuit();
   const auto order = topo_order(net);
+  CutEnumerator cuts(net, {.cut_size = static_cast<int>(state.range(0)),
+                           .cut_limit = 8});
   for (auto _ : state) {
-    CutEnumerator cuts(net, {.cut_size = static_cast<int>(state.range(0)),
-                             .cut_limit = 8});
+    cuts.reset();
     cuts.run(order);
     benchmark::DoNotOptimize(cuts.total_cuts());
   }
@@ -74,8 +261,24 @@ void BM_CutEnumeration(benchmark::State& state) {
 }
 BENCHMARK(BM_CutEnumeration)->Arg(4)->Arg(6);
 
+void BM_CutEnumerationMult64(benchmark::State& state) {
+  // The acceptance kernel of the arena/devirtualization work: k=6
+  // enumeration over the 64-bit multiplier (~44k AIG gates), driven in the
+  // steady state (reset + run per pass) like the mappers drive it.
+  const Network& net = large_circuit();
+  const auto order = topo_order(net);
+  CutEnumerator cuts(net, {.cut_size = 6, .cut_limit = 8});
+  for (auto _ : state) {
+    cuts.reset();
+    cuts.run(order);
+    benchmark::DoNotOptimize(cuts.total_cuts());
+  }
+  state.SetItemsProcessed(state.iterations() * net.num_gates());
+}
+BENCHMARK(BM_CutEnumerationMult64);
+
 void BM_RandomSimulation(benchmark::State& state) {
-  const Network net = medium_circuit();
+  const Network& net = medium_circuit();
   for (auto _ : state) {
     RandomSimulation sim(net, 16, 1234);
     benchmark::DoNotOptimize(sim.signature(net.po_at(0)));
@@ -95,7 +298,7 @@ void BM_SatCec(benchmark::State& state) {
 BENCHMARK(BM_SatCec);
 
 void BM_MchConstruction(benchmark::State& state) {
-  const Network net = medium_circuit();
+  const Network& net = medium_circuit();
   for (auto _ : state) {
     MchParams params;
     params.candidate_basis = GateBasis::xmg();
@@ -106,7 +309,7 @@ void BM_MchConstruction(benchmark::State& state) {
 BENCHMARK(BM_MchConstruction);
 
 void BM_LutMap(benchmark::State& state) {
-  const Network net = medium_circuit();
+  const Network& net = medium_circuit();
   const bool with_choices = state.range(0) != 0;
   Network subject = net;
   if (with_choices) {
@@ -123,7 +326,7 @@ void BM_LutMap(benchmark::State& state) {
 BENCHMARK(BM_LutMap)->Arg(0)->Arg(1);
 
 void BM_AsicMap(benchmark::State& state) {
-  const Network net = medium_circuit();
+  const Network& net = medium_circuit();
   const TechLibrary lib = TechLibrary::asap7_mini();
   for (auto _ : state) {
     AsicMapParams p;
@@ -135,4 +338,24 @@ BENCHMARK(BM_AsicMap);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (const char* path = json_mode_path(argc, argv)) {
+    run_kernel_suite(path);
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+#else  // !MCS_HAVE_GBENCH
+
+int main(int argc, char** argv) {
+  const char* path = json_mode_path(argc, argv);
+  run_kernel_suite(path != nullptr ? path : "BENCH_kernel.json");
+  return 0;
+}
+
+#endif

@@ -98,20 +98,43 @@ inline bool sim_check(const Network& net, const CellNetlist& m,
   return true;
 }
 
+/// Secondary sink for all JsonLine output: when MCS_BENCH_OUT names a file,
+/// every line is appended there in addition to stdout (opened once, shared
+/// by every bench in the process).  This is how bench runs leave a
+/// machine-readable trace (e.g. BENCH_kernel.json) for compare_bench.py
+/// without redirect plumbing in CI.
+inline std::FILE* bench_out_file() {
+  static std::FILE* f = [] {
+    const char* path = std::getenv("MCS_BENCH_OUT");
+    return path != nullptr ? std::fopen(path, "a") : nullptr;
+  }();
+  return f;
+}
+
 /// Minimal machine-readable result emitter: one JSON object per line, e.g.
 ///   bench::JsonLine("parallel").field("threads", 4).field("seconds", 1.5);
 /// prints {"bench": "parallel", "threads": 4, "seconds": 1.5} on
 /// destruction.  Keeps the bench outputs greppable and scriptable without
-/// a JSON dependency.
+/// a JSON dependency.  Pass an explicit FILE* to write somewhere other
+/// than stdout (+ the MCS_BENCH_OUT duplicate).
 class JsonLine {
  public:
-  explicit JsonLine(const std::string& bench) {
+  explicit JsonLine(const std::string& bench, std::FILE* out = nullptr)
+      : out_(out) {
     line_ = "{\"bench\": ";
     append_quoted(bench);
   }
   JsonLine(const JsonLine&) = delete;
   JsonLine& operator=(const JsonLine&) = delete;
-  ~JsonLine() { std::printf("%s}\n", line_.c_str()); }
+  ~JsonLine() {
+    std::fprintf(out_ ? out_ : stdout, "%s}\n", line_.c_str());
+    if (out_ == nullptr) {
+      if (std::FILE* dup = bench_out_file()) {
+        std::fprintf(dup, "%s}\n", line_.c_str());
+        std::fflush(dup);
+      }
+    }
+  }
 
   JsonLine& field(const std::string& key, double value) {
     char buf[64];
@@ -160,6 +183,7 @@ class JsonLine {
     line_ += value;
     return *this;
   }
+  std::FILE* out_;
   std::string line_;
 };
 

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare two kernel-bench JSON-line files and flag regressions.
+
+Input files are what `bench_micro --json=PATH` (and any bench run with
+MCS_BENCH_OUT=PATH) produce: one JSON object per line, each carrying a
+"bench" name plus metrics.  Throughput ("items_per_sec", higher is better)
+is preferred for the comparison; benches without it fall back to "seconds"
+(lower is better).  When a file holds several lines for one bench (appended
+runs), the best value wins.
+
+Usage:
+  compare_bench.py BASELINE.json CURRENT.json [--threshold PCT] [--warn-only]
+
+Exits 1 when any bench regresses by more than the threshold (default 10%),
+unless --warn-only is given (informational mode, e.g. CI runners whose
+hardware differs from the committed baseline's).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    """bench name -> (metric_name, best_value)."""
+    best = {}
+    with open(path) as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{line_no}: not a JSON line: {e}")
+            name = obj.get("bench")
+            if not name:
+                continue
+            if "items_per_sec" in obj:
+                metric, value, higher_better = ("items_per_sec",
+                                                float(obj["items_per_sec"]),
+                                                True)
+            elif "seconds" in obj:
+                metric, value, higher_better = ("seconds",
+                                                float(obj["seconds"]), False)
+            else:
+                continue
+            prev = best.get(name)
+            if prev is None or (value > prev[1]) == higher_better:
+                best[name] = (metric, value, higher_better)
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but always exit 0")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    if not base:
+        sys.exit(f"{args.baseline}: no benches found")
+    if not cur:
+        sys.exit(f"{args.current}: no benches found")
+
+    regressions = []
+    print(f"{'bench':<24} {'metric':<14} {'baseline':>12} {'current':>12} "
+          f"{'delta':>8}")
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            print(f"{name:<24} {'(new)':<14} {'-':>12} "
+                  f"{cur[name][1]:>12.4g} {'-':>8}")
+            continue
+        if name not in cur:
+            print(f"{name:<24} {'(missing)':<14} {base[name][1]:>12.4g} "
+                  f"{'-':>12} {'-':>8}")
+            regressions.append((name, "missing from current run"))
+            continue
+        metric, b, higher_better = base[name]
+        c = cur[name][1]
+        if b == 0:
+            continue
+        # Positive delta = improvement under either metric orientation.
+        delta = (c - b) / b * 100.0 if higher_better else (b - c) / b * 100.0
+        mark = ""
+        if delta < -args.threshold:
+            mark = "  <-- REGRESSION"
+            regressions.append((name, f"{-delta:.1f}% slower"))
+        print(f"{name:<24} {metric:<14} {b:>12.4g} {c:>12.4g} "
+              f"{delta:>+7.1f}%{mark}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0f}%:", file=sys.stderr)
+        for name, why in regressions:
+            print(f"  {name}: {why}", file=sys.stderr)
+        if not args.warn_only:
+            sys.exit(1)
+        print("(--warn-only: exiting 0)", file=sys.stderr)
+    else:
+        print("\nno regressions beyond "
+              f"{args.threshold:.0f}% threshold")
+
+
+if __name__ == "__main__":
+    main()

@@ -42,6 +42,7 @@ Word random_control_block(Network& net, const Word& in, int num_out,
 
 Network adder(int bits) {
   Network net;
+  net.reserve(1 + static_cast<std::size_t>(bits) * 8);
   const Word a = make_pi_word(net, bits, "a");
   const Word b = make_pi_word(net, bits, "b");
   const Word s = add(net, a, b, /*with_carry_out=*/true);
@@ -123,6 +124,8 @@ Network max4(int bits) {
 
 Network multiplier(int bits) {
   Network net;
+  // An array multiplier is ~bits^2 full adders of a few gates each.
+  net.reserve(1 + static_cast<std::size_t>(bits) * bits * 8);
   const Word a = make_pi_word(net, bits, "a");
   const Word b = make_pi_word(net, bits, "b");
   const Word p = multiply(net, a, b);

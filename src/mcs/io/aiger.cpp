@@ -109,6 +109,7 @@ Network read_aiger(std::istream& is) {
   const bool binary = format == "aig";
 
   Network net;
+  net.reserve(1 + I + A);
   // lit -> signal mapping by variable index.
   std::vector<Signal> var(M + 1, Signal());
   var[0] = net.constant(false);

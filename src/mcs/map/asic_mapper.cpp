@@ -84,7 +84,10 @@ class AsicMapper {
         params_(params),
         state_(net.size()),
         order_(params.use_choices ? choice_topo_order(net)
-                                  : topo_order(net)) {
+                                  : topo_order(net)),
+        enumerator_(net, {.cut_size = params.cut_size,
+                          .cut_limit = params.cut_limit,
+                          .use_choices = params.use_choices}) {
     assert(lib_.inverter() >= 0);
     inv_delay_ = static_cast<float>(lib_.cell(lib_.inverter()).pin_delays[0]);
     inv_area_ = static_cast<float>(lib_.cell(lib_.inverter()).area);
@@ -358,9 +361,8 @@ class AsicMapper {
   }
 
   void mapping_pass(Mode mode) {
-    CutEnumerator enumerator(
-        net_, {.cut_size = params_.cut_size, .cut_limit = params_.cut_limit,
-               .use_choices = params_.use_choices});
+    // Persistent enumerator: reset() keeps the cut arena across passes.
+    enumerator_.reset();
     // Priority cuts: rank every cut by the cost of its best library match,
     // so cheap-to-realize structures survive the per-node cut cap even when
     // choice merging floods the set.
@@ -400,7 +402,7 @@ class AsicMapper {
     const bool exact = mode == Mode::kExactArea;
     for (const NodeId n : order_) {
       if (!net_.is_gate(n)) {
-        enumerator.run_single(n, annotate, cut_better);
+        enumerator_.run_single(n, annotate, cut_better);
         init_source(n);
         continue;
       }
@@ -430,8 +432,8 @@ class AsicMapper {
       st.ph[0].arrival = st.ph[1].arrival = kInf;
       st.ph[0].area_flow = st.ph[1].area_flow = kInf;
 
-      enumerator.run_single(n, annotate, cut_better);
-      for (const Cut& cut : enumerator.cuts(n)) {
+      enumerator_.run_single(n, annotate, cut_better);
+      for (const Cut& cut : enumerator_.cuts(n)) {
         if (cut.is_trivial()) continue;
         consider_match(n, mode, cut);
       }
@@ -675,6 +677,7 @@ class AsicMapper {
   AsicMapParams params_;
   std::vector<NodeState> state_;
   std::vector<NodeId> order_;
+  CutEnumerator enumerator_;
   float inv_delay_ = 0.0f;
   float inv_area_ = 0.0f;
   float target_delay_ = -1.0f;  ///< frozen after the first delay pass

@@ -33,6 +33,7 @@ Network graph_map(const Network& net, const GraphMapParams& params,
                          : NpnDatabase::Objective::kArea);
   const SopStrategy sop;
 
+  dst.reserve(cover.num_pis + 4 * cover.luts.size());
   std::vector<Signal> value(cover.num_pis + cover.luts.size());
   for (int i = 0; i < cover.num_pis; ++i) {
     value[i] = dst.create_pi(net.pi_name(i));

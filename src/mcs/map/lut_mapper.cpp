@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <span>
 
 #include "mcs/cut/enumeration.hpp"
 #include "mcs/network/network_utils.hpp"
@@ -73,7 +74,10 @@ class LutMapper {
         params_(params),
         state_(net.size()),
         order_(params.use_choices ? choice_topo_order(net)
-                                  : topo_order(net)) {
+                                  : topo_order(net)),
+        enumerator_(net, {.cut_size = params.lut_size,
+                          .cut_limit = params.cut_limit,
+                          .use_choices = params.use_choices}) {
     // Fanout estimates seeded from the PO-reachable original graph only:
     // choice cones are mutually exclusive alternatives and counting their
     // edges would fake sharing no single cover can realize.
@@ -187,9 +191,9 @@ class LutMapper {
   }
 
   void mapping_pass(Mode mode) {
-    CutEnumerator enumerator(
-        net_, {.cut_size = params_.lut_size, .cut_limit = params_.cut_limit,
-               .use_choices = params_.use_choices});
+    // One persistent enumerator across passes: reset() keeps the cut arena
+    // buffer, so recovery passes re-enumerate without allocating.
+    enumerator_.reset();
 
     auto annotate = [&](NodeId n, Cut& c) {
       if (!net_.is_gate(n)) {
@@ -244,8 +248,10 @@ class LutMapper {
         const Cut& c = st.best;
         for (int i = 0; i < c.size; ++i) area_deref(c.leaves[i]);
       }
-      enumerator.run_single(n, annotate, better);
-      auto& cuts = enumerator.cuts(n);
+      // LUT costs derive from leaf arrivals/areas only, so the enumerator
+      // may defer truth-table derivation past the whole admission.
+      enumerator_.run_single(n, LeafOnlyAnnotate{annotate}, better);
+      const std::span<const Cut> cuts = enumerator_.cuts(n);
       if (!net_.is_gate(n)) {
         st.arrival = 0.0f;
         st.area_flow = 0.0f;
@@ -416,6 +422,7 @@ class LutMapper {
   LutMapParams params_;
   std::vector<NodeState> state_;
   std::vector<NodeId> order_;
+  CutEnumerator enumerator_;
   float req_of_current_ = kInf;
   float target_delay_ = -1.0f;  ///< frozen after the first delay pass
 };
@@ -430,6 +437,7 @@ LutNetwork lut_map(const Network& net, const LutMapParams& params,
 
 Network lut_network_to_network(const LutNetwork& lnet) {
   Network out;
+  out.reserve(lnet.num_pis + 4 * lnet.luts.size());
   std::vector<Signal> value(lnet.num_pis + lnet.luts.size());
   for (int i = 0; i < lnet.num_pis; ++i) value[i] = out.create_pi();
 

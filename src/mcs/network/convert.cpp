@@ -8,6 +8,7 @@ namespace mcs {
 
 Network convert_basis(const Network& net, GateBasis basis) {
   Network dst;
+  dst.reserve(net.size());
   const BasisBuilder bb(dst, basis);
   std::vector<Signal> map(net.size());
   map[0] = dst.constant(false);
@@ -47,6 +48,7 @@ Network convert_basis(const Network& net, GateBasis basis) {
 
 Network detect_xors(const Network& net) {
   Network dst;
+  dst.reserve(net.size());
   std::vector<Signal> map(net.size());
   map[0] = dst.constant(false);
   for (std::size_t i = 0; i < net.num_pis(); ++i) {

@@ -25,6 +25,7 @@ const char* gate_type_name(GateType t) noexcept {
 Network::Network() {
   // Node 0 is the constant-zero node.
   nodes_.emplace_back();
+  ++type_counts_[static_cast<std::size_t>(GateType::kConst0)];
 }
 
 Signal Network::create_pi(std::string name) {
@@ -35,6 +36,7 @@ Signal Network::create_pi(std::string name) {
   pis_.push_back(id);
   pi_names_.push_back(name.empty() ? "pi" + std::to_string(pis_.size() - 1)
                                    : std::move(name));
+  ++type_counts_[static_cast<std::size_t>(GateType::kPi)];
   return Signal(id, false);
 }
 
@@ -43,12 +45,16 @@ void Network::create_po(Signal s, std::string name) {
   po_names_.push_back(name.empty() ? "po" + std::to_string(pos_.size() - 1)
                                    : std::move(name));
   ++nodes_[s.node()].fanout_size;
+  if (depth_cache_valid_) {
+    depth_cache_ = std::max(depth_cache_, nodes_[s.node()].level);
+  }
 }
 
 NodeId Network::create_node(GateType t, const std::array<Signal, 3>& fanins,
                             int arity) {
-  StrashKey key{t, {fanins[0].raw(), fanins[1].raw(), fanins[2].raw()}};
-  if (auto it = strash_.find(key); it != strash_.end()) return it->second;
+  const StrashTable::Key key{fanins[0].raw(), fanins[1].raw(),
+                             fanins[2].raw()};
+  if (const NodeId hit = strash_.lookup(t, key); hit != kNullNode) return hit;
 
   Node n;
   n.type = t;
@@ -62,16 +68,16 @@ NodeId Network::create_node(GateType t, const std::array<Signal, 3>& fanins,
   n.level = lvl + 1;
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(n);
-  strash_.emplace(key, id);
+  strash_.insert(t, key, id);
   ++num_gates_;
+  ++type_counts_[static_cast<std::size_t>(t)];
   return id;
 }
 
 NodeId Network::lookup_gate(GateType t,
                             const std::array<Signal, 3>& fanins) const {
-  StrashKey key{t, {fanins[0].raw(), fanins[1].raw(), fanins[2].raw()}};
-  auto it = strash_.find(key);
-  return it == strash_.end() ? kNullNode : it->second;
+  return strash_.lookup(
+      t, {fanins[0].raw(), fanins[1].raw(), fanins[2].raw()});
 }
 
 Signal Network::create_and(Signal a, Signal b) {
@@ -179,42 +185,30 @@ Signal Network::create_gate(GateType t, const std::array<Signal, 3>& fanins) {
   }
 }
 
-std::size_t Network::num_gates_of(GateType t) const noexcept {
-  std::size_t n = 0;
-  for (const auto& nd : nodes_) {
-    if (nd.type == t) ++n;
-  }
-  return n;
-}
-
 std::uint32_t Network::depth() const noexcept {
-  std::uint32_t d = 0;
-  for (const auto s : pos_) d = std::max(d, nodes_[s.node()].level);
-  return d;
+  if (!depth_cache_valid_) {
+    std::uint32_t d = 0;
+    for (const auto s : pos_) d = std::max(d, nodes_[s.node()].level);
+    depth_cache_ = d;
+    depth_cache_valid_ = true;
+  }
+  return depth_cache_;
 }
 
 bool Network::is_aig() const noexcept {
-  for (const auto& nd : nodes_) {
-    if (nd.type == GateType::kXor2 || nd.type == GateType::kMaj3 ||
-        nd.type == GateType::kXor3) {
-      return false;
-    }
-  }
-  return true;
+  return num_gates_of(GateType::kXor2) == 0 &&
+         num_gates_of(GateType::kMaj3) == 0 &&
+         num_gates_of(GateType::kXor3) == 0;
 }
 
 bool Network::is_xag() const noexcept {
-  for (const auto& nd : nodes_) {
-    if (nd.type == GateType::kMaj3 || nd.type == GateType::kXor3) return false;
-  }
-  return true;
+  return num_gates_of(GateType::kMaj3) == 0 &&
+         num_gates_of(GateType::kXor3) == 0;
 }
 
 bool Network::is_mig() const noexcept {
-  for (const auto& nd : nodes_) {
-    if (nd.type == GateType::kXor2 || nd.type == GateType::kXor3) return false;
-  }
-  return true;
+  return num_gates_of(GateType::kXor2) == 0 &&
+         num_gates_of(GateType::kXor3) == 0;
 }
 
 bool Network::is_xmg() const noexcept { return true; }

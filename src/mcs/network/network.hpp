@@ -24,7 +24,6 @@
 #include <cassert>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mcs/common/hash.hpp"
@@ -117,6 +116,83 @@ struct Node {
   mutable std::uint64_t scratch = 0;   ///< scratch space for algorithms
 };
 
+/// Open-addressed structural-hash table: NodeId keyed by (type, fanins).
+///
+/// Linear probing over a flat slot array (stored 64-bit hash + packed
+/// {type, fanin[3]} key per slot, one cache line per two probes), capacity
+/// a power of two, grown at ~0.7 load.  Gates are never removed from a
+/// Network, so the table needs no erase support and stays tombstone-free --
+/// every probe sequence ends at a genuine hit or the first empty slot.
+/// This replaces the chained std::unordered_map on the gate-creation hot
+/// path: every strashed create_* goes through exactly one probe sequence.
+class StrashTable {
+ public:
+  using Key = std::array<std::uint32_t, 3>;  ///< raw fanin signals
+
+  StrashTable() : slots_(kMinCapacity) {}
+
+  static std::uint64_t hash(GateType t, const Key& fanin) noexcept {
+    std::uint64_t h = hash_mix64(static_cast<std::uint64_t>(t));
+    for (const auto f : fanin) h = hash_combine(h, f);
+    return h;
+  }
+
+  /// The node stored under (t, fanin), or kNullNode.
+  NodeId lookup(GateType t, const Key& fanin) const noexcept {
+    const std::uint64_t h = hash(t, fanin);
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = h & mask;; i = (i + 1) & mask) {
+      const Slot& s = slots_[i];
+      if (s.id == kNullNode) return kNullNode;
+      if (s.hash == h && s.type == t && s.fanin == fanin) return s.id;
+    }
+  }
+
+  /// Inserts (t, fanin) -> id.  \pre the key is absent.
+  void insert(GateType t, const Key& fanin, NodeId id) {
+    if ((size_ + 1) * 10 > slots_.size() * 7) rehash(slots_.size() * 2);
+    place(Slot{hash(t, fanin), fanin, id, t});
+    ++size_;
+  }
+
+  /// Pre-sizes the table for \p num_gates insertions without rehashing.
+  void reserve(std::size_t num_gates) {
+    std::size_t cap = kMinCapacity;
+    while (num_gates * 10 > cap * 7) cap <<= 1;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    Key fanin{};
+    NodeId id = kNullNode;  ///< kNullNode marks an empty slot
+    GateType type = GateType::kConst0;
+  };
+  static constexpr std::size_t kMinCapacity = 64;  // power of two
+
+  void place(const Slot& slot) noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = slot.hash & mask;
+    while (slots_[i].id != kNullNode) i = (i + 1) & mask;
+    slots_[i] = slot;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    for (const Slot& s : old) {
+      if (s.id != kNullNode) place(s);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
 /// The mixed, strashed logic network.
 class Network {
  public:
@@ -129,6 +205,15 @@ class Network {
 
   /// \name Construction
   /// @{
+
+  /// Pre-sizes the node array and the strash table for a network of about
+  /// \p num_nodes nodes.  Builders that know their size up front (circuit
+  /// generators, file readers, partition/reassemble) use this to avoid
+  /// rehash/reallocation churn during construction.
+  void reserve(std::size_t num_nodes) {
+    nodes_.reserve(num_nodes);
+    strash_.reserve(num_nodes);
+  }
 
   /// The constant-\p value signal.
   Signal constant(bool value) const noexcept {
@@ -194,11 +279,19 @@ class Network {
   /// Number of logic gates (excludes constant and PIs).
   std::size_t num_gates() const noexcept { return num_gates_; }
 
-  /// Number of gates per type.
-  std::size_t num_gates_of(GateType t) const noexcept;
+  /// Number of nodes per type (O(1): maintained incrementally).
+  std::size_t num_gates_of(GateType t) const noexcept {
+    return type_counts_[static_cast<std::size_t>(t)];
+  }
 
   /// Longest PI-to-PO path length, counting gates (combinational depth).
+  /// Cached; recomputed only after create_po / invalidate_depth_cache().
   std::uint32_t depth() const noexcept;
+
+  /// Drops the cached depth().  Only needed by code that mutates node
+  /// levels directly (recompute_levels); normal construction keeps the
+  /// cache coherent on its own.
+  void invalidate_depth_cache() const noexcept { depth_cache_valid_ = false; }
 
   std::uint32_t level(NodeId n) const noexcept { return nodes_[n].level; }
 
@@ -253,19 +346,6 @@ class Network {
   /// @}
 
  private:
-  struct StrashKey {
-    GateType type;
-    std::array<std::uint32_t, 3> fanin;
-    friend bool operator==(const StrashKey&, const StrashKey&) = default;
-  };
-  struct StrashKeyHash {
-    std::size_t operator()(const StrashKey& k) const noexcept {
-      std::uint64_t h = hash_mix64(static_cast<std::uint64_t>(k.type));
-      for (auto f : k.fanin) h = hash_combine(h, f);
-      return static_cast<std::size_t>(h);
-    }
-  };
-
   NodeId create_node(GateType t, const std::array<Signal, 3>& fanins,
                      int arity);
 
@@ -274,9 +354,16 @@ class Network {
   std::vector<Signal> pos_;
   std::vector<std::string> pi_names_;
   std::vector<std::string> po_names_;
-  std::unordered_map<StrashKey, NodeId, StrashKeyHash> strash_;
+  StrashTable strash_;
   std::size_t num_gates_ = 0;
   std::size_t num_choices_ = 0;
+  /// Per-GateType node counts, maintained incrementally (num_gates_of and
+  /// the representation predicates used to be O(n) sweeps per call).
+  std::array<std::size_t, 6> type_counts_{};
+  /// Lazily cached depth(); invalidated by create_po and
+  /// invalidate_depth_cache() (levels are otherwise immutable).
+  mutable std::uint32_t depth_cache_ = 0;
+  mutable bool depth_cache_valid_ = true;  ///< empty network has depth 0
   mutable std::uint32_t trav_epoch_ = 0;
 };
 

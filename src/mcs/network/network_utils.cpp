@@ -301,6 +301,7 @@ Signal copy_cone(const Network& src, Network& dst, Signal root,
 
 Network cleanup(const Network& net, const CleanupOptions& opts) {
   Network dst;
+  dst.reserve(net.size());
   std::vector<Signal> map(net.size(), Signal());
   std::vector<bool> mapped(net.size(), false);
   map[0] = dst.constant(false);
@@ -360,6 +361,7 @@ std::uint32_t recompute_levels(Network& net) {
     }
     nd.level = lvl + 1;
   }
+  net.invalidate_depth_cache();
   return net.depth();
 }
 

@@ -127,6 +127,7 @@ Partition build_shard(const Network& net, const std::vector<NodeId>& gates,
 
   std::vector<Signal> map(net.size());
   std::vector<bool> copied(net.size(), false);
+  part.net.reserve(1 + ext.size() + gates.size());
   map[0] = part.net.constant(false);
   for (const NodeId f : ext) {
     map[f] = part.net.create_pi(net.is_pi(f) ? net.pi_name(pi_ordinal[f])
@@ -364,6 +365,11 @@ PartitionSet partition_network(const Network& net,
 Network reassemble(const Network& source, const PartitionSet& parts,
                    const ReassembleOptions& opts) {
   Network dst;
+  std::size_t total_nodes = 1 + source.num_pis();
+  for (const Partition& part : parts.parts) {
+    total_nodes += part.net.num_gates();
+  }
+  dst.reserve(total_nodes);
   std::vector<Signal> map(source.size());
   std::vector<bool> have(source.size(), false);
   map[0] = dst.constant(false);

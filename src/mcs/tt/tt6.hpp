@@ -85,7 +85,10 @@ constexpr Tt6 tt6_swap_adjacent(Tt6 t, int var) noexcept {
   return keep | ((t & mv) << shift) | ((t >> shift) & mv);
 }
 
-/// Exchanges arbitrary variables \p a and \p b.
+/// Exchanges arbitrary variables \p a and \p b: one delta swap instead of
+/// a cascade of adjacent exchanges.  Minterm index p with x_a=1, x_b=0
+/// pairs with p + d (x_a=0, x_b=1), d = 2^b - 2^a; the butterfly swaps
+/// exactly those bit pairs in constant time.
 constexpr Tt6 tt6_swap(Tt6 t, int a, int b) noexcept {
   if (a == b) return t;
   if (a > b) {
@@ -93,9 +96,10 @@ constexpr Tt6 tt6_swap(Tt6 t, int a, int b) noexcept {
     a = b;
     b = tmp;
   }
-  for (int v = a; v < b; ++v) t = tt6_swap_adjacent(t, v);
-  for (int v = b - 2; v >= a; --v) t = tt6_swap_adjacent(t, v);
-  return t;
+  const unsigned d = (1u << b) - (1u << a);
+  const Tt6 m = kTt6Projections[a] & ~kTt6Projections[b];  // x_a=1, x_b=0
+  const Tt6 x = (t ^ (t >> d)) & m;
+  return t ^ x ^ (x << d);
 }
 
 /// Applies the permutation \p perm : new position -> old variable, i.e. the

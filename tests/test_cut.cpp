@@ -117,6 +117,55 @@ TEST_P(CutEnumerationOnRandomNets, RespectsSizeAndCountLimits) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CutEnumerationOnRandomNets,
                          ::testing::Values(1, 2, 3, 4));
 
+TEST(CutEnumeration, ArenaResetReproducesIdenticalCutSets) {
+  // reset() must rewind the arena without changing results: two passes over
+  // the same order yield bit-identical cut sets (the mappers rely on this
+  // for their re-enumerating recovery passes).
+  const auto net = mcs::testing::random_network(
+      {.num_pis = 8, .num_gates = 120, .num_pos = 6, .seed = 42});
+  const auto order = topo_order(net);
+  CutEnumerator enumerator(net, {.cut_size = 5, .cut_limit = 6});
+  enumerator.run(order);
+
+  std::vector<std::vector<Cut>> first(net.size());
+  for (const NodeId n : order) {
+    const auto cuts = enumerator.cuts(n);
+    first[n].assign(cuts.begin(), cuts.end());
+  }
+
+  enumerator.reset();
+  for (const NodeId n : order) {
+    EXPECT_TRUE(enumerator.cuts(n).empty()) << "reset must clear all spans";
+  }
+  enumerator.run(order);
+
+  for (const NodeId n : order) {
+    const auto cuts = enumerator.cuts(n);
+    ASSERT_EQ(cuts.size(), first[n].size()) << "node " << n;
+    for (std::size_t i = 0; i < cuts.size(); ++i) {
+      EXPECT_TRUE(cuts[i] == first[n][i]) << "node " << n << " cut " << i;
+      EXPECT_EQ(cuts[i].function, first[n][i].function);
+    }
+  }
+}
+
+TEST(CutEnumeration, ArenaSpansAreContiguousPerNode) {
+  // Each node's cuts must land in one contiguous block (the locality the
+  // arena exists for): leaves stay sorted/unique and the span is addressable
+  // as an array.
+  const auto net = mcs::testing::random_network(
+      {.num_pis = 6, .num_gates = 60, .num_pos = 4, .seed = 3});
+  CutEnumerator enumerator(net, {.cut_size = 4, .cut_limit = 8});
+  enumerator.run(topo_order(net));
+  for (const NodeId n : topo_order(net)) {
+    const std::span<const Cut> cuts = enumerator.cuts(n);
+    ASSERT_FALSE(cuts.empty());
+    for (std::size_t i = 1; i < cuts.size(); ++i) {
+      EXPECT_EQ(&cuts[i], &cuts[0] + i);
+    }
+  }
+}
+
 TEST(CutEnumeration, ChoiceCutsAreMergedIntoRepresentative) {
   // r = (a & b) & c with member m = a & (b & c): the representative's cut
   // set must contain cuts whose structure comes from the member.

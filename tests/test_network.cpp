@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <tuple>
 
 #include "mcs/network/network.hpp"
 #include "mcs/network/network_utils.hpp"
@@ -284,6 +286,107 @@ TEST(NetworkUtils, CopyConeSubstitutesLeaves) {
   for (int m = 0; m < 4; ++m) {
     const bool vx = m & 1, vy = m & 2;
     EXPECT_EQ(pos[0].get_bit(m), vy != (vy && vx));
+  }
+}
+
+// --- open-addressed strash table -------------------------------------------
+
+TEST(Network, StrashResolvesEveryGateOnRandomNetworks) {
+  // The open-addressed table must agree with the node array: every created
+  // gate resolves back to its own id (hit path), across several rehash
+  // boundaries (well past the initial capacity).
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto net = testing::random_network(
+        {.num_pis = 10, .num_gates = 5000, .num_pos = 8, .seed = seed});
+    for (NodeId n = 0; n < net.size(); ++n) {
+      if (!net.is_gate(n)) continue;
+      const Node& nd = net.node(n);
+      ASSERT_EQ(net.lookup_gate(nd.type, nd.fanin), n)
+          << "strash lookup disagrees with the node array (seed " << seed
+          << ")";
+    }
+  }
+}
+
+TEST(Network, StrashMatchesReferenceMapOnRandomCreations) {
+  // Drive the same random creation sequence through the Network and a
+  // shadow map keyed by the *returned normalized* signal: a sequence item
+  // seen twice must return the identical signal (no duplicate nodes, no
+  // lost entries in the probe sequences).
+  Network net;
+  Rng rng(99);
+  std::vector<Signal> pool;
+  for (int i = 0; i < 8; ++i) pool.push_back(net.create_pi());
+  std::map<std::tuple<std::uint32_t, std::uint32_t>, Signal> shadow;
+  for (int i = 0; i < 3000; ++i) {
+    const Signal a = pool[rng.next_below(pool.size())] ^ rng.next_bool();
+    const Signal b = pool[rng.next_below(pool.size())] ^ rng.next_bool();
+    const Signal s = net.create_and(a, b);
+    // Canonical key: create_and commutes and normalizes, so key on the
+    // sorted raw pair.
+    const auto key = std::make_tuple(std::min(a.raw(), b.raw()),
+                                     std::max(a.raw(), b.raw()));
+    const auto [it, inserted] = shadow.emplace(key, s);
+    if (!inserted) {
+      EXPECT_EQ(it->second, s) << "same operands must strash to one node";
+    }
+    pool.push_back(s);
+  }
+}
+
+TEST(Network, ReserveDoesNotChangeConstruction) {
+  const auto build = [](bool reserve) {
+    Network net;
+    if (reserve) net.reserve(4096);
+    Rng rng(5);
+    std::vector<Signal> pool;
+    for (int i = 0; i < 8; ++i) pool.push_back(net.create_pi());
+    for (int i = 0; i < 1000; ++i) {
+      const Signal a = pool[rng.next_below(pool.size())] ^ rng.next_bool();
+      const Signal b = pool[rng.next_below(pool.size())] ^ rng.next_bool();
+      pool.push_back(rng.next_bool() ? net.create_and(a, b)
+                                     : net.create_xor(a, b));
+    }
+    net.create_po(pool.back());
+    return net;
+  };
+  const Network plain = build(false);
+  const Network reserved = build(true);
+  EXPECT_TRUE(structurally_identical(plain, reserved));
+}
+
+// --- cached depth / per-type counters ---------------------------------------
+
+TEST(Network, CachedDepthTracksPosAndLevelRecompute) {
+  Network net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal g1 = net.create_and(a, b);
+  EXPECT_EQ(net.depth(), 0u) << "no POs yet";
+  net.create_po(a);
+  EXPECT_EQ(net.depth(), 0u);
+  net.create_po(g1);
+  EXPECT_EQ(net.depth(), 1u);
+  const Signal g2 = net.create_and(g1, !a);
+  EXPECT_EQ(net.depth(), 1u) << "unreferenced gate does not deepen";
+  net.create_po(g2);
+  EXPECT_EQ(net.depth(), 2u);
+  // Level mutation invalidates through the explicit hook.
+  EXPECT_EQ(recompute_levels(net), 2u);
+}
+
+TEST(Network, NumGatesOfMatchesExhaustiveCount) {
+  const auto net = testing::random_network(
+      {.num_pis = 6, .num_gates = 300, .num_pos = 4, .seed = 11});
+  for (const GateType t :
+       {GateType::kConst0, GateType::kPi, GateType::kAnd2, GateType::kXor2,
+        GateType::kMaj3, GateType::kXor3}) {
+    std::size_t expect = 0;
+    for (NodeId n = 0; n < net.size(); ++n) {
+      if (net.node(n).type == t) ++expect;
+    }
+    EXPECT_EQ(net.num_gates_of(t), expect)
+        << "incremental counter diverged for " << gate_type_name(t);
   }
 }
 

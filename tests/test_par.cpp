@@ -274,6 +274,33 @@ TEST(ParEngine, ParMapLutStrashesDuplicatedConeLogic) {
   EXPECT_EQ(check_equivalence(net, back), CecResult::kEquivalent);
 }
 
+TEST(ParEngine, ChoiceAwareParMapLutBitIdenticalAcrossThreads) {
+  // The kernel-refactor determinism gate: choice-aware mapping (arena cut
+  // enumeration + choice merging + open-addressed strash in the shards)
+  // must stay bit-identical between 1 worker and N workers, and the result
+  // must be functionally equivalent to the source.
+  const Network net = expand_to_aig(circuits::multiplier(8));
+  ParParams one;
+  one.num_threads = 1;
+  one.partition.max_gates = 150;
+  const Network choices = par_mch(net, {}, one);
+  ASSERT_GT(choices.num_choices(), 0u);
+
+  LutMapParams mp;
+  mp.use_choices = true;
+  mp.lut_size = 5;
+  const LutNetwork l1 = par_map_lut(choices, mp, one);
+  for (const int threads : {2, 8}) {
+    ParParams many = one;
+    many.num_threads = threads;
+    const LutNetwork ln = par_map_lut(choices, mp, many);
+    EXPECT_TRUE(l1 == ln)
+        << "par_map_lut diverged at " << threads << " threads";
+  }
+  const Network back = lut_network_to_network(l1);
+  EXPECT_EQ(check_equivalence(net, back), CecResult::kEquivalent);
+}
+
 TEST(ParEngine, FullParallelFlowOnChoiceNetwork) {
   // popt -> pmch -> pmap_lut, all partitioned, verified end to end.
   const Network net = circuits::adder(32);
