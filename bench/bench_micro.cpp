@@ -12,9 +12,12 @@
 ///     bench/compare_bench.py and the committed perf trajectory; it also
 ///     serves as the fallback main when google-benchmark is absent.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "mcs/choice/mch.hpp"
@@ -26,6 +29,8 @@
 #include "mcs/network/convert.hpp"
 #include "mcs/network/network_utils.hpp"
 #include "mcs/opt/optimize.hpp"
+#include "mcs/par/par_engine.hpp"
+#include "mcs/par/thread_pool.hpp"
 #include "mcs/sat/cec.hpp"
 #include "mcs/sim/simulator.hpp"
 #include "mcs/tt/npn.hpp"
@@ -178,11 +183,144 @@ void run_kernel_suite(const char* path) {
   std::fclose(out);
 }
 
+// --- par_scaling suite ------------------------------------------------------
+
+/// Thread-scaling suite over the end-to-end parallel paths: par_optimize,
+/// par_mch+par_map_lut, CEC and random simulation on the 64-bit multiplier
+/// at 1/2/4/8 threads.  One JSON line per (bench, threads) pair carrying
+/// seconds, speedup vs the run's own 1-thread time, a determinism check
+/// against the 1-thread result, and the machine's hardware concurrency
+/// (committed baselines from small machines are flagged, not trusted).
+/// MCS_PAR_BENCH_BITS shrinks the multiplier for CI smoke runs.
+void run_par_suite(const char* path) {
+  std::FILE* out = std::fopen(path, "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_micro: cannot open %s\n", path);
+    std::exit(1);
+  }
+  int bits = 64;
+  if (const char* env = std::getenv("MCS_PAR_BENCH_BITS")) {
+    const int v = std::atoi(env);
+    if (v >= 4 && v <= 128) bits = v;
+  }
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::fprintf(stderr,
+               "bench_micro: par_scaling suite (multiplier %d, hardware "
+               "concurrency %zu) -> %s\n",
+               bits, hw, path);
+  const Network net = expand_to_aig(circuits::multiplier(bits));
+  const std::string circuit = "multiplier" + std::to_string(bits);
+  const int thread_counts[] = {1, 2, 4, 8};
+
+  auto emit = [&](const char* bench, int threads, double seconds,
+                  double base_seconds, bool deterministic) {
+    bench::JsonLine(bench, out)
+        .field("circuit", circuit)
+        .field("threads", threads)
+        .field("seconds", seconds)
+        .field("speedup", seconds > 0.0 ? base_seconds / seconds : 0.0)
+        .field("deterministic", deterministic)
+        .field("hardware_threads", static_cast<std::size_t>(hw));
+  };
+
+  {
+    Network reference;
+    double base = 0.0;
+    for (const int t : thread_counts) {
+      ParParams params;
+      params.num_threads = t;
+      params.partition.max_gates = 2000;
+      bench::Timer timer;
+      const Network result = par_optimize(net, GateBasis::xmg(), 1, params);
+      const double s = timer.seconds();
+      if (t == 1) {
+        base = s;
+        reference = result;
+      }
+      emit("par_opt_mult", t, s, base, structurally_identical(result, reference));
+    }
+  }
+  {
+    LutNetwork reference;
+    double base = 0.0;
+    for (const int t : thread_counts) {
+      ParParams params;
+      params.num_threads = t;
+      params.partition.max_gates = 2000;
+      bench::Timer timer;
+      const LutNetwork luts = par_map_lut(net, {}, params);
+      const double s = timer.seconds();
+      if (t == 1) {
+        base = s;
+        reference = luts;
+      }
+      emit("par_map_lut_mult", t, s, base, luts == reference);
+    }
+  }
+  {
+    // Parallel CEC: ripple vs balanced adder, the classic tractable miter
+    // (multiplier miters are SAT-hard regardless of the harness).  Stage 1
+    // is the level-blocked parallel simulation, stage 2 the per-PO-batch
+    // cone-restricted miters; 4*bits+1 POs -> dozens of batches.
+    const Network ripple = expand_to_aig(circuits::adder(4 * bits));
+    const Network balanced = balance(ripple);
+    const std::string cec_circuit = "adder" + std::to_string(4 * bits);
+    double base = 0.0;
+    CecResult reference = CecResult::kUnknown;
+    for (const int t : thread_counts) {
+      CecOptions opts;
+      opts.num_threads = t;
+      CecResult r = CecResult::kUnknown;
+      const double s =
+          best_of(2, [&] { r = check_equivalence(ripple, balanced, opts); });
+      if (t == 1) {
+        base = s;
+        reference = r;
+      }
+      bench::JsonLine("cec_adder", out)
+          .field("circuit", cec_circuit)
+          .field("threads", t)
+          .field("seconds", s)
+          .field("speedup", s > 0.0 ? base / s : 0.0)
+          .field("deterministic", r == reference)
+          .field("equivalent", r == CecResult::kEquivalent)
+          .field("hardware_threads", static_cast<std::size_t>(hw));
+    }
+  }
+  {
+    // The raw level-blocked simulation sweep (64 words per node).
+    std::uint64_t ref_sig = 0;
+    double base = 0.0;
+    for (const int t : thread_counts) {
+      std::uint64_t sig = 0;
+      const double s = best_of(3, [&] {
+        RandomSimulation sim(net, 64, 0xbeef, t);
+        sig = sim.signature(net.po_at(net.num_pos() - 1));
+      });
+      if (t == 1) {
+        base = s;
+        ref_sig = sig;
+      }
+      emit("sim_mult", t, s, base, sig == ref_sig);
+    }
+  }
+  std::fclose(out);
+}
+
 /// Returns the --json[=PATH] argument value, or nullptr when absent.
 const char* json_mode_path(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) return "BENCH_kernel.json";
     if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return nullptr;
+}
+
+/// Returns the --json-par[=PATH] argument value, or nullptr when absent.
+const char* json_par_mode_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-par") == 0) return "BENCH_par.json";
+    if (std::strncmp(argv[i], "--json-par=", 11) == 0) return argv[i] + 11;
   }
   return nullptr;
 }
@@ -339,6 +477,10 @@ BENCHMARK(BM_AsicMap);
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (const char* path = json_par_mode_path(argc, argv)) {
+    run_par_suite(path);
+    return 0;
+  }
   if (const char* path = json_mode_path(argc, argv)) {
     run_kernel_suite(path);
     return 0;
@@ -353,6 +495,10 @@ int main(int argc, char** argv) {
 #else  // !MCS_HAVE_GBENCH
 
 int main(int argc, char** argv) {
+  if (const char* path = json_par_mode_path(argc, argv)) {
+    run_par_suite(path);
+    return 0;
+  }
   const char* path = json_mode_path(argc, argv);
   run_kernel_suite(path != nullptr ? path : "BENCH_kernel.json");
   return 0;

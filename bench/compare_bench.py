@@ -22,7 +22,12 @@ import sys
 
 
 def load(path):
-    """bench name -> (metric_name, best_value)."""
+    """bench key -> (metric_name, best_value).
+
+    Thread-scaling entries (lines carrying a "threads" field, e.g. the
+    `bench_micro --json-par` suite) are keyed "name@tN" so the regression
+    check compares equal thread counts against each other.
+    """
     best = {}
     with open(path) as f:
         for line_no, line in enumerate(f, 1):
@@ -36,6 +41,8 @@ def load(path):
             name = obj.get("bench")
             if not name:
                 continue
+            if "threads" in obj:
+                name = f"{name}@t{obj['threads']}"
             if "items_per_sec" in obj:
                 metric, value, higher_better = ("items_per_sec",
                                                 float(obj["items_per_sec"]),
@@ -49,6 +56,34 @@ def load(path):
             if prev is None or (value > prev[1]) == higher_better:
                 best[name] = (metric, value, higher_better)
     return best
+
+
+def report_speedup(benches, label):
+    """Speedup-vs-1-thread table for every thread-scaling bench group."""
+    groups = {}
+    for key, (metric, value, _) in benches.items():
+        if "@t" not in key or metric != "seconds":
+            continue
+        name, threads = key.rsplit("@t", 1)
+        try:
+            groups.setdefault(name, {})[int(threads)] = value
+        except ValueError:
+            continue
+    printed_header = False
+    for name in sorted(groups):
+        by_threads = groups[name]
+        if 1 not in by_threads or by_threads[1] <= 0:
+            continue
+        if not printed_header:
+            print(f"\nthread scaling ({label}):")
+            print(f"{'bench':<24} " +
+                  " ".join(f"{f't={t}':>9}" for t in sorted(by_threads)))
+            printed_header = True
+        base = by_threads[1]
+        cells = " ".join(f"{base / by_threads[t]:>8.2f}x"
+                         if by_threads[t] > 0 else f"{'-':>9}"
+                         for t in sorted(by_threads))
+        print(f"{name:<24} {cells}")
 
 
 def main():
@@ -93,6 +128,8 @@ def main():
             regressions.append((name, f"{-delta:.1f}% slower"))
         print(f"{name:<24} {metric:<14} {b:>12.4g} {c:>12.4g} "
               f"{delta:>+7.1f}%{mark}")
+
+    report_speedup(cur, "current run")
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "

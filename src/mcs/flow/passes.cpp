@@ -16,6 +16,7 @@
 #include "mcs/network/network_utils.hpp"
 #include "mcs/par/thread_pool.hpp"
 #include "mcs/sat/cec.hpp"
+#include "mcs/sim/simulator.hpp"
 
 // The registrations below use designated initializers and deliberately
 // leave defaulted PassInfo/ParamSpec members out; GCC's -Wextra flags
@@ -181,7 +182,10 @@ void register_core_passes(PassRegistry& registry) {
               rebuilt = lut_network_to_network(*ctx.luts);
               subject = &rebuilt;
             }
-            const CecResult r = check_equivalence(*ctx.original, *subject);
+            CecOptions copts;
+            copts.num_threads = ctx.par.num_threads;
+            const CecResult r = check_equivalence(*ctx.original, *subject,
+                                                  copts);
             if (r == CecResult::kNotEquivalent) {
               throw FlowError("NOT equivalent");
             }
@@ -189,6 +193,43 @@ void register_core_passes(PassRegistry& registry) {
               throw FlowError("unknown (resource limit)");
             }
             ctx.note = ctx.luts ? "equivalent (LUT network)" : "equivalent";
+          },
+  });
+
+  registry.add({
+      .name = "sim",
+      .summary = "random-simulation check against the original (no SAT)",
+      .kind = PassKind::kAnalysis,
+      .params = {{.key = "words",
+                  .type = ParamType::kInt,
+                  .default_value = "32",
+                  .help = "64-bit random words per node"}},
+      .run =
+          [](FlowContext& ctx, const PassArgs& args) {
+            if (!ctx.original) {
+              throw FlowError("sim: no reference network loaded");
+            }
+            const long long words = args.get_int("words");
+            if (words < 1 || words > 4096) {
+              throw FlowError("sim: words must be in [1, 4096]");
+            }
+            const Network* subject = &ctx.net;
+            Network rebuilt;
+            if (ctx.luts) {
+              rebuilt = lut_network_to_network(*ctx.luts);
+              subject = &rebuilt;
+            }
+            const std::uint64_t seed = ctx.seed != 0 ? ctx.seed : 0xc0ffee;
+            const std::ptrdiff_t diff_po =
+                sim_falsify(*ctx.original, *subject, static_cast<int>(words),
+                            seed, ctx.par.num_threads);
+            if (diff_po >= 0) {
+              throw FlowError("NOT equivalent on random vectors (PO " +
+                              std::to_string(diff_po) + ")");
+            }
+            ctx.note = "matched on " + std::to_string(words * 64) +
+                       " random vectors" +
+                       (ctx.luts ? std::string(" (LUT network)") : "");
           },
   });
 

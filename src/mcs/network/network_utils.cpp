@@ -75,6 +75,37 @@ class TopoVisitor {
 
 }  // namespace
 
+std::vector<NodeId> collect_cone_nodes(const Network& net,
+                                       const std::vector<NodeId>& roots,
+                                       bool follow_choices,
+                                       std::vector<char>& seen) {
+  seen.assign(net.size(), 0);
+  std::vector<NodeId> stack;
+  std::vector<NodeId> nodes;
+  auto push = [&](NodeId n) {
+    if (!seen[n]) {
+      seen[n] = 1;
+      stack.push_back(n);
+      nodes.push_back(n);
+    }
+  };
+  for (const NodeId r : roots) push(r);
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    const Node& nd = net.node(n);
+    for (int i = 0; i < nd.num_fanins; ++i) push(nd.fanin[i].node());
+    if (follow_choices && net.is_repr(n)) {
+      for (NodeId m = nd.next_choice; m != kNullNode;
+           m = net.node(m).next_choice) {
+        push(m);
+      }
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
 std::vector<NodeId> topo_order(const Network& net) {
   TopoVisitor v(net, /*follow_choices=*/false);
   for (const auto s : net.pos()) v.visit(s.node());

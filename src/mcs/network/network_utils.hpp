@@ -23,6 +23,21 @@ std::vector<NodeId> topo_order(const Network& net);
 /// its members are already available for merging.
 std::vector<NodeId> choice_topo_order(const Network& net);
 
+/// All nodes reachable from \p roots through fanin edges (and, with
+/// \p follow_choices, the choice members of reached representatives,
+/// including the members' own cones), as an ascending-id list.  Ascending
+/// node ids are a valid topological order for fanin edges (fanins always
+/// precede their fanouts in a strashed Network).
+///
+/// \p seen is caller-owned scratch (cleared here).  The network's shared
+/// traversal marks are deliberately NOT used, so concurrent calls on the
+/// same network -- the parallel shard-construction and CNF-encoding
+/// phases -- are safe.
+std::vector<NodeId> collect_cone_nodes(const Network& net,
+                                       const std::vector<NodeId>& roots,
+                                       bool follow_choices,
+                                       std::vector<char>& seen);
+
 /// True iff \p target is reachable from \p from by following fanin edges
 /// (i.e. target is in the TFI cone of from, or equals it).
 bool reaches(const Network& net, NodeId from, NodeId target);

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
-#include <future>
-#include <map>
+#include <cstdint>
+#include <functional>
+#include <numeric>
 #include <utility>
 #include <vector>
 
+#include "mcs/common/hash.hpp"
 #include "mcs/par/thread_pool.hpp"
 #include "mcs/tt/tt6.hpp"
 
@@ -21,23 +23,31 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// Runs \p fn(i) for every shard index, on the pool when it pays off.
-/// Futures are joined in index order, so exceptions surface
-/// deterministically; with one thread (or one shard) everything runs
-/// inline, making the single-threaded baseline free of pool overhead.
-template <typename Fn>
-void for_each_shard(std::size_t num_shards, std::size_t num_threads, Fn fn) {
-  if (num_threads <= 1 || num_shards <= 1) {
-    for (std::size_t i = 0; i < num_shards; ++i) fn(i);
-    return;
-  }
-  ThreadPool pool(std::min(num_threads, num_shards));
-  std::vector<std::future<void>> done;
-  done.reserve(num_shards);
-  for (std::size_t i = 0; i < num_shards; ++i) {
-    done.push_back(pool.submit([&fn, i]() { fn(i); }));
-  }
-  for (auto& f : done) f.get();
+/// Largest-shard-first claim order: with shards of mixed sizes, a big shard
+/// scheduled last would serialize the tail of the work phase.  Ties (and
+/// therefore results -- scheduling never changes them) break toward the
+/// lower index.
+std::vector<std::uint32_t> largest_first_order(const PartitionSet& parts) {
+  std::vector<std::uint32_t> order(parts.parts.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return parts.parts[a].net.num_gates() >
+                            parts.parts[b].net.num_gates();
+                   });
+  return order;
+}
+
+/// Runs \p fn(i) for every shard index on the persistent pool, claiming the
+/// biggest shards first.  Results are joined by index (the callers write
+/// into indexed slots), so the output is bit-identical for any thread
+/// count; exceptions surface for the smallest failing shard index.
+void for_each_shard(const PartitionSet& parts, std::size_t num_threads,
+                    const std::function<void(std::size_t)>& fn) {
+  if (parts.parts.empty()) return;
+  const std::vector<std::uint32_t> order = largest_first_order(parts);
+  ThreadPool::global().submit_bulk(parts.parts.size(), fn, num_threads,
+                                   order.data());
 }
 
 struct Phase {
@@ -64,13 +74,98 @@ void fill_post(ParStats* stats, const Network& net) {
   stats->final_depth = net.depth();
 }
 
+PartitionParams partition_params(const ParParams& params,
+                                 std::size_t threads) {
+  PartitionParams pp = params.partition;
+  pp.num_threads = static_cast<int>(threads);
+  return pp;
+}
+
+/// Open-addressed structural-hash table for the LUT stitch: a merged-LUT
+/// ref keyed by (function, inputs).  The keys live in the merged LUT array
+/// itself; a slot stores only the 64-bit hash and the ref, so probing is
+/// one flat-array scan with a full key compare just on hash hits.  Linear
+/// probing, power-of-two capacity grown at ~0.7 load, no erase support
+/// needed (LUTs are never removed while stitching), hence tombstone-free.
+/// This replaces the old std::map<pair<Tt6, vector<int32>>> whose
+/// O(log n) node-hopping and per-insert key copies dominated the stitch.
+class LutStrashTable {
+ public:
+  LutStrashTable(const LutNetwork& merged, std::size_t expected)
+      : merged_(merged) {
+    std::size_t cap = kMinCapacity;
+    while ((expected + 1) * 10 > cap * 7) cap <<= 1;
+    slots_.assign(cap, Slot{});
+  }
+
+  static std::uint64_t hash_key(const LutNetwork::Lut& lut) noexcept {
+    std::uint64_t h = hash_mix64(lut.function);
+    h = hash_combine(h, lut.inputs.size());
+    for (const std::int32_t in : lut.inputs) {
+      h = hash_combine(h, static_cast<std::uint32_t>(in));
+    }
+    return h;
+  }
+
+  /// The merged ref stored for a LUT equal to \p lut, or -1.
+  std::int32_t lookup(const LutNetwork::Lut& lut,
+                      std::uint64_t h) const noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = h & mask;; i = (i + 1) & mask) {
+      const Slot& s = slots_[i];
+      if (s.ref < 0) return -1;
+      if (s.hash == h && equal(s.ref, lut)) return s.ref;
+    }
+  }
+
+  /// Inserts \p ref under \p h.  \pre the key is absent and \p ref already
+  /// resolves inside merged_ (the caller pushes the LUT first).
+  void insert(std::uint64_t h, std::int32_t ref) {
+    if ((size_ + 1) * 10 > slots_.size() * 7) rehash(slots_.size() * 2);
+    place(Slot{h, ref});
+    ++size_;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::int32_t ref = -1;  ///< -1 marks an empty slot
+  };
+  static constexpr std::size_t kMinCapacity = 64;  // power of two
+
+  bool equal(std::int32_t ref, const LutNetwork::Lut& lut) const noexcept {
+    const LutNetwork::Lut& other = merged_.luts[ref - merged_.num_pis];
+    return other.function == lut.function && other.inputs == lut.inputs;
+  }
+
+  void place(const Slot& slot) noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = slot.hash & mask;
+    while (slots_[i].ref >= 0) i = (i + 1) & mask;
+    slots_[i] = slot;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    for (const Slot& s : old) {
+      if (s.ref >= 0) place(s);
+    }
+  }
+
+  const LutNetwork& merged_;
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
 }  // namespace
 
 Network par_run(const Network& net, const ShardPassFn& pass,
                 const ParParams& params, ParStats* stats,
                 const ReassembleOptions& reassemble_opts) {
+  const std::size_t threads = ThreadPool::resolve_threads(params.num_threads);
   Phase phase{stats};
-  PartitionSet parts = partition_network(net, params.partition);
+  PartitionSet parts = partition_network(net, partition_params(params, threads));
   phase.lap(&ParStats::partition_seconds);
   return par_run(net, std::move(parts), pass, params, stats, reassemble_opts);
 }
@@ -82,13 +177,15 @@ Network par_run(const Network& net, PartitionSet parts, const ShardPassFn& pass,
   Phase phase{stats};
   fill_pre(stats, net, parts.parts.size(), threads);
 
-  for_each_shard(parts.parts.size(), threads, [&](std::size_t i) {
+  for_each_shard(parts, threads, [&](std::size_t i) {
     Partition& p = parts.parts[i];
     p.net = pass(p.net, i);
   });
   phase.lap(&ParStats::work_seconds);
 
-  Network result = reassemble(net, parts, reassemble_opts);
+  ReassembleOptions ropts = reassemble_opts;
+  ropts.num_threads = static_cast<int>(threads);
+  Network result = reassemble(net, parts, ropts);
   phase.lap(&ParStats::reassemble_seconds);
   fill_post(stats, result);
   return result;
@@ -96,8 +193,9 @@ Network par_run(const Network& net, PartitionSet parts, const ShardPassFn& pass,
 
 LutNetwork par_run_lut(const Network& net, const ShardMapFn& map_shard,
                        const ParParams& params, ParStats* stats) {
+  const std::size_t threads = ThreadPool::resolve_threads(params.num_threads);
   Phase phase{stats};
-  PartitionSet parts = partition_network(net, params.partition);
+  PartitionSet parts = partition_network(net, partition_params(params, threads));
   phase.lap(&ParStats::partition_seconds);
   return par_run_lut(net, std::move(parts), map_shard, params, stats);
 }
@@ -110,7 +208,7 @@ LutNetwork par_run_lut(const Network& net, PartitionSet parts,
   fill_pre(stats, net, parts.parts.size(), threads);
 
   std::vector<LutNetwork> shard_luts(parts.parts.size());
-  for_each_shard(parts.parts.size(), threads, [&](std::size_t i) {
+  for_each_shard(parts, threads, [&](std::size_t i) {
     shard_luts[i] = map_shard(parts.parts[i].net, i);
   });
   phase.lap(&ParStats::work_seconds);
@@ -127,15 +225,18 @@ LutNetwork par_run_lut(const Network& net, PartitionSet parts,
   merged.num_pis = static_cast<int>(net.num_pis());
   merged.po_refs.resize(net.num_pos(), 0);
   merged.po_compl.resize(net.num_pos(), false);
-  std::map<std::pair<Tt6, std::vector<std::int32_t>>, std::int32_t> strash;
+  std::size_t total_luts = 0;
+  for (const LutNetwork& sl : shard_luts) total_luts += sl.luts.size();
+  merged.luts.reserve(total_luts);
+  LutStrashTable strash(merged, total_luts);
   auto strashed_lut = [&](LutNetwork::Lut lut) {
-    const auto key = std::make_pair(lut.function, lut.inputs);
-    const auto it = strash.find(key);
-    if (it != strash.end()) return it->second;
+    const std::uint64_t h = LutStrashTable::hash_key(lut);
+    const std::int32_t hit = strash.lookup(lut, h);
+    if (hit >= 0) return hit;
     merged.luts.push_back(std::move(lut));
     const auto ref =
         static_cast<std::int32_t>(merged.num_pis + merged.luts.size() - 1);
-    strash.emplace(key, ref);
+    strash.insert(h, ref);
     return ref;
   };
   std::vector<std::int32_t> ref_of(net.size(), -1);
@@ -209,8 +310,9 @@ Network par_mch(const Network& net, const MchParams& mch_params,
                 MchStats* mch_stats) {
   // Partition up front: per-shard stats are indexed by shard, so the
   // shard count is needed before the work phase.
+  const std::size_t threads = ThreadPool::resolve_threads(params.num_threads);
   Phase phase{stats};
-  PartitionSet parts = partition_network(net, params.partition);
+  PartitionSet parts = partition_network(net, partition_params(params, threads));
   phase.lap(&ParStats::partition_seconds);
   std::vector<MchStats> shard_stats(mch_stats ? parts.parts.size() : 0);
   Network result = par_run(
@@ -240,8 +342,11 @@ LutNetwork par_map_lut(const Network& net, const LutMapParams& map_params,
                        LutMapStats* map_stats) {
   ParParams lut_params = params;
   lut_params.partition.keep_choices = map_params.use_choices;
+  const std::size_t threads =
+      ThreadPool::resolve_threads(lut_params.num_threads);
   Phase phase{stats};
-  PartitionSet parts = partition_network(net, lut_params.partition);
+  PartitionSet parts =
+      partition_network(net, partition_params(lut_params, threads));
   phase.lap(&ParStats::partition_seconds);
   std::vector<LutMapStats> shard_stats(map_stats ? parts.parts.size() : 0);
   LutNetwork merged = par_run_lut(

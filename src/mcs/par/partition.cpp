@@ -4,47 +4,13 @@
 #include <cassert>
 
 #include "mcs/network/network_utils.hpp"
+#include "mcs/par/thread_pool.hpp"
 
 namespace mcs {
 
 namespace {
 
 constexpr std::uint32_t kNoBand = 0xffffffffu;
-
-/// All nodes reachable from \p roots through fanin edges (and, with
-/// \p follow_choices, the choice members of reached representatives,
-/// including the members' own cones), as an ascending-id list.  Ascending
-/// node ids are a valid topological order for fanin edges (fanins always
-/// precede their fanouts in a strashed Network).
-std::vector<NodeId> collect_cone(const Network& net,
-                                 const std::vector<NodeId>& roots,
-                                 bool follow_choices) {
-  net.new_traversal();
-  std::vector<NodeId> stack;
-  std::vector<NodeId> nodes;
-  auto push = [&](NodeId n) {
-    if (!net.marked(n)) {
-      net.mark(n);
-      stack.push_back(n);
-      nodes.push_back(n);
-    }
-  };
-  for (const NodeId r : roots) push(r);
-  while (!stack.empty()) {
-    const NodeId n = stack.back();
-    stack.pop_back();
-    const Node& nd = net.node(n);
-    for (int i = 0; i < nd.num_fanins; ++i) push(nd.fanin[i].node());
-    if (follow_choices && net.is_repr(n)) {
-      for (NodeId m = nd.next_choice; m != kNullNode;
-           m = net.node(m).next_choice) {
-        push(m);
-      }
-    }
-  }
-  std::sort(nodes.begin(), nodes.end());
-  return nodes;
-}
 
 /// Re-strashes the gates of \p nodes (ascending-id, in-shard fanins always
 /// listed before their fanouts) into \p dst, recording which source nodes
@@ -102,7 +68,8 @@ std::vector<std::size_t> pi_ordinals(const Network& net) {
 /// Builds one shard from \p gates (ascending-id gate subset of \p net;
 /// membership in \p in_shard).  Every fanin outside the shard -- original
 /// PI or lower-shard node -- becomes a boundary PI; gates with
-/// \p exported set become boundary POs.
+/// \p exported set become boundary POs.  Reads \p net and the shared
+/// arrays only, so distinct shards build concurrently.
 Partition build_shard(const Network& net, const std::vector<NodeId>& gates,
                       const std::vector<bool>& in_shard,
                       const std::vector<bool>& exported, bool keep_choices,
@@ -150,6 +117,34 @@ Partition build_shard(const Network& net, const std::vector<NodeId>& gates,
 void export_po_roots(const Network& net, std::vector<bool>& exported) {
   for (const auto s : net.pos()) {
     if (net.is_gate(s.node())) exported[s.node()] = true;
+  }
+}
+
+/// Builds the shards for \p shard_gates (one ascending-id gate list each;
+/// empty lists yield no shard) on up to \p num_threads workers and appends
+/// them to \p set in list order.  This is the parallel section of both
+/// partitioning strategies: banding/grouping is a cheap serial sweep, while
+/// building a shard re-strashes every one of its gates.
+void build_shards(const Network& net,
+                  const std::vector<std::vector<NodeId>>& shard_gates,
+                  const std::vector<bool>& exported, bool keep_choices,
+                  int num_threads, PartitionSet& set) {
+  const std::vector<std::size_t> pi_ordinal = pi_ordinals(net);
+  const std::size_t threads = ThreadPool::resolve_threads(num_threads);
+  std::vector<Partition> built(shard_gates.size());
+  ThreadPool::global().submit_bulk(
+      shard_gates.size(),
+      [&](std::size_t i) {
+        const std::vector<NodeId>& gates = shard_gates[i];
+        if (gates.empty()) return;
+        std::vector<bool> in_shard(net.size(), false);
+        for (const NodeId n : gates) in_shard[n] = true;
+        built[i] = build_shard(net, gates, in_shard, exported, keep_choices,
+                               pi_ordinal);
+      },
+      threads);
+  for (std::size_t i = 0; i < built.size(); ++i) {
+    if (!shard_gates[i].empty()) set.parts.push_back(std::move(built[i]));
   }
 }
 
@@ -204,26 +199,30 @@ PartitionSet partition_cones(const Network& net,
 
   std::vector<bool> exported(net.size(), false);
   export_po_roots(net, exported);
-  const std::vector<std::size_t> pi_ordinal = pi_ordinals(net);
 
-  for (const auto& group : groups) {
-    std::vector<NodeId> roots;
-    for (const std::size_t po : group) {
-      const NodeId r = net.po_at(po).node();
-      if (net.is_gate(r)) roots.push_back(r);
-    }
-    if (roots.empty()) continue;  // all-degenerate group: nothing to shard
+  // Cone collection per group runs in the parallel section too (it uses
+  // caller-local scratch, not the shared traversal marks).
+  std::vector<std::vector<NodeId>> shard_gates(groups.size());
+  const std::size_t threads = ThreadPool::resolve_threads(params.num_threads);
+  ThreadPool::global().submit_bulk(
+      groups.size(),
+      [&](std::size_t g) {
+        std::vector<NodeId> roots;
+        for (const std::size_t po : groups[g]) {
+          const NodeId r = net.po_at(po).node();
+          if (net.is_gate(r)) roots.push_back(r);
+        }
+        if (roots.empty()) return;  // all-degenerate group: nothing to shard
+        std::vector<char> seen;
+        for (const NodeId n :
+             collect_cone_nodes(net, roots, params.keep_choices, seen)) {
+          if (net.is_gate(n)) shard_gates[g].push_back(n);
+        }
+      },
+      threads);
 
-    std::vector<NodeId> gates;
-    std::vector<bool> in_shard(net.size(), false);
-    for (const NodeId n : collect_cone(net, roots, params.keep_choices)) {
-      if (!net.is_gate(n)) continue;
-      gates.push_back(n);
-      in_shard[n] = true;
-    }
-    set.parts.push_back(build_shard(net, gates, in_shard, exported,
-                                    params.keep_choices, pi_ordinal));
-  }
+  build_shards(net, shard_gates, exported, params.keep_choices,
+               params.num_threads, set);
   return set;
 }
 
@@ -331,20 +330,21 @@ PartitionSet partition_windows(const Network& net,
     for (const NodeId n : extra[b]) mark_uses(n, b);
   }
 
-  const std::vector<std::size_t> pi_ordinal = pi_ordinals(net);
-  for (std::uint32_t b = 0; b < num_bands; ++b) {
-    std::vector<NodeId> gates;
-    for (NodeId n = 0; n < net.size(); ++n) {
-      if (regular[n] && band[n] == b) gates.push_back(n);
-    }
-    gates.insert(gates.end(), extra[b].begin(), extra[b].end());
-    std::sort(gates.begin(), gates.end());
-    if (gates.empty()) continue;
-    std::vector<bool> in_shard(net.size(), false);
-    for (const NodeId n : gates) in_shard[n] = true;
-    set.parts.push_back(build_shard(net, gates, in_shard, exported,
-                                    params.keep_choices, pi_ordinal));
+  // Per-band gate lists in one sweep (the old code swept the whole node
+  // array once per band), then the parallel shard build.
+  std::vector<std::vector<NodeId>> shard_gates(num_bands);
+  for (NodeId n = 0; n < net.size(); ++n) {
+    if (regular[n]) shard_gates[band[n]].push_back(n);
   }
+  for (std::uint32_t b = 0; b < num_bands; ++b) {
+    if (extra[b].empty()) continue;
+    shard_gates[b].insert(shard_gates[b].end(), extra[b].begin(),
+                          extra[b].end());
+    std::sort(shard_gates[b].begin(), shard_gates[b].end());
+  }
+
+  build_shards(net, shard_gates, exported, params.keep_choices,
+               params.num_threads, set);
   return set;
 }
 
@@ -364,6 +364,24 @@ PartitionSet partition_network(const Network& net,
 
 Network reassemble(const Network& source, const PartitionSet& parts,
                    const ReassembleOptions& opts) {
+  // Parallel preparation: collect each shard's PO cone (the node set the
+  // ordered merge will copy).  Shard networks are distinct objects and the
+  // collection uses task-local scratch, so shards prepare concurrently; the
+  // merge below stays a single deterministic ordered pass over the results.
+  const std::size_t num_parts = parts.parts.size();
+  std::vector<std::vector<NodeId>> shard_nodes(num_parts);
+  ThreadPool::global().submit_bulk(
+      num_parts,
+      [&](std::size_t i) {
+        const Network& sn = parts.parts[i].net;
+        std::vector<NodeId> roots;
+        roots.reserve(sn.num_pos());
+        for (const auto s : sn.pos()) roots.push_back(s.node());
+        std::vector<char> seen;
+        shard_nodes[i] = collect_cone_nodes(sn, roots, opts.keep_choices, seen);
+      },
+      ThreadPool::resolve_threads(opts.num_threads));
+
   Network dst;
   std::size_t total_nodes = 1 + source.num_pis();
   for (const Partition& part : parts.parts) {
@@ -379,7 +397,8 @@ Network reassemble(const Network& source, const PartitionSet& parts,
     have[source.pi_at(i)] = true;
   }
 
-  for (const Partition& part : parts.parts) {
+  for (std::size_t i = 0; i < num_parts; ++i) {
+    const Partition& part = parts.parts[i];
     const Network& sn = part.net;
     assert(sn.num_pis() == part.inputs.size() &&
            "pass changed a shard's PI interface");
@@ -394,11 +413,7 @@ Network reassemble(const Network& source, const PartitionSet& parts,
       smap[sn.pi_at(j)] = map[part.inputs[j]];
     }
 
-    std::vector<NodeId> roots;
-    roots.reserve(sn.num_pos());
-    for (const auto s : sn.pos()) roots.push_back(s.node());
-    const std::vector<NodeId> nodes =
-        collect_cone(sn, roots, opts.keep_choices);
+    const std::vector<NodeId>& nodes = shard_nodes[i];
     copy_gates(sn, nodes, dst, smap, copied);
     if (opts.keep_choices) copy_choices(sn, nodes, dst, smap, copied);
 

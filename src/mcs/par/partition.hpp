@@ -55,6 +55,12 @@ struct PartitionParams {
   /// Carry choice classes into the shards (members ride with their
   /// representative's shard), so choice-aware passes see them.
   bool keep_choices = false;
+
+  /// Worker threads for the shard *construction* phase (banding/grouping
+  /// stays serial; building the per-shard Networks fans out).  Values < 1
+  /// resolve through ThreadPool::resolve_threads (MCS_THREADS / hardware).
+  /// The result is bit-identical for any value.
+  int num_threads = 1;
 };
 
 /// One shard.  The boundary is expressed in *source node* terms: shard
@@ -82,6 +88,12 @@ PartitionSet partition_network(const Network& net,
 
 struct ReassembleOptions {
   bool keep_choices = false;  ///< copy shard choice classes into the result
+
+  /// Worker threads for the per-shard preparation phase (cone collection
+  /// over each shard network).  The merge into the destination strash table
+  /// itself stays a deterministic ordered pass.  Bit-identical for any
+  /// value; values < 1 resolve through ThreadPool::resolve_threads.
+  int num_threads = 1;
 };
 
 /// Stitches the (possibly rewritten) shard networks of \p parts back into

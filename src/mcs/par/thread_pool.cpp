@@ -1,15 +1,34 @@
 #include "mcs/par/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace mcs {
 
+namespace {
+
+/// Pool owning the current thread, when it is a worker thread.  Used to
+/// route nested submit() calls to the worker's own deque and to run nested
+/// submit_bulk() calls inline (deadlock-free nesting).
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_worker_index = 0;
+
+/// True while the current thread is claiming indices of a submit_bulk
+/// batch.  submit() calls made in this state execute inline: queueing them
+/// and then blocking on the future would deadlock (every participant is
+/// busy claiming batch indices and only drains deques afterwards).
+thread_local bool tl_in_batch = false;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = resolve_threads(0);
-  workers_.reserve(num_threads);
-  for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this]() { worker_loop(); });
-  }
+  num_threads = std::min(num_threads, kMaxWorkers);
+  // Reserved once: workers are only appended (never moved), so readers may
+  // touch workers_[j] for j < num_threads() without the pool mutex.
+  workers_.reserve(kMaxWorkers);
+  std::lock_guard<std::mutex> lock(mutex_);
+  spawn_workers_locked(num_threads);
 }
 
 ThreadPool::~ThreadPool() {
@@ -18,7 +37,34 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   wake_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) w->thread.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(resolve_threads(0));
+  return pool;
+}
+
+std::size_t ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+void ThreadPool::ensure_workers(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spawn_workers_locked(std::min(n, kMaxWorkers));
+}
+
+void ThreadPool::spawn_workers_locked(std::size_t target) {
+  target = std::min(target, kMaxWorkers);
+  while (workers_.size() < target && !stop_) {
+    auto w = std::make_unique<Worker>();
+    Worker* raw = w.get();
+    const std::size_t index = workers_.size();
+    workers_.push_back(std::move(w));
+    num_workers_.store(workers_.size(), std::memory_order_release);
+    raw->thread = std::thread([this, index]() { worker_loop(index); });
+  }
 }
 
 std::size_t ThreadPool::pending() const {
@@ -33,25 +79,198 @@ void ThreadPool::wait_idle() {
 
 std::size_t ThreadPool::resolve_threads(int requested) noexcept {
   if (requested >= 1) return static_cast<std::size_t>(requested);
+  if (const char* env = std::getenv("MCS_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1 && v <= 1024) return static_cast<std::size_t>(v);
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   return std::max(1u, hw);
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to do
-      task = std::move(queue_.front());
-      queue_.pop_front();
+void ThreadPool::push_task(std::function<void()> fn) {
+  if (tl_in_batch) {
+    // A batch participant submitting through its own pool: run inline so
+    // the returned future is ready immediately (see tl_in_batch).
+    fn();
+    return;
+  }
+  {
+    // Count and enqueue in one critical section, so ready_ can never be
+    // decremented (by a worker popping the task) before it was incremented.
+    // Lock order here and everywhere: mutex_ before a Worker::mutex.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++unfinished_;
+    ready_.fetch_add(1, std::memory_order_release);
+    if (tl_pool == this) {
+      // Nested submission: the worker's own deque, popped LIFO by the owner
+      // for locality, stolen FIFO by idle workers.
+      Worker& self = *workers_[tl_worker_index];
+      std::lock_guard<std::mutex> wlock(self.mutex);
+      self.deque.push_back(std::move(fn));
+    } else {
+      injector_.push_back(std::move(fn));
     }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --unfinished_;
-      if (unfinished_ == 0) idle_.notify_all();
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_run_one_task(std::size_t self) {
+  std::function<void()> task;
+  // 1. Own deque, newest first (LIFO: best cache locality for nested work).
+  {
+    Worker& w = *workers_[self];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (!w.deque.empty()) {
+      task = std::move(w.deque.back());
+      w.deque.pop_back();
+    }
+  }
+  // 2. The injector queue of external submissions, oldest first.
+  if (!task) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!injector_.empty()) {
+      task = std::move(injector_.front());
+      injector_.pop_front();
+    }
+  }
+  // 3. Steal from the other workers, oldest first (FIFO end).
+  if (!task) {
+    const std::size_t n = num_workers_.load(std::memory_order_acquire);
+    for (std::size_t off = 1; off < n && !task; ++off) {
+      Worker& w = *workers_[(self + off) % n];
+      std::lock_guard<std::mutex> lock(w.mutex);
+      if (!w.deque.empty()) {
+        task = std::move(w.deque.front());
+        w.deque.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+
+  ready_.fetch_sub(1, std::memory_order_acq_rel);
+  task();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--unfinished_ == 0) idle_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::participate(const std::shared_ptr<Batch>& batch) {
+  Batch& b = *batch;
+  const std::size_t n = b.n;
+  const bool was_in_batch = tl_in_batch;
+  tl_in_batch = true;
+  for (;;) {
+    const std::size_t k = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (k >= n) break;
+    const std::size_t i = b.order != nullptr ? b.order[k] : k;
+    try {
+      (*b.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(b.mutex);
+      if (i < b.err_index) {
+        b.err_index = i;
+        b.err = std::current_exception();
+      }
+    }
+    if (b.done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      std::lock_guard<std::mutex> lock(b.mutex);
+      b.cv.notify_all();
+    }
+  }
+  tl_in_batch = was_in_batch;
+}
+
+void ThreadPool::submit_bulk(std::size_t n,
+                             const std::function<void(std::size_t)>& fn,
+                             std::size_t max_workers,
+                             const std::uint32_t* order) {
+  if (n == 0) return;
+  auto run_inline = [&]() {
+    std::size_t err_index = ~std::size_t{0};
+    std::exception_ptr err;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = order != nullptr ? order[k] : k;
+      try {
+        fn(i);
+      } catch (...) {
+        if (i < err_index) {
+          err_index = i;
+          err = std::current_exception();
+        }
+      }
+    }
+    if (err) std::rethrow_exception(err);
+  };
+  if (max_workers <= 1 || n <= 1 || tl_pool == this) {
+    run_inline();
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->order = order;
+  batch->n = n;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (batch_ != nullptr || stop_) {
+      // One fan-out at a time; a second concurrent caller degrades to the
+      // (correct, merely unaccelerated) inline path.
+      lock.unlock();
+      run_inline();
+      return;
+    }
+    // The caller participates too, so at most n - 1 workers (and never
+    // more than requested) can contribute; don't spawn threads that would
+    // only find the claim cursor exhausted.
+    const std::size_t useful = std::min(max_workers - 1, n - 1);
+    spawn_workers_locked(useful);
+    batch->slots.store(static_cast<int>(std::min(useful, workers_.size())));
+    batch_ = batch;
+  }
+  wake_.notify_all();
+  participate(batch);
+  {
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->cv.wait(lock,
+                   [&]() { return batch->done.load(std::memory_order_acquire) ==
+                                  n; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_.reset();
+  }
+  if (batch->err) std::rethrow_exception(batch->err);
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tl_pool = this;
+  tl_worker_index = index;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [&]() {
+      if (stop_) return true;
+      if (ready_.load(std::memory_order_acquire) > 0) return true;
+      return batch_ != nullptr && batch_->slots.load() > 0 &&
+             batch_->next.load(std::memory_order_relaxed) < batch_->n;
+    });
+    if (stop_ && ready_.load(std::memory_order_acquire) == 0) return;
+    if (ready_.load(std::memory_order_acquire) > 0) {
+      lock.unlock();
+      while (try_run_one_task(index)) {
+      }
+      lock.lock();
+      continue;
+    }
+    if (batch_ != nullptr && batch_->slots.load() > 0 &&
+        batch_->next.load(std::memory_order_relaxed) < batch_->n) {
+      std::shared_ptr<Batch> batch = batch_;
+      batch->slots.fetch_sub(1);
+      lock.unlock();
+      participate(batch);
+      batch.reset();
+      lock.lock();
     }
   }
 }

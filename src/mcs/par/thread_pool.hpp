@@ -1,16 +1,45 @@
 /// \file thread_pool.hpp
-/// \brief A fixed-size worker pool with a task queue and futures.
+/// \brief A persistent work-stealing worker pool with batched fan-out.
 ///
-/// This is the execution substrate of the `mcs::par` subsystem: partitions
-/// of a network are submitted as independent tasks and joined through
-/// futures, in a deterministic order fixed by the caller (never by task
-/// completion order).  The pool itself is generic and reusable for any
-/// future sharding/batching work.
+/// This is the execution substrate of the `mcs::par` subsystem and of every
+/// other parallel phase in the library (partitioning, reassembly, simulation,
+/// CEC).  Two submission paths are provided:
+///
+///   - submit(): one task, one future.  Tasks submitted from inside a worker
+///     land on that worker's own deque (LIFO for locality) and may be stolen
+///     FIFO by idle workers; external submissions go through a shared
+///     injector queue.  This is the general path for irregular task graphs
+///     and nested submission.  From inside a submit_bulk() batch task the
+///     submission executes inline (future ready on return): queueing there
+///     and blocking on the future would deadlock, since every participant
+///     drains deques only after the batch completes.
+///   - submit_bulk(): the hot path of the shard drivers.  One batch object
+///     (a single allocation, shared by all participants) fans N indexed
+///     calls out to the workers *and the calling thread*; indices are
+///     claimed through an atomic cursor, optionally through a caller-given
+///     claim order (the shard drivers pass largest-shard-first).  No
+///     per-task std::function / packaged_task allocation happens.
+///
+/// Determinism contract: neither path influences *what* is computed -- only
+/// wall-clock time.  submit_bulk() writes results wherever fn(i) writes them
+/// (indexed slots), and when tasks throw, the exception of the smallest
+/// failing index is rethrown, regardless of completion order or thread
+/// count.
+///
+/// ThreadPool::global() is the process-wide persistent pool: constructed on
+/// first use, sized by resolve_threads(0), grown on demand (ensure_workers)
+/// when a caller asks for more parallelism than the hardware default --
+/// spawning a worker costs ~50us once, versus a pool construction per
+/// par_run call in the old design.  resolve_threads() honors the
+/// MCS_THREADS environment variable, so benches, tests and the shell pick
+/// up a thread count without per-command flags.
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -28,50 +57,112 @@ class ThreadPool {
   /// Spawns \p num_threads workers; 0 means resolve_threads(0) workers.
   explicit ThreadPool(std::size_t num_threads = 0);
 
-  /// Drains the queue (pending tasks still run) and joins the workers.
+  /// Drains the queues (pending tasks still run) and joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t num_threads() const noexcept { return workers_.size(); }
+  /// The process-wide persistent pool (constructed on first use).
+  static ThreadPool& global();
 
-  /// Number of tasks submitted and not yet finished.
+  std::size_t num_threads() const;
+
+  /// Grows the pool to at least \p n workers (capped at kMaxWorkers).
+  /// Existing workers are never removed.
+  void ensure_workers(std::size_t n);
+
+  /// Number of submit() tasks submitted and not yet finished.
   std::size_t pending() const;
 
   /// Enqueues \p fn and returns a future for its result.  Exceptions thrown
-  /// by the task are captured in the future.
+  /// by the task are captured in the future.  Safe to call from inside a
+  /// worker (the task lands on the worker's own deque) -- but a task must
+  /// not *block* on a nested future unless another worker is free to steal
+  /// it: the nested task only runs after the current one returns (or via a
+  /// steal), so waiting on it from a fully-busy pool deadlocks.  Fan-out
+  /// from inside tasks belongs to submit_bulk(), which runs nested calls
+  /// inline.
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using Result = std::invoke_result_t<Fn>;
     auto task = std::make_shared<std::packaged_task<Result()>>(
         std::forward<Fn>(fn));
     std::future<Result> future = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace_back([task]() { (*task)(); });
-      ++unfinished_;
-    }
-    wake_.notify_one();
+    push_task([task]() { (*task)(); });
     return future;
   }
 
-  /// Blocks until every submitted task has finished.
+  /// Runs fn(i) for every i in [0, n), on up to \p max_workers participants
+  /// *including the calling thread*, and blocks until all n calls finished.
+  ///
+  /// \p order, when non-null, is a permutation of [0, n): indices are
+  /// *claimed* in that order (the shard drivers pass largest-first so a big
+  /// shard never starts last), which affects scheduling only -- results are
+  /// bit-identical for any order and any thread count.
+  ///
+  /// With max_workers <= 1, n <= 1, or when called from inside a pool
+  /// worker or while another batch is active, every call runs inline on the
+  /// calling thread (deadlock-free nesting).  If calls throw, every index
+  /// still runs and the exception of the smallest failing index is
+  /// rethrown.
+  void submit_bulk(std::size_t n, const std::function<void(std::size_t)>& fn,
+                   std::size_t max_workers,
+                   const std::uint32_t* order = nullptr);
+
+  /// Blocks until every submit() task has finished.
   void wait_idle();
 
-  /// Resolves a user-facing thread-count request: values < 1 mean "use the
-  /// hardware concurrency" (at least 1).
+  /// Resolves a user-facing thread-count request: values >= 1 are taken
+  /// verbatim; values < 1 mean "use the MCS_THREADS environment variable,
+  /// or, when unset/invalid, the hardware concurrency" (at least 1).
   static std::size_t resolve_threads(int requested) noexcept;
 
- private:
-  void worker_loop();
+  /// Upper bound on workers of one pool (explicit oversubscription requests
+  /// beyond this are clamped; a backstop, not a tuning knob).
+  static constexpr std::size_t kMaxWorkers = 64;
 
-  mutable std::mutex mutex_;
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> deque;
+    std::thread thread;
+  };
+
+  /// One submit_bulk() fan-out.  Shared (by shared_ptr) between the caller
+  /// and every participating worker so the object outlives stragglers that
+  /// are between claiming and finishing when the caller returns.
+  struct Batch {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    const std::uint32_t* order = nullptr;  ///< nullptr = identity
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};   ///< claim cursor into [0, n)
+    std::atomic<std::size_t> done{0};   ///< completed calls
+    std::atomic<int> slots{0};          ///< workers still allowed to join
+    std::mutex mutex;                   ///< guards err_* and cv
+    std::condition_variable cv;         ///< caller waits for done == n
+    std::size_t err_index = ~std::size_t{0};
+    std::exception_ptr err;
+  };
+
+  void push_task(std::function<void()> fn);
+  bool try_run_one_task(std::size_t self);  ///< own deque, injector, steal
+  void participate(const std::shared_ptr<Batch>& batch);
+  void worker_loop(std::size_t index);
+  void spawn_workers_locked(std::size_t target);
+
+  mutable std::mutex mutex_;  ///< guards workers_ vector, injector_, batch_
   std::condition_variable wake_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  std::size_t unfinished_ = 0;
+  std::deque<std::function<void()>> injector_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  /// workers_.size() for lock-free readers (the steal loop); workers_ is
+  /// reserved to kMaxWorkers up front, so elements never move and indices
+  /// below this count are always valid.
+  std::atomic<std::size_t> num_workers_{0};
+  std::shared_ptr<Batch> batch_;          ///< active submit_bulk, if any
+  std::atomic<std::size_t> ready_{0};     ///< queued submit() tasks
+  std::size_t unfinished_ = 0;            ///< submit() tasks not yet done
   bool stop_ = false;
 };
 

@@ -1,8 +1,11 @@
 #include "mcs/sat/cec.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <vector>
 
+#include "mcs/par/thread_pool.hpp"
 #include "mcs/sat/cnf.hpp"
 #include "mcs/sat/solver.hpp"
 #include "mcs/sim/simulator.hpp"
@@ -25,31 +28,11 @@ sat::Lit make_diff(sat::Solver& solver, sat::Lit x, sat::Lit y) {
   return lt;
 }
 
-}  // namespace
-
-CecResult check_equivalence(const Network& a, const Network& b,
-                            const CecOptions& opts) {
-  assert(a.num_pis() == b.num_pis());
-  assert(a.num_pos() == b.num_pos());
-
-  // Stage 1: random-simulation falsification.
-  {
-    RandomSimulation sa(a, opts.sim_words, opts.sim_seed);
-    RandomSimulation sb(b, opts.sim_words, opts.sim_seed);
-    for (std::size_t i = 0; i < a.num_pos(); ++i) {
-      const Signal pa = a.po_at(i);
-      const Signal pb = b.po_at(i);
-      const std::uint64_t fa =
-          pa.complemented() != pb.complemented() ? ~0ull : 0ull;
-      const std::uint64_t* wa = sa.node_values(pa.node());
-      const std::uint64_t* wb = sb.node_values(pb.node());
-      for (int w = 0; w < opts.sim_words; ++w) {
-        if ((wa[w] ^ fa) != wb[w]) return CecResult::kNotEquivalent;
-      }
-    }
-  }
-
-  // Stage 2: SAT miter with shared PI variables.
+/// One miter over the PO range [begin, end) of the two networks, with
+/// shared PI variables and cone-restricted encodings.
+sat::Result solve_miter_range(const Network& a, const Network& b,
+                              std::size_t begin, std::size_t end,
+                              std::int64_t conflict_limit) {
   sat::Solver solver;
   sat::CnfMapping ma(a.size());
   sat::CnfMapping mb(b.size());
@@ -58,25 +41,85 @@ CecResult check_equivalence(const Network& a, const Network& b,
     ma.set_var(a.pi_at(i), v);
     mb.set_var(b.pi_at(i), v);
   }
-  sat::encode_network(a, solver, ma);
-  sat::encode_network(b, solver, mb);
+  std::vector<Signal> roots_a;
+  std::vector<Signal> roots_b;
+  roots_a.reserve(end - begin);
+  roots_b.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    roots_a.push_back(a.po_at(i));
+    roots_b.push_back(b.po_at(i));
+  }
+  sat::encode_cone(a, roots_a, solver, ma);
+  sat::encode_cone(b, roots_b, solver, mb);
 
   std::vector<sat::Lit> diffs;
-  diffs.reserve(a.num_pos());
-  for (std::size_t i = 0; i < a.num_pos(); ++i) {
+  diffs.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
     diffs.push_back(
         make_diff(solver, ma.lit(a.po_at(i)), mb.lit(b.po_at(i))));
   }
   solver.add_clause(std::move(diffs));
+  return solver.solve({}, conflict_limit);
+}
 
-  switch (solver.solve({}, opts.conflict_limit)) {
-    case sat::Result::kUnsat:
-      return CecResult::kEquivalent;
-    case sat::Result::kSat:
-      return CecResult::kNotEquivalent;
-    default:
-      return CecResult::kUnknown;
+}  // namespace
+
+CecResult check_equivalence(const Network& a, const Network& b,
+                            const CecOptions& opts) {
+  assert(a.num_pis() == b.num_pis());
+  assert(a.num_pos() == b.num_pos());
+  const std::size_t threads = ThreadPool::resolve_threads(opts.num_threads);
+
+  // Stage 1: random-simulation falsification (level-blocked parallel; PI
+  // words are seed-derived per interface index, so both networks see the
+  // same vectors and any thread count sees the same values).
+  if (sim_falsify(a, b, opts.sim_words, opts.sim_seed, opts.num_threads) >=
+      0) {
+    return CecResult::kNotEquivalent;
   }
+
+  // Stage 2: SAT miter with shared PI variables.  Serial path: one
+  // monolithic miter over every PO.
+  if (threads <= 1 || a.num_pos() < 2) {
+    switch (solve_miter_range(a, b, 0, a.num_pos(), opts.conflict_limit)) {
+      case sat::Result::kUnsat:
+        return CecResult::kEquivalent;
+      case sat::Result::kSat:
+        return CecResult::kNotEquivalent;
+      default:
+        return CecResult::kUnknown;
+    }
+  }
+
+  // Parallel path: per-PO-batch miters.  The batching depends only on the
+  // PO count and the verdict merge is order-independent (SAT dominates
+  // Unknown), so the verdict does not depend on the thread count; once a
+  // counterexample is found, batches not yet started are skipped.
+  const std::size_t num_pos = a.num_pos();
+  const std::size_t num_batches = (num_pos + kCecPoBatch - 1) / kCecPoBatch;
+  std::atomic<bool> found_sat{false};
+  std::atomic<bool> found_unknown{false};
+  ThreadPool::global().submit_bulk(
+      num_batches,
+      [&](std::size_t batch) {
+        if (found_sat.load(std::memory_order_relaxed)) return;  // early exit
+        const std::size_t begin = batch * kCecPoBatch;
+        const std::size_t end = std::min(num_pos, begin + kCecPoBatch);
+        switch (solve_miter_range(a, b, begin, end, opts.conflict_limit)) {
+          case sat::Result::kSat:
+            found_sat.store(true, std::memory_order_relaxed);
+            break;
+          case sat::Result::kUnknown:
+            found_unknown.store(true, std::memory_order_relaxed);
+            break;
+          default:
+            break;
+        }
+      },
+      threads);
+  if (found_sat.load()) return CecResult::kNotEquivalent;
+  if (found_unknown.load()) return CecResult::kUnknown;
+  return CecResult::kEquivalent;
 }
 
 CecResult check_signals_equivalent(const Network& net, Signal x, Signal y,
@@ -84,13 +127,13 @@ CecResult check_signals_equivalent(const Network& net, Signal x, Signal y,
   if (x == y) return CecResult::kEquivalent;
 
   {
-    RandomSimulation sim(net, opts.sim_words, opts.sim_seed);
+    RandomSimulation sim(net, opts.sim_words, opts.sim_seed, opts.num_threads);
     if (!sim.values_equal(x, y)) return CecResult::kNotEquivalent;
   }
 
   sat::Solver solver;
   sat::CnfMapping m(net.size());
-  sat::encode_network(net, solver, m);
+  sat::encode_cone(net, {x, y}, solver, m);
   solver.add_clause(make_diff(solver, m.lit(x), m.lit(y)));
 
   switch (solver.solve({}, opts.conflict_limit)) {

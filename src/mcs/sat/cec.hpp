@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "mcs/network/network.hpp"
@@ -19,7 +20,24 @@ struct CecOptions {
   int sim_words = 16;                  ///< random words per node in stage 1
   std::uint64_t sim_seed = 0xc0ffee;   ///< simulation seed
   std::int64_t conflict_limit = -1;    ///< SAT budget; < 0 means unlimited
+
+  /// Worker threads for both stages; values < 1 resolve through
+  /// ThreadPool::resolve_threads (MCS_THREADS / hardware).  With more than
+  /// one thread the SAT stage solves per-PO-batch miters (cone-restricted
+  /// encodings, kPoBatch POs each, early exit once a counterexample is
+  /// found) instead of one monolithic miter.  The batch structure depends
+  /// only on the PO count -- never on the thread count -- and the verdict
+  /// merge is order-independent (any SAT batch => kNotEquivalent, else any
+  /// kUnknown => kUnknown), so with an unlimited conflict budget the
+  /// verdict is identical for every thread count.  Under a finite
+  /// conflict_limit the budget applies per batch, so the serial
+  /// single-miter path may return kUnknown where the batched path decides
+  /// (or vice versa).
+  int num_threads = 1;
 };
+
+/// POs per parallel miter batch (see CecOptions::num_threads).
+inline constexpr std::size_t kCecPoBatch = 8;
 
 /// Checks combinational equivalence of two networks with identical PI/PO
 /// counts (POs are compared positionally).

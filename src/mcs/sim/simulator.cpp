@@ -1,32 +1,43 @@
 #include "mcs/sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "mcs/common/hash.hpp"
 #include "mcs/common/rng.hpp"
 #include "mcs/network/network_utils.hpp"
+#include "mcs/par/thread_pool.hpp"
 
 namespace mcs {
 
+namespace {
+
+/// Minimum gates on one level before the sweep fans that level out; below
+/// this the submit_bulk bookkeeping costs more than the evaluation.
+constexpr std::size_t kParallelGrain = 128;
+
+}  // namespace
+
 RandomSimulation::RandomSimulation(const Network& net, int num_words,
-                                   std::uint64_t seed)
+                                   std::uint64_t seed, int num_threads)
     : net_(net), num_words_(num_words) {
   values_.assign(net.size() * static_cast<std::size_t>(num_words), 0ull);
-  Rng rng(seed);
 
   auto words = [&](NodeId n) {
     return values_.data() + static_cast<std::size_t>(n) * num_words_;
   };
 
-  for (const NodeId pi : net.pis()) {
-    std::uint64_t* w = words(pi);
-    for (int i = 0; i < num_words_; ++i) w[i] = rng.next();
+  // PI words are a pure function of (seed, interface index) -- never of a
+  // shared generator's draw order -- so any evaluation schedule (and any
+  // network with the same PI count) sees identical input vectors.
+  for (std::size_t i = 0; i < net.num_pis(); ++i) {
+    Rng rng(hash_combine(hash_mix64(seed), i + 1));
+    std::uint64_t* w = words(net.pi_at(i));
+    for (int k = 0; k < num_words_; ++k) w[k] = rng.next();
   }
 
-  // The node array is a topological order by construction.
-  for (NodeId n = 0; n < net.size(); ++n) {
+  auto eval = [&](NodeId n) {
     const Node& nd = net.node(n);
-    if (!net.is_gate(n)) continue;
     std::uint64_t* out = words(n);
     const std::uint64_t* a = words(nd.fanin[0].node());
     const std::uint64_t* b = words(nd.fanin[1].node());
@@ -60,6 +71,63 @@ RandomSimulation::RandomSimulation(const Network& net, int num_words,
       default:
         break;
     }
+  };
+
+  const std::size_t threads = ThreadPool::resolve_threads(num_threads);
+  if (threads <= 1) {
+    // The node array is a topological order by construction.
+    for (NodeId n = 0; n < net.size(); ++n) {
+      if (net.is_gate(n)) eval(n);
+    }
+    return;
+  }
+
+  // Level-blocked parallel sweep: gates of one level depend only on lower
+  // levels (fanin levels are strictly smaller), so each level block fans
+  // out freely; blocks run in ascending level order.  Every gate writes
+  // exactly its own words, so values are bit-identical to the serial sweep
+  // for any thread count.  Levels are used instead of a plain node-range
+  // split because node ids within a level are NOT contiguous.
+  std::uint32_t max_level = 0;
+  std::size_t num_gates = 0;
+  for (NodeId n = 0; n < net.size(); ++n) {
+    if (!net.is_gate(n)) continue;
+    max_level = std::max(max_level, net.level(n));
+    ++num_gates;
+  }
+  std::vector<std::size_t> offset(max_level + 2, 0);
+  for (NodeId n = 0; n < net.size(); ++n) {
+    if (net.is_gate(n)) ++offset[net.level(n) + 1];
+  }
+  for (std::size_t l = 1; l < offset.size(); ++l) offset[l] += offset[l - 1];
+  std::vector<NodeId> by_level(num_gates);
+  {
+    std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+    for (NodeId n = 0; n < net.size(); ++n) {
+      if (net.is_gate(n)) by_level[cursor[net.level(n)]++] = n;
+    }
+  }
+
+  ThreadPool& pool = ThreadPool::global();
+  for (std::uint32_t l = 1; l <= max_level; ++l) {
+    const std::size_t begin = offset[l];
+    const std::size_t count = offset[l + 1] - begin;
+    if (count == 0) continue;
+    if (count < 2 * kParallelGrain) {
+      for (std::size_t k = 0; k < count; ++k) eval(by_level[begin + k]);
+      continue;
+    }
+    const std::size_t chunks =
+        std::min(threads * 2, (count + kParallelGrain - 1) / kParallelGrain);
+    const std::size_t chunk = (count + chunks - 1) / chunks;
+    pool.submit_bulk(
+        chunks,
+        [&](std::size_t c) {
+          const std::size_t lo = begin + c * chunk;
+          const std::size_t hi = std::min(begin + count, lo + chunk);
+          for (std::size_t k = lo; k < hi; ++k) eval(by_level[k]);
+        },
+        threads);
   }
 }
 
@@ -80,6 +148,26 @@ bool RandomSimulation::values_equal(Signal a, Signal b) const noexcept {
     if ((wa[i] ^ flip) != wb[i]) return false;
   }
   return true;
+}
+
+std::ptrdiff_t sim_falsify(const Network& a, const Network& b, int num_words,
+                           std::uint64_t seed, int num_threads) {
+  assert(a.num_pis() == b.num_pis());
+  assert(a.num_pos() == b.num_pos());
+  const RandomSimulation sa(a, num_words, seed, num_threads);
+  const RandomSimulation sb(b, num_words, seed, num_threads);
+  for (std::size_t i = 0; i < a.num_pos(); ++i) {
+    const Signal pa = a.po_at(i);
+    const Signal pb = b.po_at(i);
+    const std::uint64_t flip =
+        pa.complemented() != pb.complemented() ? ~0ull : 0ull;
+    const std::uint64_t* wa = sa.node_values(pa.node());
+    const std::uint64_t* wb = sb.node_values(pb.node());
+    for (int w = 0; w < num_words; ++w) {
+      if ((wa[w] ^ flip) != wb[w]) return static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return -1;
 }
 
 std::vector<TruthTable> simulate_pos(const Network& net) {

@@ -20,10 +20,21 @@ namespace mcs {
 /// Random word-parallel simulation.
 ///
 /// Every node (including choice members and dangling candidate cones) gets
-/// `num_words` 64-bit values; PIs are filled from the seeded generator.
+/// `num_words` 64-bit values.  PI words are *seed-derived per node*: the
+/// words of the i-th interface PI are a pure function of (seed, i), never
+/// of any draw order.  Two consequences:
+///   - two networks with the same PI count see identical input vectors for
+///     the same seed (what the CEC falsification stage relies on), and
+///   - evaluation order is free, so the gate sweep can run level-blocked
+///     on \p num_threads workers (all gates of one level are independent)
+///     with bit-identical values for any thread count.
 class RandomSimulation {
  public:
-  RandomSimulation(const Network& net, int num_words, std::uint64_t seed);
+  /// \p num_threads: workers for the gate sweep; values < 1 resolve via
+  /// ThreadPool::resolve_threads (MCS_THREADS / hardware).  The computed
+  /// values are identical for every thread count.
+  RandomSimulation(const Network& net, int num_words, std::uint64_t seed,
+                   int num_threads = 1);
 
   int num_words() const noexcept { return num_words_; }
 
@@ -45,6 +56,14 @@ class RandomSimulation {
   int num_words_;
   std::vector<std::uint64_t> values_;
 };
+
+/// Random-simulation falsification of two networks with the same PI/PO
+/// interface: simulates both on identical seed-derived input words and
+/// returns the index of the first PO whose values differ (respecting PO
+/// complement flags), or -1 when every PO agrees on every vector.  This is
+/// CEC stage 1 and the flow `sim` pass -- one implementation for both.
+std::ptrdiff_t sim_falsify(const Network& a, const Network& b, int num_words,
+                           std::uint64_t seed, int num_threads = 1);
 
 /// Exhaustive simulation: complete truth table of every PO over the PIs.
 /// \pre net.num_pis() <= TruthTable::kMaxVars.

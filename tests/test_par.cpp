@@ -187,6 +187,36 @@ TEST(Partition, KeepChoicesCarriesClassesIntoShards) {
   }
 }
 
+TEST(Partition, ParallelShardConstructionIsBitIdentical) {
+  // The shard-construction fan-out (and the parallel reassemble pre-pass)
+  // must produce exactly the serial result, for both strategies.
+  const Network net = expand_to_aig(circuits::multiplier(8));
+  for (const auto strategy : {PartitionStrategy::kLevelWindows,
+                              PartitionStrategy::kOutputCones}) {
+    PartitionParams serial;
+    serial.strategy = strategy;
+    serial.max_gates = 150;
+    serial.num_threads = 1;
+    PartitionParams parallel = serial;
+    parallel.num_threads = 4;
+
+    const PartitionSet ps = partition_network(net, serial);
+    const PartitionSet pp = partition_network(net, parallel);
+    ASSERT_EQ(ps.parts.size(), pp.parts.size());
+    for (std::size_t i = 0; i < ps.parts.size(); ++i) {
+      EXPECT_EQ(ps.parts[i].inputs, pp.parts[i].inputs) << "shard " << i;
+      EXPECT_EQ(ps.parts[i].outputs, pp.parts[i].outputs) << "shard " << i;
+      EXPECT_TRUE(structurally_identical(ps.parts[i].net, pp.parts[i].net))
+          << "shard " << i;
+    }
+
+    const Network rs = reassemble(net, ps, {.num_threads = 1});
+    const Network rp = reassemble(net, ps, {.num_threads = 4});
+    EXPECT_TRUE(structurally_identical(rs, rp));
+    EXPECT_EQ(check_equivalence(net, rs), CecResult::kEquivalent);
+  }
+}
+
 // --- parallel drivers -----------------------------------------------------
 
 TEST(ParEngine, ParOptimizeIsEquivalentAndDeterministic) {
