@@ -11,6 +11,8 @@
 ///     PATH (default BENCH_kernel.json).  This output is the input of
 ///     bench/compare_bench.py and the committed perf trajectory; it also
 ///     serves as the fallback main when google-benchmark is absent.
+///     `--json-par[=PATH]` and `--json-sweep[=PATH]` run the thread-scaling
+///     suites (parallel drivers / the fraig engine) the same way.
 
 #include <algorithm>
 #include <cstdio>
@@ -33,6 +35,7 @@
 #include "mcs/par/thread_pool.hpp"
 #include "mcs/sat/cec.hpp"
 #include "mcs/sim/simulator.hpp"
+#include "mcs/sweep/sweep.hpp"
 #include "mcs/tt/npn.hpp"
 
 namespace {
@@ -307,6 +310,124 @@ void run_par_suite(const char* path) {
   std::fclose(out);
 }
 
+// --- sweep scaling suite ----------------------------------------------------
+
+/// Thread-scaling suite over the SAT-sweeping engine: fraig on the 64-bit
+/// multiplier at 1/2/4/8 threads (one JSON line each, with speedup vs the
+/// run's own 1-thread time and a bit-identity determinism check) plus the
+/// legacy `sweep()` entry point as the serial reference row, and the
+/// proof-heavy workload -- a 256-bit AIG-vs-XMG adder miter whose hundreds
+/// of locally-provable pairs must collapse every PO to constant 0.
+/// MCS_SWEEP_BENCH_BITS shrinks the multiplier for CI smoke runs.
+void run_sweep_suite(const char* path) {
+  std::FILE* out = std::fopen(path, "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_micro: cannot open %s\n", path);
+    std::exit(1);
+  }
+  int bits = 64;
+  if (const char* env = std::getenv("MCS_SWEEP_BENCH_BITS")) {
+    const int v = std::atoi(env);
+    if (v >= 4 && v <= 128) bits = v;
+  }
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::fprintf(stderr,
+               "bench_micro: sweep scaling suite (multiplier %d, hardware "
+               "concurrency %zu) -> %s\n",
+               bits, hw, path);
+  const Network net = expand_to_aig(circuits::multiplier(bits));
+  const std::string circuit = "multiplier" + std::to_string(bits);
+
+  // The legacy entry point (sweep() delegates to the engine at its classic
+  // defaults): the reference both for time and for the gate-count
+  // acceptance bar (fraig must never end up worse).
+  std::size_t legacy_gates = 0;
+  {
+    double s = 0.0;
+    {
+      bench::Timer timer;
+      const Network legacy = sweep(net);
+      s = timer.seconds();
+      legacy_gates = legacy.num_gates();
+    }
+    bench::JsonLine("sweep_legacy_mult", out)
+        .field("circuit", circuit)
+        .field("seconds", s)
+        .field("gates", legacy_gates)
+        .field("hardware_threads", static_cast<std::size_t>(hw));
+  }
+
+  Network reference;
+  double base = 0.0;
+  for (const int t : {1, 2, 4, 8}) {
+    FraigParams params;
+    params.num_threads = t;
+    FraigStats stats;
+    bench::Timer timer;
+    const Network result = fraig(net, params, &stats);
+    const double s = timer.seconds();
+    if (t == 1) {
+      base = s;
+      reference = result;
+    }
+    bench::JsonLine("fraig_mult", out)
+        .field("circuit", circuit)
+        .field("threads", t)
+        .field("seconds", s)
+        .field("speedup", s > 0.0 ? base / s : 0.0)
+        .field("deterministic", structurally_identical(result, reference))
+        .field("gates", result.num_gates())
+        .field("not_worse_than_legacy", result.num_gates() <= legacy_gates)
+        .field("proven", stats.num_proven)
+        .field("rounds", stats.num_rounds)
+        .field("hardware_threads", static_cast<std::size_t>(hw));
+  }
+
+  // The proof-heavy workload: both 256-bit adder forms in one network,
+  // POs pairwise XORed.  Every carry/sum pair is locally provable, so the
+  // engine cascades through hundreds of miters and every PO collapses to
+  // constant 0 (checked per row as `collapsed`).
+  {
+    const Network xmg = circuits::adder(256);
+    const Network aig = expand_to_aig(xmg);
+    Network miter;
+    std::vector<Signal> pis;
+    for (std::size_t i = 0; i < aig.num_pis(); ++i) {
+      pis.push_back(miter.create_pi());
+    }
+    for (std::size_t i = 0; i < aig.num_pos(); ++i) {
+      const Signal pa = copy_cone(aig, miter, aig.po_at(i), pis);
+      const Signal pb = copy_cone(xmg, miter, xmg.po_at(i), pis);
+      miter.create_po(miter.create_xor(pa, pb));
+    }
+    Network miter_reference;
+    double miter_base = 0.0;
+    for (const int t : {1, 2, 4, 8}) {
+      FraigParams params;
+      params.num_threads = t;
+      FraigStats stats;
+      bench::Timer timer;
+      const Network result = fraig(miter, params, &stats);
+      const double s = timer.seconds();
+      if (t == 1) {
+        miter_base = s;
+        miter_reference = result;
+      }
+      bench::JsonLine("fraig_adder_miter", out)
+          .field("circuit", std::string("adder256_aig_vs_xmg"))
+          .field("threads", t)
+          .field("seconds", s)
+          .field("speedup", s > 0.0 ? miter_base / s : 0.0)
+          .field("deterministic",
+                 structurally_identical(result, miter_reference))
+          .field("collapsed", result.num_gates() == 0)
+          .field("proven", stats.num_proven)
+          .field("hardware_threads", static_cast<std::size_t>(hw));
+    }
+  }
+  std::fclose(out);
+}
+
 /// Returns the --json[=PATH] argument value, or nullptr when absent.
 const char* json_mode_path(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -321,6 +442,15 @@ const char* json_par_mode_path(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json-par") == 0) return "BENCH_par.json";
     if (std::strncmp(argv[i], "--json-par=", 11) == 0) return argv[i] + 11;
+  }
+  return nullptr;
+}
+
+/// Returns the --json-sweep[=PATH] argument value, or nullptr when absent.
+const char* json_sweep_mode_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-sweep") == 0) return "BENCH_sweep.json";
+    if (std::strncmp(argv[i], "--json-sweep=", 13) == 0) return argv[i] + 13;
   }
   return nullptr;
 }
@@ -481,6 +611,10 @@ int main(int argc, char** argv) {
     run_par_suite(path);
     return 0;
   }
+  if (const char* path = json_sweep_mode_path(argc, argv)) {
+    run_sweep_suite(path);
+    return 0;
+  }
   if (const char* path = json_mode_path(argc, argv)) {
     run_kernel_suite(path);
     return 0;
@@ -497,6 +631,10 @@ int main(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (const char* path = json_par_mode_path(argc, argv)) {
     run_par_suite(path);
+    return 0;
+  }
+  if (const char* path = json_sweep_mode_path(argc, argv)) {
+    run_sweep_suite(path);
     return 0;
   }
   const char* path = json_mode_path(argc, argv);

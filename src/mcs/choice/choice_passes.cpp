@@ -68,6 +68,8 @@ void register_choice_passes(PassRegistry& registry) {
       .run =
           [](FlowContext& ctx, const PassArgs&) {
             DchParams params;
+            // Equivalence proofs run on the flow's worker setting.
+            params.num_threads = ctx.par.num_threads;
             if (ctx.seed != 0) params.sim_seed = ctx.seed;
             DchStats stats;
             ctx.net = build_dch({ctx.net, balance(ctx.net), rewrite(ctx.net)},

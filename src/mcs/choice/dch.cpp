@@ -2,30 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
-#include <memory>
 #include <unordered_map>
+#include <vector>
 
-#include "mcs/common/hash.hpp"
 #include "mcs/network/network_utils.hpp"
-#include "mcs/sat/cnf.hpp"
-#include "mcs/sat/solver.hpp"
-#include "mcs/sim/simulator.hpp"
+#include "mcs/sweep/sweep.hpp"
 
 namespace mcs {
-
-namespace {
-
-/// Signature of a node's simulated values with a canonical phase: returns
-/// (hash, phase) where phase is true when the complemented values hash
-/// lower.  Nodes of one functional class (up to complement) share the hash.
-std::pair<std::uint64_t, bool> canonical_signature(
-    const RandomSimulation& sim, NodeId n) {
-  const std::uint64_t h0 = sim.signature(Signal(n, false));
-  const std::uint64_t h1 = sim.signature(Signal(n, true));
-  return h0 <= h1 ? std::make_pair(h0, false) : std::make_pair(h1, true);
-}
-
-}  // namespace
 
 Network build_dch(const std::vector<Network>& snapshots,
                   const DchParams& params, DchStats* stats_out) {
@@ -48,131 +31,60 @@ Network build_dch(const std::vector<Network>& snapshots,
     }
   }
 
-  // --- candidate classes from simulation signatures --------------------
-  RandomSimulation sim(dst, params.sim_words, params.sim_seed);
-  std::unordered_map<std::uint64_t, std::vector<NodeId>> groups;
-  for (NodeId n = 0; n < dst.size(); ++n) {
-    if (!dst.is_gate(n)) continue;
-    groups[canonical_signature(sim, n).first].push_back(n);
+  // --- prove equivalence classes with the mcs::sweep engine ------------
+  // Simulation-seeded candidate classes, parallel batched cone-restricted
+  // miters with proof cascading, counterexample-driven refinement.  The
+  // alternative structures contributed by the other snapshots live here as
+  // dangling cones, so the engine must consider unreachable nodes too; the
+  // constant class is disabled (a constant is no useful choice member).
+  FraigParams fp;
+  fp.num_threads = params.num_threads;
+  fp.sim_words = params.sim_words;
+  fp.sim_seed = params.sim_seed;
+  fp.conflict_limit = params.conflict_limit;
+  fp.max_pairs = params.max_pairs;
+  fp.sweep_constants = false;
+  fp.include_dangling = true;
+  FraigStats fs;
+  const std::vector<ProvenEquiv> proven = sweep_equivalences(dst, fp, &fs);
+  stats.num_candidate_pairs = fs.num_candidate_pairs;
+  stats.num_disproven = fs.num_disproven;
+  stats.num_timeout = fs.num_unknown;
+
+  // --- proven classes become choice classes ----------------------------
+  // The engine's representative is the class *minimum*; choice classes
+  // want the *largest* id as their head so every choice edge points from a
+  // smaller to a larger node, which guarantees acyclicity of the covering
+  // relation.  Regroup each proven class and re-phase its members against
+  // the largest node.
+  std::unordered_map<NodeId, std::vector<ProvenEquiv>> classes;
+  std::vector<NodeId> reprs;
+  for (const ProvenEquiv& e : proven) {
+    auto& members = classes[e.repr];
+    if (members.empty()) reprs.push_back(e.repr);
+    members.push_back(e);
   }
-
-  // --- one incremental SAT instance over the merged network ------------
-  // Timed-out proofs leave their learned clauses behind (the solver has no
-  // deletion), so the instance is re-encoded when it grows too large.
-  auto solver = std::make_unique<sat::Solver>();
-  auto cnf = std::make_unique<sat::CnfMapping>(dst.size());
-  sat::encode_network(dst, *solver, *cnf);
-  const std::size_t base_clauses = solver->num_clauses();
-
-  auto prove_equal = [&](Signal a, Signal b) -> int {
-    if (solver->num_clauses() >
-        base_clauses + params.solver_clause_budget) {
-      solver = std::make_unique<sat::Solver>();
-      cnf = std::make_unique<sat::CnfMapping>(dst.size());
-      sat::encode_network(dst, *solver, *cnf);
+  std::sort(reprs.begin(), reprs.end());
+  for (const NodeId r : reprs) {
+    // The whole class in dst space: (node, phase vs r), including r.
+    std::vector<std::pair<NodeId, bool>> members{{r, false}};
+    for (const ProvenEquiv& e : classes[r]) {
+      members.push_back({e.node, e.phase});
     }
-    // Returns 1 proven, 0 disproven, -1 unknown.
-    const sat::Var t = solver->new_var();
-    const sat::Lit lt = sat::mk_lit(t);
-    const sat::Lit la = cnf->lit(a);
-    const sat::Lit lb = cnf->lit(b);
-    // t -> (a != b).
-    solver->add_clause(sat::negate(lt), la, lb);
-    solver->add_clause(sat::negate(lt), sat::negate(la), sat::negate(lb));
-    switch (solver->solve({lt}, params.conflict_limit)) {
-      case sat::Result::kUnsat:
-        // No distinguishing input: a == b.  Lock t to false so the learnt
-        // clauses stay consistent and cheap.
-        solver->add_clause(sat::negate(lt));
-        return 1;
-      case sat::Result::kSat:
-        return 0;
-      default:
-        return -1;
-    }
-  };
-
-  // Candidate pairs, processed bottom-up (by member id): once a shallow
-  // pair is proven, its equality is asserted into the solver, so deeper
-  // miters collapse structurally -- the cascading that makes SAT sweeping
-  // scale (without it, arithmetic circuits hit the conflict limit).
-  struct Pair {
-    NodeId member;
-    NodeId repr;
-    bool phase;
-  };
-  std::vector<Pair> pairs;
-  for (auto& [hash, nodes] : groups) {
-    if (nodes.size() < 2) continue;
-    std::sort(nodes.begin(), nodes.end());
-    // Largest id is the representative: all dependency edges then point
-    // from smaller to larger ids, which guarantees acyclicity.
-    const NodeId repr = nodes.back();
-    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
-      const NodeId m = nodes[i];
-      // Establish the phase from simulation; hash collisions are filtered
-      // here (values must match exactly in one phase).
-      bool phase;
-      if (sim.values_equal(Signal(m, false), Signal(repr, false))) {
-        phase = false;
-      } else if (sim.values_equal(Signal(m, false), Signal(repr, true))) {
-        phase = true;
-      } else {
+    const auto [head, head_phase] = members.back();  // largest id (sorted)
+    for (const auto& [node, phase] : members) {
+      if (node == head) continue;
+      if (!dst.is_repr(node) || dst.node(node).next_choice != kNullNode ||
+          !dst.is_repr(head)) {
+        continue;  // defensive; engine classes are disjoint
+      }
+      if (choice_reaches(dst, node, head)) {
+        ++stats.num_rejected_cycle;  // defensive; unreachable by id order
         continue;
       }
-      pairs.push_back({m, repr, phase});
+      dst.add_choice(head, node, phase ^ head_phase);
+      ++stats.num_proven;
     }
-  }
-  std::sort(pairs.begin(), pairs.end(),
-            [](const Pair& a, const Pair& b) { return a.member < b.member; });
-
-  // Proven equalities must be re-asserted after a solver re-encode.
-  std::vector<Pair> proven_pairs;
-  std::size_t pairs_done = 0;
-  for (const Pair& p : pairs) {
-    if (pairs_done >= params.max_pairs) break;
-    if (!dst.is_repr(p.member) ||
-        dst.node(p.member).next_choice != kNullNode) {
-      continue;
-    }
-    if (!dst.is_repr(p.repr)) continue;
-
-    ++pairs_done;
-    ++stats.num_candidate_pairs;
-    const std::size_t clauses_before = solver->num_clauses();
-    const int proven =
-        prove_equal(Signal(p.member, false), Signal(p.repr, p.phase));
-    if (solver->num_clauses() < clauses_before) {
-      // The solver was re-encoded inside prove_equal: replay equalities.
-      for (const Pair& q : proven_pairs) {
-        const sat::Lit la = cnf->lit(Signal(q.member, false));
-        const sat::Lit lb = cnf->lit(Signal(q.repr, q.phase));
-        solver->add_clause(sat::negate(la), lb);
-        solver->add_clause(la, sat::negate(lb));
-      }
-    }
-    if (proven == 0) {
-      ++stats.num_disproven;
-      continue;
-    }
-    if (proven < 0) {
-      ++stats.num_timeout;
-      continue;
-    }
-    // Assert the proven equality: later miters over this cone collapse.
-    {
-      const sat::Lit la = cnf->lit(Signal(p.member, false));
-      const sat::Lit lb = cnf->lit(Signal(p.repr, p.phase));
-      solver->add_clause(sat::negate(la), lb);
-      solver->add_clause(la, sat::negate(lb));
-      proven_pairs.push_back(p);
-    }
-    if (choice_reaches(dst, p.member, p.repr)) {
-      ++stats.num_rejected_cycle;  // defensive; unreachable by id order
-      continue;
-    }
-    dst.add_choice(p.repr, p.member, p.phase);
-    ++stats.num_proven;
   }
 
   // --- POs must point at representatives -------------------------------

@@ -23,9 +23,11 @@ struct DchParams {
   std::uint64_t sim_seed = 0x5eed;  ///< signature seed
   std::int64_t conflict_limit = 300;  ///< SAT budget per candidate pair
   std::size_t max_pairs = 1u << 20;   ///< overall pair budget
-  /// Learned clauses accumulate across incremental queries (no clause
-  /// deletion); the solver is re-encoded when it grows past this bound.
-  std::size_t solver_clause_budget = 60000;
+  /// Worker threads for the equivalence proofs (the mcs::sweep engine's
+  /// parallel proof batches); values < 1 resolve through
+  /// ThreadPool::resolve_threads.  The classes are identical for any
+  /// thread count.
+  int num_threads = 1;
 };
 
 struct DchStats {

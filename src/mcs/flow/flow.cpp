@@ -255,6 +255,7 @@ PassRegistry& PassRegistry::instance() {
 PassRegistry::PassRegistry() {
   register_core_passes(*this);
   register_opt_passes(*this);
+  register_sweep_passes(*this);
   register_choice_passes(*this);
   register_map_passes(*this);
   register_par_passes(*this);

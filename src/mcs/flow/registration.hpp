@@ -16,6 +16,7 @@ class PassRegistry;
 
 void register_core_passes(PassRegistry& registry);    // flow/passes.cpp
 void register_opt_passes(PassRegistry& registry);     // opt/opt_passes.cpp
+void register_sweep_passes(PassRegistry& registry);   // sweep/sweep_passes.cpp
 void register_choice_passes(PassRegistry& registry);  // choice/choice_passes.cpp
 void register_map_passes(PassRegistry& registry);     // map/map_passes.cpp
 void register_par_passes(PassRegistry& registry);     // par/par_passes.cpp

@@ -113,6 +113,9 @@ void register_opt_passes(PassRegistry& registry) {
       .run =
           [](FlowContext& ctx, const PassArgs&) {
             SweepParams params;
+            // The proof batches run on the flow's worker setting (the
+            // `threads` pass / MCS_THREADS), like every parallel path.
+            params.num_threads = ctx.par.num_threads;
             if (ctx.seed != 0) params.sim_seed = ctx.seed;
             ctx.net = sweep(ctx.net, params);
           },

@@ -14,6 +14,7 @@
 #include "mcs/sat/cnf.hpp"
 #include "mcs/sat/solver.hpp"
 #include "mcs/sim/simulator.hpp"
+#include "mcs/sweep/sweep.hpp"
 
 namespace mcs {
 
@@ -152,110 +153,16 @@ Network refactor(const Network& net, const RefactorParams& params) {
 // ---------------------------------------------------------------------------
 
 Network sweep(const Network& net, const SweepParams& params) {
-  RandomSimulation sim(net, params.sim_words, params.sim_seed);
-
-  // Group candidate-equivalent nodes by phase-canonical signature.
-  std::unordered_map<std::uint64_t, std::vector<NodeId>> groups;
-  for (const NodeId n : topo_order(net)) {
-    if (!net.is_gate(n)) continue;
-    const std::uint64_t h0 = sim.signature(Signal(n, false));
-    const std::uint64_t h1 = sim.signature(Signal(n, true));
-    groups[std::min(h0, h1)].push_back(n);
-  }
-
-  // Timed-out proofs leave learned clauses behind; re-encode the instance
-  // when it grows past the budget.
-  auto solver = std::make_unique<sat::Solver>();
-  auto cnf = std::make_unique<sat::CnfMapping>(net.size());
-  sat::encode_network(net, *solver, *cnf);
-  const std::size_t base_clauses = solver->num_clauses();
-
-  // Candidate pairs sorted bottom-up (by member id); proven equalities are
-  // asserted into the solver so deeper miters collapse (proof cascading).
-  struct Pair {
-    NodeId member;
-    NodeId repr;
-    bool phase;
-  };
-  std::vector<Pair> pairs;
-  for (auto& [hash, nodes] : groups) {
-    if (nodes.size() < 2) continue;
-    std::sort(nodes.begin(), nodes.end());
-    const NodeId repr = nodes.front();  // earliest: safe redirect target
-    for (std::size_t i = 1; i < nodes.size(); ++i) {
-      const NodeId m = nodes[i];
-      bool phase;
-      if (sim.values_equal(Signal(m, false), Signal(repr, false))) {
-        phase = false;
-      } else if (sim.values_equal(Signal(m, false), Signal(repr, true))) {
-        phase = true;
-      } else {
-        continue;
-      }
-      pairs.push_back({m, repr, phase});
-    }
-  }
-  std::sort(pairs.begin(), pairs.end(),
-            [](const Pair& a, const Pair& b) { return a.member < b.member; });
-
-  // merge[n] = (target, phase): n is functionally target ^ phase.
-  std::vector<std::pair<NodeId, bool>> merge(net.size(),
-                                             {kNullNode, false});
-  std::vector<Pair> proven;
-  auto assert_equal = [&](const Pair& p) {
-    const sat::Lit la = cnf->lit(Signal(p.member, false));
-    const sat::Lit lb = cnf->lit(Signal(p.repr, p.phase));
-    solver->add_clause(sat::negate(la), lb);
-    solver->add_clause(la, sat::negate(lb));
-  };
-  for (const Pair& p : pairs) {
-    if (solver->num_clauses() >
-        base_clauses + params.solver_clause_budget) {
-      solver = std::make_unique<sat::Solver>();
-      cnf = std::make_unique<sat::CnfMapping>(net.size());
-      sat::encode_network(net, *solver, *cnf);
-      for (const Pair& q : proven) assert_equal(q);
-    }
-    // SAT proof: no input distinguishes member from repr ^ phase.
-    const sat::Var t = solver->new_var();
-    const sat::Lit lt = sat::mk_lit(t);
-    const sat::Lit la = cnf->lit(Signal(p.member, false));
-    const sat::Lit lb = cnf->lit(Signal(p.repr, p.phase));
-    solver->add_clause(sat::negate(lt), la, lb);
-    solver->add_clause(sat::negate(lt), sat::negate(la), sat::negate(lb));
-    if (solver->solve({lt}, params.conflict_limit) == sat::Result::kUnsat) {
-      solver->add_clause(sat::negate(lt));
-      merge[p.member] = {p.repr, p.phase};
-      proven.push_back(p);
-      assert_equal(p);
-    }
-  }
-
-  // Rebuild, redirecting merged nodes.
-  Network dst;
-  std::vector<Signal> map(net.size());
-  map[0] = dst.constant(false);
-  for (std::size_t i = 0; i < net.num_pis(); ++i) {
-    map[net.pi_at(i)] = dst.create_pi(net.pi_name(i));
-  }
-  for (const NodeId n : topo_order(net)) {
-    if (!net.is_gate(n)) continue;
-    if (merge[n].first != kNullNode) {
-      map[n] = map[merge[n].first] ^ merge[n].second;
-      continue;
-    }
-    const Node& nd = net.node(n);
-    std::array<Signal, 3> in{};
-    for (int i = 0; i < nd.num_fanins; ++i) {
-      in[i] = map[nd.fanin[i].node()] ^ nd.fanin[i].complemented();
-    }
-    map[n] = dst.create_gate(nd.type, in);
-  }
-  for (std::size_t i = 0; i < net.num_pos(); ++i) {
-    const Signal s = net.po_at(i);
-    dst.create_po(map[s.node()] ^ s.complemented(), net.po_name(i));
-  }
-  return cleanup(dst);
+  // Thin wrapper over the mcs::sweep engine (sweep/sweep.hpp): candidate
+  // classes from simulation signatures, parallel batched cone-restricted
+  // miters, counterexample-driven refinement, min-index merges.
+  FraigParams fp;
+  fp.num_threads = params.num_threads;
+  fp.sim_words = params.sim_words;
+  fp.sim_seed = params.sim_seed;
+  fp.conflict_limit = params.conflict_limit;
+  fp.max_rounds = params.max_rounds;
+  return fraig(net, fp);
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "mcs/common/hash.hpp"
 #include "mcs/common/rng.hpp"
@@ -19,59 +21,24 @@ constexpr std::size_t kParallelGrain = 128;
 }  // namespace
 
 RandomSimulation::RandomSimulation(const Network& net, int num_words,
-                                   std::uint64_t seed, int num_threads)
-    : net_(net), num_words_(num_words) {
-  values_.assign(net.size() * static_cast<std::size_t>(num_words), 0ull);
-
-  auto words = [&](NodeId n) {
-    return values_.data() + static_cast<std::size_t>(n) * num_words_;
-  };
+                                   std::uint64_t seed, int num_threads,
+                                   int reserve_extra_words)
+    : net_(net),
+      num_words_(num_words),
+      capacity_words_(num_words + std::max(0, reserve_extra_words)) {
+  values_.assign(net.size() * static_cast<std::size_t>(capacity_words_),
+                 0ull);
 
   // PI words are a pure function of (seed, interface index) -- never of a
   // shared generator's draw order -- so any evaluation schedule (and any
   // network with the same PI count) sees identical input vectors.
   for (std::size_t i = 0; i < net.num_pis(); ++i) {
     Rng rng(hash_combine(hash_mix64(seed), i + 1));
-    std::uint64_t* w = words(net.pi_at(i));
+    std::uint64_t* w = mutable_values(net.pi_at(i));
     for (int k = 0; k < num_words_; ++k) w[k] = rng.next();
   }
 
-  auto eval = [&](NodeId n) {
-    const Node& nd = net.node(n);
-    std::uint64_t* out = words(n);
-    const std::uint64_t* a = words(nd.fanin[0].node());
-    const std::uint64_t* b = words(nd.fanin[1].node());
-    const std::uint64_t ac = nd.fanin[0].complemented() ? ~0ull : 0ull;
-    const std::uint64_t bc = nd.fanin[1].complemented() ? ~0ull : 0ull;
-    switch (nd.type) {
-      case GateType::kAnd2:
-        for (int i = 0; i < num_words_; ++i) out[i] = (a[i] ^ ac) & (b[i] ^ bc);
-        break;
-      case GateType::kXor2:
-        for (int i = 0; i < num_words_; ++i) out[i] = (a[i] ^ ac) ^ (b[i] ^ bc);
-        break;
-      case GateType::kMaj3:
-      case GateType::kXor3: {
-        const std::uint64_t* c = words(nd.fanin[2].node());
-        const std::uint64_t cc = nd.fanin[2].complemented() ? ~0ull : 0ull;
-        if (nd.type == GateType::kMaj3) {
-          for (int i = 0; i < num_words_; ++i) {
-            const std::uint64_t x = a[i] ^ ac;
-            const std::uint64_t y = b[i] ^ bc;
-            const std::uint64_t z = c[i] ^ cc;
-            out[i] = (x & y) | (x & z) | (y & z);
-          }
-        } else {
-          for (int i = 0; i < num_words_; ++i) {
-            out[i] = (a[i] ^ ac) ^ (b[i] ^ bc) ^ (c[i] ^ cc);
-          }
-        }
-        break;
-      }
-      default:
-        break;
-    }
-  };
+  auto eval = [&](NodeId n) { eval_node(n, 0, num_words_); };
 
   const std::size_t threads = ThreadPool::resolve_threads(num_threads);
   if (threads <= 1) {
@@ -129,6 +96,76 @@ RandomSimulation::RandomSimulation(const Network& net, int num_words,
         },
         threads);
   }
+}
+
+void RandomSimulation::eval_node(NodeId n, int begin_word,
+                                 int end_word) noexcept {
+  const Node& nd = net_.node(n);
+  std::uint64_t* out = mutable_values(n);
+  const std::uint64_t* a = node_values(nd.fanin[0].node());
+  const std::uint64_t* b = node_values(nd.fanin[1].node());
+  const std::uint64_t ac = nd.fanin[0].complemented() ? ~0ull : 0ull;
+  const std::uint64_t bc = nd.fanin[1].complemented() ? ~0ull : 0ull;
+  switch (nd.type) {
+    case GateType::kAnd2:
+      for (int i = begin_word; i < end_word; ++i) {
+        out[i] = (a[i] ^ ac) & (b[i] ^ bc);
+      }
+      break;
+    case GateType::kXor2:
+      for (int i = begin_word; i < end_word; ++i) {
+        out[i] = (a[i] ^ ac) ^ (b[i] ^ bc);
+      }
+      break;
+    case GateType::kMaj3:
+    case GateType::kXor3: {
+      const std::uint64_t* c = node_values(nd.fanin[2].node());
+      const std::uint64_t cc = nd.fanin[2].complemented() ? ~0ull : 0ull;
+      if (nd.type == GateType::kMaj3) {
+        for (int i = begin_word; i < end_word; ++i) {
+          const std::uint64_t x = a[i] ^ ac;
+          const std::uint64_t y = b[i] ^ bc;
+          const std::uint64_t z = c[i] ^ cc;
+          out[i] = (x & y) | (x & z) | (y & z);
+        }
+      } else {
+        for (int i = begin_word; i < end_word; ++i) {
+          out[i] = (a[i] ^ ac) ^ (b[i] ^ bc) ^ (c[i] ^ cc);
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void RandomSimulation::add_pattern_words(
+    const std::vector<std::uint64_t>& pi_words, int count) {
+  assert(count >= 1);
+  assert(pi_words.size() == net_.num_pis() * static_cast<std::size_t>(count));
+  // A silent overrun would spill words into the next node's value row and
+  // corrupt its signatures (unsound merges downstream) -- fail loudly even
+  // in Release builds.
+  if (count < 1 || count > spare_words()) {
+    throw std::length_error("RandomSimulation::add_pattern_words: " +
+                            std::to_string(count) + " words requested, " +
+                            std::to_string(spare_words()) + " reserved");
+  }
+  const int w0 = num_words_;
+  for (std::size_t i = 0; i < net_.num_pis(); ++i) {
+    std::uint64_t* w = mutable_values(net_.pi_at(i));
+    for (int k = 0; k < count; ++k) {
+      w[w0 + k] = pi_words[static_cast<std::size_t>(k) * net_.num_pis() + i];
+    }
+  }
+  // A handful of words across the whole network is cheap; the serial
+  // ascending-id sweep (a valid topological order) keeps the result
+  // trivially deterministic.
+  for (NodeId n = 0; n < net_.size(); ++n) {
+    if (net_.is_gate(n)) eval_node(n, w0, w0 + count);
+  }
+  num_words_ += count;
 }
 
 std::uint64_t RandomSimulation::signature(Signal s) const noexcept {

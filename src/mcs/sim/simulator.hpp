@@ -28,19 +28,39 @@ namespace mcs {
 ///   - evaluation order is free, so the gate sweep can run level-blocked
 ///     on \p num_threads workers (all gates of one level are independent)
 ///     with bit-identical values for any thread count.
+///
+/// Incremental re-simulation: construction may reserve capacity for extra
+/// words (\p reserve_extra_words) and add_pattern_words() then appends
+/// directed words per PI -- how the SAT-sweeping engine (mcs/sweep) feeds
+/// counterexample patterns back into the signatures without recomputing the
+/// random words.
 class RandomSimulation {
  public:
   /// \p num_threads: workers for the gate sweep; values < 1 resolve via
   /// ThreadPool::resolve_threads (MCS_THREADS / hardware).  The computed
   /// values are identical for every thread count.
+  /// \p reserve_extra_words: capacity for add_pattern_word() calls.
   RandomSimulation(const Network& net, int num_words, std::uint64_t seed,
-                   int num_threads = 1);
+                   int num_threads = 1, int reserve_extra_words = 0);
 
   int num_words() const noexcept { return num_words_; }
 
+  /// Words still available for add_pattern_words().
+  int spare_words() const noexcept { return capacity_words_ - num_words_; }
+
+  /// Appends \p count simulation words in one incremental sweep:
+  /// \p pi_words[w * num_pis + i] becomes value word (num_words() + w) of
+  /// the i-th interface PI, and every gate is re-evaluated for the new
+  /// words only (ascending node ids are a topological order).  Signatures
+  /// and values_equal() immediately reflect the added patterns.
+  /// \pre pi_words.size() == count * net.num_pis(), 1 <= count <=
+  /// spare_words().
+  void add_pattern_words(const std::vector<std::uint64_t>& pi_words,
+                         int count);
+
   /// Value words of node \p n (non-complemented function).
   const std::uint64_t* node_values(NodeId n) const noexcept {
-    return values_.data() + static_cast<std::size_t>(n) * num_words_;
+    return values_.data() + static_cast<std::size_t>(n) * capacity_words_;
   }
 
   /// Signature (hash of the value words) of the *function* of signal \p s.
@@ -52,8 +72,14 @@ class RandomSimulation {
   bool values_equal(Signal a, Signal b) const noexcept;
 
  private:
+  std::uint64_t* mutable_values(NodeId n) noexcept {
+    return values_.data() + static_cast<std::size_t>(n) * capacity_words_;
+  }
+  void eval_node(NodeId n, int begin_word, int end_word) noexcept;
+
   const Network& net_;
   int num_words_;
+  int capacity_words_;  ///< allocation stride (num_words_ + reserved spare)
   std::vector<std::uint64_t> values_;
 };
 
