@@ -39,6 +39,7 @@ constexpr Circuit kCircuits[] = {
 }  // namespace
 
 int main() {
+  obs::init_from_env();
   const char* spec_env = std::getenv("MCS_FLOW_SPEC");
   int threads = 1;
   if (const char* t = std::getenv("MCS_FLOW_THREADS")) {

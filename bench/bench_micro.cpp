@@ -81,6 +81,7 @@ void run_kernel_suite(const char* path) {
     const auto order = topo_order(net);
     CutEnumerator cuts(net, {.cut_size = 6, .cut_limit = 8});
     std::size_t cuts_total = 0;
+    bench::MetricsWindow window;
     const double s = best_of(5, [&] {
       cuts.reset();
       cuts.run(order);
@@ -90,7 +91,8 @@ void run_kernel_suite(const char* path) {
         .field("seconds", s)
         .field("gates", net.num_gates())
         .field("cuts", cuts_total)
-        .field("items_per_sec", static_cast<double>(net.num_gates()) / s);
+        .field("items_per_sec", static_cast<double>(net.num_gates()) / s)
+        .object("metrics", window.delta_json());
   }
   {
     // Batched: one run is ~0.4 ms, too short for a stable reading.
@@ -111,6 +113,7 @@ void run_kernel_suite(const char* path) {
   }
   {
     constexpr int kOps = 500000;
+    bench::MetricsWindow window;
     const double s = best_of(7, [&] {
       Network net;
       Rng rng(7);
@@ -124,7 +127,8 @@ void run_kernel_suite(const char* path) {
     });
     bench::JsonLine("strash_insert", out)
         .field("seconds", s)
-        .field("items_per_sec", static_cast<double>(kOps) / s);
+        .field("items_per_sec", static_cast<double>(kOps) / s)
+        .object("metrics", window.delta_json());
   }
   {
     // Hit-path lookups: every gate of the large circuit resolved again
@@ -132,6 +136,7 @@ void run_kernel_suite(const char* path) {
     constexpr int kBatch = 20;
     const Network& net = large_circuit();
     std::size_t hits = 0;
+    bench::MetricsWindow window;
     const double s = best_of(5, [&] {
       hits = 0;
       for (int i = 0; i < kBatch; ++i) {
@@ -146,7 +151,8 @@ void run_kernel_suite(const char* path) {
         .field("seconds", s)
         .field("hits", hits / kBatch)
         .field("items_per_sec",
-               static_cast<double>(hits / kBatch) / s);
+               static_cast<double>(hits / kBatch) / s)
+        .object("metrics", window.delta_json());
   }
   {
     const Network& net = medium_circuit();
@@ -344,6 +350,7 @@ void run_sweep_suite(const char* path) {
   std::size_t legacy_gates = 0;
   {
     double s = 0.0;
+    bench::MetricsWindow window;
     {
       bench::Timer timer;
       const Network legacy = sweep(net);
@@ -354,7 +361,8 @@ void run_sweep_suite(const char* path) {
         .field("circuit", circuit)
         .field("seconds", s)
         .field("gates", legacy_gates)
-        .field("hardware_threads", static_cast<std::size_t>(hw));
+        .field("hardware_threads", static_cast<std::size_t>(hw))
+        .object("metrics", window.delta_json());
   }
 
   Network reference;
@@ -363,6 +371,7 @@ void run_sweep_suite(const char* path) {
     FraigParams params;
     params.num_threads = t;
     FraigStats stats;
+    bench::MetricsWindow window;
     bench::Timer timer;
     const Network result = fraig(net, params, &stats);
     const double s = timer.seconds();
@@ -380,7 +389,8 @@ void run_sweep_suite(const char* path) {
         .field("not_worse_than_legacy", result.num_gates() <= legacy_gates)
         .field("proven", stats.num_proven)
         .field("rounds", stats.num_rounds)
-        .field("hardware_threads", static_cast<std::size_t>(hw));
+        .field("hardware_threads", static_cast<std::size_t>(hw))
+        .object("metrics", window.delta_json());
   }
 
   // The proof-heavy workload: both 256-bit adder forms in one network,
@@ -406,6 +416,7 @@ void run_sweep_suite(const char* path) {
       FraigParams params;
       params.num_threads = t;
       FraigStats stats;
+      bench::MetricsWindow window;
       bench::Timer timer;
       const Network result = fraig(miter, params, &stats);
       const double s = timer.seconds();
@@ -422,7 +433,8 @@ void run_sweep_suite(const char* path) {
                  structurally_identical(result, miter_reference))
           .field("collapsed", result.num_gates() == 0)
           .field("proven", stats.num_proven)
-          .field("hardware_threads", static_cast<std::size_t>(hw));
+          .field("hardware_threads", static_cast<std::size_t>(hw))
+          .object("metrics", window.delta_json());
     }
   }
   std::fclose(out);
@@ -607,6 +619,7 @@ BENCHMARK(BM_AsicMap);
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::init_from_env();
   if (const char* path = json_par_mode_path(argc, argv)) {
     run_par_suite(path);
     return 0;
@@ -629,6 +642,7 @@ int main(int argc, char** argv) {
 #else  // !MCS_HAVE_GBENCH
 
 int main(int argc, char** argv) {
+  obs::init_from_env();
   if (const char* path = json_par_mode_path(argc, argv)) {
     run_par_suite(path);
     return 0;

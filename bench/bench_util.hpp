@@ -14,6 +14,7 @@
 #include "mcs/map/asic_mapper.hpp"
 #include "mcs/map/lut_mapper.hpp"
 #include "mcs/network/network.hpp"
+#include "mcs/obs/obs.hpp"
 #include "mcs/sim/simulator.hpp"
 
 namespace mcs::bench {
@@ -155,6 +156,11 @@ class JsonLine {
   JsonLine& field(const std::string& key, bool value) {
     return raw(key, value ? "true" : "false");
   }
+  /// Embeds \p json verbatim as a nested value (the caller guarantees it is
+  /// well-formed JSON); used for the per-row metrics objects.
+  JsonLine& object(const std::string& key, const std::string& json) {
+    return raw(key, json);
+  }
 
  private:
   void append_quoted(const std::string& s) {
@@ -185,6 +191,38 @@ class JsonLine {
   }
   std::FILE* out_;
   std::string line_;
+};
+
+/// Counter movement over a code region, attachable to bench rows as a
+/// nested `"metrics"` object (flat counter-name -> delta).  compare_bench.py
+/// diffs these alongside wall time, catching work-amount regressions (e.g.
+/// strash probe blow-ups, sweep SAT-call count changes) that timing noise
+/// hides.  With MCS_OBS_DISABLE the object is empty and the diff is a
+/// no-op.
+class MetricsWindow {
+ public:
+  MetricsWindow() : before_(obs::snapshot()) {}
+
+  /// Restarts the window (e.g. after warm-up iterations).
+  void reset() { before_ = obs::snapshot(); }
+
+  /// The counters that moved since construction/reset, as one JSON object.
+  std::string delta_json() const {
+    const obs::MetricsSnapshot d = obs::snapshot_delta(before_);
+    std::string out = "{";
+    for (std::size_t i = 0; i < d.counters.size(); ++i) {
+      if (i) out += ", ";
+      out += '"' + d.counters[i].name + "\": " +
+             std::to_string(d.counters[i].value);
+    }
+    out += "}";
+    return out;
+  }
+
+  void attach(JsonLine& line) const { line.object("metrics", delta_json()); }
+
+ private:
+  obs::MetricsSnapshot before_;
 };
 
 /// Emits a flow::FlowReport as JSON lines: one line per stage plus a

@@ -8,6 +8,19 @@ is preferred for the comparison; benches without it fall back to "seconds"
 (lower is better).  When a file holds several lines for one bench (appended
 runs), the best value wins.
 
+Rows may carry two extra payloads this script understands:
+
+  "hardware_threads": N -- the runner's core count.  When baseline and
+      current disagree, wall-clock comparisons are not apples-to-apples:
+      a caveat is printed and *timing* regressions are downgraded to
+      warnings (work-amount regressions below still fail the run).
+  "metrics": {...} -- a flat counter-delta object (see bench_util.hpp's
+      MetricsWindow).  Counters measure the *amount of work* (strash
+      probes, sweep SAT calls), which is hardware-independent, so these
+      are diffed with the same threshold and always enforced.  Tracked
+      indicators: the strash collision rate (extra probes per lookup)
+      and the sweep/CEC SAT-call count.
+
 Usage:
   compare_bench.py BASELINE.json CURRENT.json [--threshold PCT] [--warn-only]
 
@@ -22,7 +35,7 @@ import sys
 
 
 def load(path):
-    """bench key -> (metric_name, best_value).
+    """bench key -> row dict: metric/value/higher_better/metrics/hw_threads.
 
     Thread-scaling entries (lines carrying a "threads" field, e.g. the
     `bench_micro --json-par` suite) are keyed "name@tN" so the regression
@@ -53,20 +66,71 @@ def load(path):
             else:
                 continue
             prev = best.get(name)
-            if prev is None or (value > prev[1]) == higher_better:
-                best[name] = (metric, value, higher_better)
+            if prev is None or (value > prev["value"]) == higher_better:
+                best[name] = {
+                    "metric": metric,
+                    "value": value,
+                    "higher_better": higher_better,
+                    "metrics": obj.get("metrics") or {},
+                    "hw_threads": obj.get("hardware_threads"),
+                }
     return best
+
+
+def hw_threads_of(benches):
+    """The distinct hardware_threads values announced by a run's rows."""
+    return {row["hw_threads"] for row in benches.values()
+            if row["hw_threads"] is not None}
+
+
+def work_indicators(metrics):
+    """Hardware-independent work-amount indicators from a metrics delta.
+
+    Lower is better for every indicator returned.
+    """
+    out = {}
+    lookups = metrics.get("strash.lookups", 0)
+    collisions = metrics.get("strash.collisions")
+    if collisions is None and "strash.probes" in metrics:
+        # Older baselines recorded total probes instead of collisions.
+        collisions = metrics["strash.probes"] - lookups
+    if lookups > 0 and collisions is not None and collisions >= 0:
+        # Extra probes per lookup: the open-addressing collision rate.
+        out["strash_collision_rate"] = collisions / lookups
+    if "sweep.sat_calls" in metrics:
+        out["sweep_sat_calls"] = float(metrics["sweep.sat_calls"])
+    if "cec.batches" in metrics:
+        out["cec_batches"] = float(metrics["cec.batches"])
+    return out
+
+
+def compare_work(name, base_row, cur_row, threshold, regressions):
+    """Diffs the work indicators of one bench; appends to regressions."""
+    base_ind = work_indicators(base_row["metrics"])
+    cur_ind = work_indicators(cur_row["metrics"])
+    for key in sorted(set(base_ind) & set(cur_ind)):
+        b, c = base_ind[key], cur_ind[key]
+        if b <= 0:
+            continue
+        growth = (c - b) / b * 100.0
+        mark = ""
+        if growth > threshold:
+            mark = "  <-- WORK REGRESSION"
+            regressions.append(
+                (name, f"{key} grew {growth:.1f}% ({b:.4g} -> {c:.4g})"))
+        print(f"{name:<24} {key:<22} {b:>12.4g} {c:>12.4g} "
+              f"{growth:>+7.1f}%{mark}")
 
 
 def report_speedup(benches, label):
     """Speedup-vs-1-thread table for every thread-scaling bench group."""
     groups = {}
-    for key, (metric, value, _) in benches.items():
-        if "@t" not in key or metric != "seconds":
+    for key, row in benches.items():
+        if "@t" not in key or row["metric"] != "seconds":
             continue
         name, threads = key.rsplit("@t", 1)
         try:
-            groups.setdefault(name, {})[int(threads)] = value
+            groups.setdefault(name, {})[int(threads)] = row["value"]
         except ValueError:
             continue
     printed_header = False
@@ -103,21 +167,35 @@ def main():
     if not cur:
         sys.exit(f"{args.current}: no benches found")
 
-    regressions = []
+    # Hardware caveat: wall-clock numbers from different machines (or core
+    # counts) do not compare.  Timing regressions become warnings; the
+    # work-amount diff below is unaffected.
+    base_hw, cur_hw = hw_threads_of(base), hw_threads_of(cur)
+    timing_comparable = not base_hw or not cur_hw or base_hw == cur_hw
+    if not timing_comparable:
+        print(f"CAVEAT: baseline ran on hardware_threads={sorted(base_hw)} "
+              f"but current on {sorted(cur_hw)}; wall-clock deltas are not "
+              "comparable and will not fail the run (work-amount metrics "
+              "still do).")
+
+    timing_regressions = []
+    work_regressions = []
     print(f"{'bench':<24} {'metric':<14} {'baseline':>12} {'current':>12} "
           f"{'delta':>8}")
     for name in sorted(set(base) | set(cur)):
         if name not in base:
             print(f"{name:<24} {'(new)':<14} {'-':>12} "
-                  f"{cur[name][1]:>12.4g} {'-':>8}")
+                  f"{cur[name]['value']:>12.4g} {'-':>8}")
             continue
         if name not in cur:
-            print(f"{name:<24} {'(missing)':<14} {base[name][1]:>12.4g} "
-                  f"{'-':>12} {'-':>8}")
-            regressions.append((name, "missing from current run"))
+            print(f"{name:<24} {'(missing)':<14} "
+                  f"{base[name]['value']:>12.4g} {'-':>12} {'-':>8}")
+            timing_regressions.append((name, "missing from current run"))
             continue
-        metric, b, higher_better = base[name]
-        c = cur[name][1]
+        row_b, row_c = base[name], cur[name]
+        metric, b = row_b["metric"], row_b["value"]
+        higher_better = row_b["higher_better"]
+        c = row_c["value"]
         if b == 0:
             continue
         # Positive delta = improvement under either metric orientation.
@@ -125,16 +203,33 @@ def main():
         mark = ""
         if delta < -args.threshold:
             mark = "  <-- REGRESSION"
-            regressions.append((name, f"{-delta:.1f}% slower"))
+            timing_regressions.append((name, f"{-delta:.1f}% slower"))
         print(f"{name:<24} {metric:<14} {b:>12.4g} {c:>12.4g} "
               f"{delta:>+7.1f}%{mark}")
 
+    # Work-amount diff: counter deltas attached by MetricsWindow.
+    pairs = [(n, base[n], cur[n]) for n in sorted(set(base) & set(cur))
+             if work_indicators(base[n]["metrics"]) and
+             work_indicators(cur[n]["metrics"])]
+    if pairs:
+        print(f"\n{'bench':<24} {'work indicator':<22} {'baseline':>12} "
+              f"{'current':>12} {'delta':>8}")
+        for name, row_b, row_c in pairs:
+            compare_work(name, row_b, row_c, args.threshold, work_regressions)
+
     report_speedup(cur, "current run")
 
-    if regressions:
-        print(f"\n{len(regressions)} regression(s) beyond "
+    fatal = list(work_regressions)
+    if timing_comparable:
+        fatal += timing_regressions
+    elif timing_regressions:
+        print(f"\n{len(timing_regressions)} timing regression(s) ignored "
+              "(hardware mismatch; see caveat above)", file=sys.stderr)
+
+    if fatal:
+        print(f"\n{len(fatal)} regression(s) beyond "
               f"{args.threshold:.0f}%:", file=sys.stderr)
-        for name, why in regressions:
+        for name, why in fatal:
             print(f"  {name}: {why}", file=sys.stderr)
         if not args.warn_only:
             sys.exit(1)

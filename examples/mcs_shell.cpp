@@ -148,6 +148,8 @@ bool execute(flow::FlowContext& ctx, const std::vector<std::string>& tokens,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // MCS_TRACE=<file>: record spans for the whole session, dump at exit.
+  obs::init_from_env();
   flow::FlowContext ctx;
   ctx.verbose = true;
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "mcs/cut/cut.hpp"
+#include "mcs/obs/obs.hpp"
 
 namespace mcs {
 
@@ -74,6 +75,9 @@ class CutStore {
     return n;
   }
 
+  /// Arena footprint in bytes (capacity, not committed size).
+  std::size_t arena_bytes() const noexcept { return capacity_ * sizeof(Cut); }
+
  private:
   struct Span {
     std::uint32_t offset = 0;
@@ -89,6 +93,9 @@ class CutStore {
     }
     arena_ = std::move(next);
     capacity_ = cap;
+    // Growth is doubling-rare; a gauge write here is free in practice.
+    obs::gauge("cut.arena_bytes_max")
+        .set_max(static_cast<std::int64_t>(capacity_ * sizeof(Cut)));
   }
 
   std::unique_ptr<Cut[]> arena_;

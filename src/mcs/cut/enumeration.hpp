@@ -114,7 +114,15 @@ class CutEnumerator {
   template <typename Annotate, typename Compare>
   void run(const std::vector<NodeId>& order, const Annotate& annotate,
            const Compare& better) {
+    obs::Span span("cut:enum");
     for (const NodeId n : order) run_single(n, annotate, better);
+    // One flush per pass, not per node: keeps the per-node path clean.
+    static obs::Counter& runs = obs::counter("cut.enum_runs");
+    static obs::Counter& nodes = obs::counter("cut.nodes_enumerated");
+    static obs::Counter& cuts = obs::counter("cut.cuts_stored");
+    runs.increment();
+    nodes.add(order.size());
+    cuts.add(store_.total_cuts());
   }
   void run(const std::vector<NodeId>& order) {
     run(order, CutNoAnnotate{}, CutDefaultBetter{});

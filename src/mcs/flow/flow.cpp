@@ -259,6 +259,7 @@ PassRegistry::PassRegistry() {
   register_choice_passes(*this);
   register_map_passes(*this);
   register_par_passes(*this);
+  register_obs_passes(*this);
 }
 
 void PassRegistry::add(PassInfo info) {
@@ -336,8 +337,15 @@ StageReport run_stage(FlowContext& ctx, const PassInfo& pass,
   report.pass = pass.name;
   report.args = args.canonical();
   ctx.note.clear();
+  // Every registered pass gets an enter/exit span and a metrics window for
+  // free: counter movement during the stage lands in report.metrics, spans
+  // started during the stage (the pass's own span included) land in
+  // report.spans.
+  const obs::MetricsSnapshot metrics_before = obs::snapshot();
+  const std::uint64_t span_window_start = obs::now_us();
   const auto t0 = std::chrono::steady_clock::now();
   try {
+    obs::Span span([&] { return "pass:" + pass.name; });
     pass.run(ctx, args);
     // A changed working network invalidates earlier mapped artifacts;
     // without this, `cec` after a transform would verify a stale mapping.
@@ -352,6 +360,10 @@ StageReport run_stage(FlowContext& ctx, const PassInfo& pass,
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  report.metrics = obs::snapshot_delta(metrics_before);
+  if (obs::tracing_enabled()) {
+    report.spans = obs::aggregate_spans(span_window_start);
+  }
   report.note = ctx.note;
   report.gates = ctx.net.num_gates();
   report.depth = ctx.net.depth();
@@ -426,6 +438,9 @@ std::string Flow::canonical() const {
 }
 
 FlowReport Flow::run(FlowContext& ctx) const {
+  // Headless tracing: MCS_TRACE=<file> captures this run without any shell
+  // or bench plumbing (idempotent; the dump happens at process exit).
+  obs::init_from_env();
   FlowReport report;
   const auto t0 = std::chrono::steady_clock::now();
   for (const Stage& stage : stages_) {
@@ -510,7 +525,31 @@ std::string FlowReport::to_json() const {
     append_json_double(out, s.delay);
     out += ", \"note\": ";
     append_json_string(out, s.note);
-    out += "}";
+    // Observability fields (see README "Observability"): counter *deltas*
+    // over the stage, gauges at stage end, per-name span aggregates.
+    out += ", \"metrics\": {\"counters\": {";
+    for (std::size_t k = 0; k < s.metrics.counters.size(); ++k) {
+      if (k) out += ", ";
+      append_json_string(out, s.metrics.counters[k].name);
+      out += ": " + std::to_string(s.metrics.counters[k].value);
+    }
+    out += "}, \"gauges\": {";
+    for (std::size_t k = 0; k < s.metrics.gauges.size(); ++k) {
+      if (k) out += ", ";
+      append_json_string(out, s.metrics.gauges[k].name);
+      out += ": " + std::to_string(s.metrics.gauges[k].value);
+    }
+    out += "}}, \"spans\": [";
+    for (std::size_t k = 0; k < s.spans.size(); ++k) {
+      if (k) out += ", ";
+      out += "{\"name\": ";
+      append_json_string(out, s.spans[k].name);
+      out += ", \"count\": " + std::to_string(s.spans[k].count);
+      out += ", \"seconds\": ";
+      append_json_double(out, s.spans[k].seconds);
+      out += "}";
+    }
+    out += "]}";
   }
   out += "]}";
   return out;

@@ -45,6 +45,7 @@
 #include "mcs/map/lut_mapper.hpp"
 #include "mcs/map/techlib.hpp"
 #include "mcs/network/network.hpp"
+#include "mcs/obs/obs.hpp"
 #include "mcs/par/par_engine.hpp"
 #include "mcs/resyn/basis.hpp"
 
@@ -209,6 +210,13 @@ struct StageReport {
   std::size_t cells = 0;
   double area = 0.0;
   double delay = 0.0;
+
+  // Observability: counters that moved while this stage ran (deltas) plus
+  // the gauge values at stage end, and -- with tracing on -- the spans that
+  // started during the stage, aggregated by name.  Both empty when the
+  // library is built with MCS_OBS_DISABLE.
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::SpanStats> spans;
 };
 
 /// Structured result of a whole flow; stages in execution order (a failed

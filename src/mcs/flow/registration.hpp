@@ -20,5 +20,6 @@ void register_sweep_passes(PassRegistry& registry);   // sweep/sweep_passes.cpp
 void register_choice_passes(PassRegistry& registry);  // choice/choice_passes.cpp
 void register_map_passes(PassRegistry& registry);     // map/map_passes.cpp
 void register_par_passes(PassRegistry& registry);     // par/par_passes.cpp
+void register_obs_passes(PassRegistry& registry);     // obs/obs_passes.cpp
 
 }  // namespace mcs::flow

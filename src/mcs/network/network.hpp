@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "mcs/common/hash.hpp"
+#include "mcs/obs/obs.hpp"
 
 namespace mcs {
 
@@ -137,15 +138,28 @@ class StrashTable {
     return h;
   }
 
-  /// The node stored under (t, fanin), or kNullNode.
+  /// The node stored under (t, fanin), or kNullNode.  Instrumentation is
+  /// one unconditional counter add (strash.lookups) plus a conditional one
+  /// (strash.collisions, extra probes past the first) only when the probe
+  /// sequence actually collided -- the common clean-hit path pays a single
+  /// relaxed store.  Total probes are derivable: lookups + collisions.
   NodeId lookup(GateType t, const Key& fanin) const noexcept {
     const std::uint64_t h = hash(t, fanin);
     const std::size_t mask = slots_.size() - 1;
+    std::uint64_t probes = 0;
+    NodeId found = kNullNode;
     for (std::size_t i = h & mask;; i = (i + 1) & mask) {
+      ++probes;
       const Slot& s = slots_[i];
-      if (s.id == kNullNode) return kNullNode;
-      if (s.hash == h && s.type == t && s.fanin == fanin) return s.id;
+      if (s.id == kNullNode) break;
+      if (s.hash == h && s.type == t && s.fanin == fanin) {
+        found = s.id;
+        break;
+      }
     }
+    metrics().lookups.increment();
+    if (probes > 1) metrics().collisions.add(probes - 1);
+    return found;
   }
 
   /// Inserts (t, fanin) -> id.  \pre the key is absent.
@@ -153,6 +167,7 @@ class StrashTable {
     if ((size_ + 1) * 10 > slots_.size() * 7) rehash(slots_.size() * 2);
     place(Slot{hash(t, fanin), fanin, id, t});
     ++size_;
+    metrics().inserts.increment();
   }
 
   /// Pre-sizes the table for \p num_gates insertions without rehashing.
@@ -174,6 +189,20 @@ class StrashTable {
   };
   static constexpr std::size_t kMinCapacity = 64;  // power of two
 
+  /// Process-wide strash counters (all tables share them; per-table stats
+  /// would bloat every Network copy).  Cached refs: one registry lookup
+  /// per process, not per call.
+  struct Metrics {
+    obs::Counter& lookups = obs::counter("strash.lookups");
+    obs::Counter& collisions = obs::counter("strash.collisions");
+    obs::Counter& inserts = obs::counter("strash.inserts");
+    obs::Gauge& bytes_max = obs::gauge("strash.bytes_max");
+  };
+  static Metrics& metrics() noexcept {
+    static Metrics m;
+    return m;
+  }
+
   void place(const Slot& slot) noexcept {
     const std::size_t mask = slots_.size() - 1;
     std::size_t i = slot.hash & mask;
@@ -187,6 +216,8 @@ class StrashTable {
     for (const Slot& s : old) {
       if (s.id != kNullNode) place(s);
     }
+    metrics().bytes_max.set_max(
+        static_cast<std::int64_t>(slots_.size() * sizeof(Slot)));
   }
 
   std::vector<Slot> slots_;

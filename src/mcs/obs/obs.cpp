@@ -1,0 +1,544 @@
+/// \file obs.cpp
+/// \brief Registry, per-thread cell lifecycle and trace export for mcs::obs.
+
+#include "mcs/obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace mcs::obs {
+
+#ifndef MCS_OBS_DISABLE
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metric registry
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+struct MetricInfo {
+  std::string name;
+  MetricKind kind;
+  std::uint32_t slot;  // first slot (histograms span kHistBuckets slots)
+};
+
+struct TraceEvent {
+  const char* literal;   // nullptr when the name is owned
+  std::string owned;
+  std::uint64_t start_us;
+  std::uint64_t dur_us;
+};
+
+struct ThreadTraceBuf {
+  int tid = 0;
+  std::string name;
+  std::vector<TraceEvent> events;
+};
+
+/// Everything mutex-guarded lives here; the hot paths never touch it after
+/// their function-local statics are initialised.
+struct Registry {
+  std::mutex mu;
+
+  // metrics
+  std::unordered_map<std::string, std::size_t> index;  // name -> infos idx
+  std::vector<MetricInfo> infos;
+  std::vector<std::unique_ptr<Counter>> counters;
+  std::vector<std::unique_ptr<Gauge>> gauges;
+  std::vector<std::unique_ptr<Histogram>> histograms;
+  std::uint32_t next_slot = 0;
+  std::vector<detail::ThreadCells*> live_cells;
+  std::uint64_t retired[detail::kMaxSlots] = {};
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> overflow;
+
+  // tracing
+  int next_tid = 0;
+  std::vector<ThreadTraceBuf*> live_bufs;
+  std::vector<ThreadTraceBuf> retired_bufs;
+
+  std::uint64_t read_slot_locked(std::uint32_t slot) const {
+    if (slot >= detail::kMaxSlots) {
+      const std::size_t i = slot - detail::kMaxSlots;
+      return i < overflow.size()
+                 ? overflow[i]->load(std::memory_order_relaxed)
+                 : 0;
+    }
+    std::uint64_t sum = retired[slot];
+    for (const detail::ThreadCells* tc : live_cells)
+      sum += tc->cells[slot].load(std::memory_order_relaxed);
+    return sum;
+  }
+};
+
+Registry& registry() {
+  // Leaked intentionally: threads (pool workers, detached users) may touch
+  // their cells during static destruction; a leaked registry outlives them.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+std::uint32_t allocate_slots(Registry& reg, std::uint32_t count) {
+  const std::uint32_t base = reg.next_slot;
+  reg.next_slot += count;
+  while (reg.next_slot > detail::kMaxSlots &&
+         reg.overflow.size() < reg.next_slot - detail::kMaxSlots) {
+    reg.overflow.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+  return base;
+}
+
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+struct ThreadTraceHolder {
+  ThreadTraceBuf buf;
+  ThreadTraceHolder() {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    buf.tid = reg.next_tid++;
+    reg.live_bufs.push_back(&buf);
+  }
+  ~ThreadTraceHolder() {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.live_bufs.erase(
+        std::find(reg.live_bufs.begin(), reg.live_bufs.end(), &buf));
+    if (!buf.events.empty() || !buf.name.empty())
+      reg.retired_bufs.push_back(std::move(buf));
+  }
+};
+
+ThreadTraceBuf& thread_trace_buf() {
+  thread_local ThreadTraceHolder holder;
+  return holder.buf;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string g_trace_path;  // set once by init_from_env before the atexit hook
+
+void dump_trace_at_exit() {
+  if (!g_trace_path.empty()) trace_dump(g_trace_path);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_tracing{false};
+
+ThreadCells::ThreadCells() {
+  for (auto& c : cells) c.store(0, std::memory_order_relaxed);
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.live_cells.push_back(this);
+}
+
+ThreadCells::~ThreadCells() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.live_cells.erase(
+      std::find(reg.live_cells.begin(), reg.live_cells.end(), this));
+  for (std::size_t s = 0; s < kMaxSlots; ++s)
+    reg.retired[s] += cells[s].load(std::memory_order_relaxed);
+}
+
+std::atomic<std::uint64_t>& overflow_cell(std::uint32_t slot) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return *reg.overflow[slot - kMaxSlots];
+}
+
+void record_span(const char* name_literal, const std::string& name_owned,
+                 std::uint64_t start_us, std::uint64_t dur_us) {
+  ThreadTraceBuf& buf = thread_trace_buf();
+  TraceEvent ev;
+  ev.literal = name_literal;
+  if (name_literal == nullptr) ev.owned = name_owned;
+  ev.start_us = start_us;
+  ev.dur_us = dur_us;
+  buf.events.push_back(std::move(ev));
+}
+
+}  // namespace detail
+
+std::uint64_t now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - g_process_start)
+          .count());
+}
+
+// --- metrics ----------------------------------------------------------------
+
+namespace {
+
+// Name -> object side tables (the Registry keeps ownership + slot layout;
+// these give lookup-or-create its fast path without poking at privates).
+struct TypedRegistry {
+  std::unordered_map<std::string, Counter*> counters;
+  std::unordered_map<std::string, Gauge*> gauges;
+  std::unordered_map<std::string, Histogram*> histograms;
+};
+
+TypedRegistry& typed() {
+  static TypedRegistry* t = new TypedRegistry();
+  return *t;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::string key(name);
+  auto it = typed().counters.find(key);
+  if (it != typed().counters.end()) return *it->second;
+  const std::uint32_t slot = allocate_slots(reg, 1);
+  reg.index.emplace(key, reg.infos.size());
+  reg.infos.push_back({key, MetricKind::kCounter, slot});
+  reg.counters.emplace_back(new Counter(slot));
+  Counter* c = reg.counters.back().get();
+  typed().counters.emplace(std::move(key), c);
+  return *c;
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::string key(name);
+  auto it = typed().gauges.find(key);
+  if (it != typed().gauges.end()) return *it->second;
+  reg.index.emplace(key, reg.infos.size());
+  reg.infos.push_back({key, MetricKind::kGauge, 0});
+  reg.gauges.emplace_back(new Gauge());
+  Gauge* g = reg.gauges.back().get();
+  typed().gauges.emplace(std::move(key), g);
+  return *g;
+}
+
+Histogram& histogram(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::string key(name);
+  auto it = typed().histograms.find(key);
+  if (it != typed().histograms.end()) return *it->second;
+  const std::uint32_t base =
+      allocate_slots(reg, static_cast<std::uint32_t>(detail::kHistBuckets));
+  reg.index.emplace(key, reg.infos.size());
+  reg.infos.push_back({key, MetricKind::kHistogram, base});
+  reg.histograms.emplace_back(new Histogram(base));
+  Histogram* h = reg.histograms.back().get();
+  typed().histograms.emplace(std::move(key), h);
+  return *h;
+}
+
+std::uint64_t Counter::value() const {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.read_slot_locked(slot_);
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::uint64_t> out(detail::kHistBuckets, 0);
+  for (int b = 0; b < detail::kHistBuckets; ++b)
+    out[static_cast<std::size_t>(b)] =
+        reg.read_slot_locked(base_ + static_cast<std::uint32_t>(b));
+  return out;
+}
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t b : buckets()) sum += b;
+  return sum;
+}
+
+MetricsSnapshot snapshot() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  MetricsSnapshot snap;
+  // Deterministic order: sort by name.
+  std::vector<const MetricInfo*> sorted;
+  sorted.reserve(reg.infos.size());
+  for (const MetricInfo& info : reg.infos) sorted.push_back(&info);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const MetricInfo* a, const MetricInfo* b) {
+              return a->name < b->name;
+            });
+  for (const MetricInfo* info : sorted) {
+    switch (info->kind) {
+      case MetricKind::kCounter:
+        snap.counters.push_back(
+            {info->name,
+             static_cast<std::int64_t>(reg.read_slot_locked(info->slot))});
+        break;
+      case MetricKind::kGauge: {
+        auto it = typed().gauges.find(info->name);
+        snap.gauges.push_back({info->name, it->second->value()});
+        break;
+      }
+      case MetricKind::kHistogram: {
+        std::uint64_t total = 0;
+        std::vector<std::uint64_t> buckets(
+            static_cast<std::size_t>(detail::kHistBuckets));
+        for (int b = 0; b < detail::kHistBuckets; ++b) {
+          buckets[static_cast<std::size_t>(b)] =
+              reg.read_slot_locked(info->slot + static_cast<std::uint32_t>(b));
+          total += buckets[static_cast<std::size_t>(b)];
+        }
+        snap.counters.push_back(
+            {info->name + ".count", static_cast<std::int64_t>(total)});
+        // median bucket upper bound: the smallest value v such that
+        // buckets <= floor(log2(v))+1 cover half the samples
+        std::uint64_t acc = 0;
+        int median_bucket = 0;
+        for (int b = 0; b < detail::kHistBuckets; ++b) {
+          acc += buckets[static_cast<std::size_t>(b)];
+          if (acc * 2 >= total) {
+            median_bucket = b;
+            break;
+          }
+        }
+        const std::int64_t upper =
+            median_bucket == 0 ? 0 : (std::int64_t{1} << median_bucket) - 1;
+        snap.counters.push_back({info->name + ".p50_bucket", upper});
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& before) {
+  MetricsSnapshot now = snapshot();
+  std::unordered_map<std::string_view, std::int64_t> prev;
+  prev.reserve(before.counters.size());
+  for (const MetricValue& mv : before.counters) prev.emplace(mv.name, mv.value);
+  MetricsSnapshot delta;
+  delta.gauges = now.gauges;
+  for (const MetricValue& mv : now.counters) {
+    auto it = prev.find(mv.name);
+    const std::int64_t base = it == prev.end() ? 0 : it->second;
+    if (mv.value != base) delta.counters.push_back({mv.name, mv.value - base});
+  }
+  return delta;
+}
+
+std::string metrics_text() {
+  const MetricsSnapshot snap = snapshot();
+  std::string out;
+  std::size_t width = 0;
+  for (const MetricValue& mv : snap.counters)
+    width = std::max(width, mv.name.size());
+  for (const MetricValue& mv : snap.gauges)
+    width = std::max(width, mv.name.size());
+  char line[256];
+  if (!snap.counters.empty()) out += "counters:\n";
+  for (const MetricValue& mv : snap.counters) {
+    std::snprintf(line, sizeof(line), "  %-*s %lld\n", (int)width,
+                  mv.name.c_str(), (long long)mv.value);
+    out += line;
+  }
+  if (!snap.gauges.empty()) out += "gauges:\n";
+  for (const MetricValue& mv : snap.gauges) {
+    std::snprintf(line, sizeof(line), "  %-*s %lld\n", (int)width,
+                  mv.name.c_str(), (long long)mv.value);
+    out += line;
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+std::string metrics_json() {
+  const MetricsSnapshot snap = snapshot();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const MetricValue& mv : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, mv.name);
+    out += "\":";
+    out += std::to_string(mv.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const MetricValue& mv : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, mv.name);
+    out += "\":";
+    out += std::to_string(mv.value);
+  }
+  out += "}}";
+  return out;
+}
+
+// --- tracing ----------------------------------------------------------------
+
+void set_tracing(bool on) {
+  detail::g_tracing.store(on, std::memory_order_relaxed);
+}
+
+void trace_clear() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (ThreadTraceBuf* buf : reg.live_bufs) buf->events.clear();
+  reg.retired_bufs.clear();
+}
+
+std::size_t trace_size() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::size_t n = 0;
+  for (const ThreadTraceBuf* buf : reg.live_bufs) n += buf->events.size();
+  for (const ThreadTraceBuf& buf : reg.retired_bufs) n += buf.events.size();
+  return n;
+}
+
+void set_thread_name(const std::string& name) {
+  ThreadTraceBuf& buf = thread_trace_buf();
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  buf.name = name;
+}
+
+namespace {
+
+void append_trace_events(std::string& out, const ThreadTraceBuf& buf,
+                         bool& first) {
+  if (!buf.name.empty()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(buf.tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    append_json_escaped(out, buf.name);
+    out += "\"}}";
+  }
+  for (const TraceEvent& ev : buf.events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(buf.tid);
+    out += ",\"name\":\"";
+    append_json_escaped(out, ev.literal != nullptr ? std::string_view(ev.literal)
+                                                   : std::string_view(ev.owned));
+    out += "\",\"ts\":";
+    out += std::to_string(ev.start_us);
+    out += ",\"dur\":";
+    out += std::to_string(ev.dur_us);
+    out += '}';
+  }
+}
+
+}  // namespace
+
+std::string trace_json() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const ThreadTraceBuf* buf : reg.live_bufs)
+    append_trace_events(out, *buf, first);
+  for (const ThreadTraceBuf& buf : reg.retired_bufs)
+    append_trace_events(out, buf, first);
+  out += "]}";
+  return out;
+}
+
+bool trace_dump(const std::string& path) {
+  const std::string json = trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::vector<SpanStats> aggregate_spans(std::uint64_t since_us) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::map<std::string, SpanStats> agg;
+  auto fold = [&](const ThreadTraceBuf& buf) {
+    for (const TraceEvent& ev : buf.events) {
+      if (ev.start_us < since_us) continue;
+      const std::string name =
+          ev.literal != nullptr ? std::string(ev.literal) : ev.owned;
+      SpanStats& st = agg[name];
+      st.name = name;
+      st.count += 1;
+      st.seconds += static_cast<double>(ev.dur_us) * 1e-6;
+    }
+  };
+  for (const ThreadTraceBuf* buf : reg.live_bufs) fold(*buf);
+  for (const ThreadTraceBuf& buf : reg.retired_bufs) fold(buf);
+  std::vector<SpanStats> out;
+  out.reserve(agg.size());
+  for (auto& [name, st] : agg) out.push_back(std::move(st));
+  std::sort(out.begin(), out.end(), [](const SpanStats& a, const SpanStats& b) {
+    if (a.seconds != b.seconds) return a.seconds > b.seconds;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+void init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* path = std::getenv("MCS_TRACE");
+    if (path == nullptr || *path == '\0') return;
+    g_trace_path = path;
+    set_tracing(true);
+    std::atexit(dump_trace_at_exit);
+  });
+}
+
+#else  // MCS_OBS_DISABLE -----------------------------------------------------
+
+namespace {
+// Single shared no-op instances: the stubs carry no state.
+Counter g_counter;
+Gauge g_gauge;
+Histogram g_histogram;
+}  // namespace
+
+Counter& counter(std::string_view) { return g_counter; }
+Gauge& gauge(std::string_view) { return g_gauge; }
+Histogram& histogram(std::string_view) { return g_histogram; }
+std::string metrics_text() { return "(observability disabled at build time)\n"; }
+std::string metrics_json() { return "{\"counters\":{},\"gauges\":{}}"; }
+std::string trace_json() {
+  return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}";
+}
+
+#endif  // MCS_OBS_DISABLE
+
+}  // namespace mcs::obs

@@ -1,0 +1,356 @@
+/// \file obs.hpp
+/// \brief mcs::obs -- always-on metrics, tracing and profiling substrate.
+///
+/// Every layer of the parallel synthesis stack (thread pool, strash, cut
+/// arena, sweep, CEC, simulation, flow stages) reports into this subsystem;
+/// the flow layer snapshots it per stage, the shell exposes it as the
+/// `stats` / `trace` commands, and `MCS_TRACE=<file>` captures a whole
+/// headless run.  Two pillars:
+///
+///   - **Metrics**: a process-wide registry of named counters, gauges and
+///     histograms.  Counter/histogram increments land in *per-thread* cells
+///     (plain load/store on memory the owning thread writes exclusively --
+///     no locked RMW, no false sharing, ~1ns per add) and are aggregated
+///     only when somebody reads: observation is cheap enough to stay
+///     compiled into release builds.  Cells of finished threads are folded
+///     into a retired accumulator, so totals survive pool reconstruction.
+///   - **Tracing**: RAII scoped spans (`obs::Span`) with nesting depth and
+///     thread attribution, buffered per thread and exportable as Chrome
+///     `chrome://tracing` / Perfetto `trace_events` JSON, so one `run_flow`
+///     renders as a flame chart of passes -> shards -> pool batches.
+///     Tracing is off by default; a disabled span costs one relaxed load.
+///
+/// Determinism contract: nothing in this subsystem feeds back into any
+/// algorithm -- metrics and spans only *observe*.  The 1-vs-N bit-identity
+/// suites run with tracing enabled to enforce that.
+///
+/// Compile-time escape hatch: building with -DMCS_OBS_DISABLE (CMake option
+/// of the same name) turns the whole API into no-op inline stubs, so the
+/// zero-cost path is provable by construction and checked in CI.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcs::obs {
+
+/// One aggregated metric reading (see snapshot()).
+struct MetricValue {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+/// A whole-registry reading: counters are monotonic sums over all threads
+/// (live and retired); gauges are last-written values.
+struct MetricsSnapshot {
+  std::vector<MetricValue> counters;
+  std::vector<MetricValue> gauges;
+};
+
+/// Aggregated view of the spans recorded since some point in time.
+struct SpanStats {
+  std::string name;
+  std::size_t count = 0;
+  double seconds = 0.0;  ///< summed wall-clock duration
+};
+
+#ifndef MCS_OBS_DISABLE
+
+namespace detail {
+
+/// Slots per thread block.  Counters take one slot, histograms take
+/// kHistBuckets consecutive slots; allocation beyond the block falls back
+/// to a shared atomic (correct, merely contended).
+inline constexpr std::size_t kMaxSlots = 512;
+inline constexpr int kHistBuckets = 24;  ///< log2 buckets, last = overflow
+
+/// Per-thread metric cells.  Only the owning thread writes a cell, so the
+/// increment is a relaxed load+store pair (no locked RMW); aggregators read
+/// the atomics relaxed.  Registered in a global list on first use, retired
+/// (values folded into a global accumulator) on thread exit.
+struct ThreadCells {
+  std::atomic<std::uint64_t> cells[kMaxSlots];
+  ThreadCells();
+  ~ThreadCells();
+};
+
+/// Inline so the two hottest instructions of Counter::add (TLS address +
+/// relaxed store) inline into callers; the thread_local's guard check is
+/// the only per-access cost after the first touch.
+inline ThreadCells& thread_cells() {
+  thread_local ThreadCells cells;
+  return cells;
+}
+
+/// Fallback cell for metric slots past kMaxSlots (shared, fetch_add).
+std::atomic<std::uint64_t>& overflow_cell(std::uint32_t slot);
+
+void record_span(const char* name_literal, const std::string& name_owned,
+                 std::uint64_t start_us, std::uint64_t dur_us);
+
+extern std::atomic<bool> g_tracing;
+
+}  // namespace detail
+
+/// Microseconds since process start (steady clock); the timestamp base of
+/// every trace event.
+std::uint64_t now_us() noexcept;
+
+// --- metrics ----------------------------------------------------------------
+
+/// A monotonic counter.  Obtain once (registry lookup takes a mutex), then
+/// add() freely from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    if (slot_ < detail::kMaxSlots) {
+      std::atomic<std::uint64_t>& c = detail::thread_cells().cells[slot_];
+      c.store(c.load(std::memory_order_relaxed) + delta,
+              std::memory_order_relaxed);
+    } else {
+      detail::overflow_cell(slot_).fetch_add(delta,
+                                             std::memory_order_relaxed);
+    }
+  }
+  void increment() noexcept { add(1); }
+
+  /// Aggregated total over all threads, live and retired.
+  std::uint64_t value() const;
+
+ private:
+  friend Counter& counter(std::string_view);
+  explicit Counter(std::uint32_t slot) : slot_(slot) {}
+  std::uint32_t slot_;
+};
+
+/// A last-value gauge (single atomic; set/add from any thread).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  /// set(v) if v is greater than the current value (e.g. high-water marks).
+  void set_max(std::int64_t v) noexcept {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend Gauge& gauge(std::string_view);
+  Gauge() = default;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// A log2-bucketed histogram of non-negative samples (value v lands in
+/// bucket floor(log2(v))+1, zero in bucket 0; the last bucket absorbs
+/// overflow).  Buckets are per-thread cells like counters.
+class Histogram {
+ public:
+  void observe(std::uint64_t v) noexcept {
+    int b = 0;
+    while (v != 0 && b < detail::kHistBuckets - 1) {
+      v >>= 1;
+      ++b;
+    }
+    const std::uint32_t slot = base_ + static_cast<std::uint32_t>(b);
+    if (slot < detail::kMaxSlots) {
+      std::atomic<std::uint64_t>& c = detail::thread_cells().cells[slot];
+      c.store(c.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+    } else {
+      detail::overflow_cell(slot).fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Aggregated per-bucket totals (kHistBuckets entries).
+  std::vector<std::uint64_t> buckets() const;
+  std::uint64_t total() const;
+
+ private:
+  friend Histogram& histogram(std::string_view);
+  explicit Histogram(std::uint32_t base) : base_(base) {}
+  std::uint32_t base_;
+};
+
+/// Registry lookup-or-create.  The returned references are stable for the
+/// process lifetime; hot paths cache them in function-local statics.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+/// Aggregated reading of every registered metric, names sorted.
+/// Histograms appear among the counters as `<name>.count` (total samples)
+/// and `<name>.p50_bucket` (upper bound of the median log2 bucket).
+MetricsSnapshot snapshot();
+
+/// Counters that changed between \p before and now (name -> delta), plus
+/// the current gauge values.  The flow layer attaches this to every stage.
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& before);
+
+/// Human-readable table of the whole registry (the shell's `stats`).
+std::string metrics_text();
+
+/// One JSON object {"counters": {...}, "gauges": {...}}.
+std::string metrics_json();
+
+// --- tracing ----------------------------------------------------------------
+
+inline bool tracing_enabled() noexcept {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+/// Turns span recording on/off.  Enabling does not clear prior events;
+/// see trace_clear().
+void set_tracing(bool on);
+
+/// Drops every recorded span.
+void trace_clear();
+
+/// Number of spans recorded so far (live + retired threads).
+std::size_t trace_size();
+
+/// The recorded spans as Chrome trace-event JSON ("X" complete events with
+/// per-thread lanes and thread_name metadata); open in chrome://tracing or
+/// https://ui.perfetto.dev.
+std::string trace_json();
+
+/// Writes trace_json() to \p path; false on I/O failure.
+bool trace_dump(const std::string& path);
+
+/// Aggregates spans whose *start* lies at/after \p since_us by name.
+/// Sorted by summed duration, longest first.
+std::vector<SpanStats> aggregate_spans(std::uint64_t since_us);
+
+/// Names the calling thread in trace exports (e.g. "pool-worker-3").
+void set_thread_name(const std::string& name);
+
+/// If the MCS_TRACE environment variable names a file, enables tracing and
+/// registers an atexit hook dumping the trace there.  Idempotent; called
+/// from run_flow, the shell and the bench mains so headless runs are
+/// covered without plumbing.
+void init_from_env();
+
+/// RAII scoped span.  When tracing is off, construction is one relaxed
+/// load.  Two constructors: a string-literal one (zero-copy) and an owning
+/// one for dynamic names (only evaluated when tracing is on -- pass a
+/// maker lambda to avoid building strings eagerly on hot paths).
+class Span {
+ public:
+  /// \p name must outlive the span (string literals qualify).
+  explicit Span(const char* name) noexcept {
+    if (tracing_enabled()) begin(name);
+  }
+  /// Owning variant for dynamic names.
+  explicit Span(std::string name) {
+    if (tracing_enabled()) {
+      owned_ = std::move(name);
+      begin(nullptr);
+    }
+  }
+  /// Lazy-name variant: \p make_name() is only called when tracing is on.
+  template <typename Fn,
+            typename = decltype(std::string(std::declval<Fn>()()))>
+  explicit Span(const Fn& make_name) {
+    if (tracing_enabled()) {
+      owned_ = make_name();
+      begin(nullptr);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (active_) {
+      detail::record_span(literal_, owned_, start_us_, now_us() - start_us_);
+    }
+  }
+
+ private:
+  void begin(const char* literal) noexcept {
+    active_ = true;
+    literal_ = literal;
+    start_us_ = now_us();
+  }
+
+  bool active_ = false;
+  const char* literal_ = nullptr;
+  std::string owned_;
+  std::uint64_t start_us_ = 0;
+};
+
+#else  // MCS_OBS_DISABLE -----------------------------------------------------
+
+// No-op stubs: identical call surface, zero code on every hot path.  The
+// read-side API returns empty data so the shell/flow plumbing still links.
+
+inline std::uint64_t now_us() noexcept { return 0; }
+
+class Counter {
+ public:
+  void add(std::uint64_t) noexcept {}
+  void increment() noexcept {}
+  std::uint64_t value() const noexcept { return 0; }
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t) noexcept {}
+  void add(std::int64_t) noexcept {}
+  void set_max(std::int64_t) noexcept {}
+  std::int64_t value() const noexcept { return 0; }
+};
+
+class Histogram {
+ public:
+  void observe(std::uint64_t) noexcept {}
+  std::vector<std::uint64_t> buckets() const { return {}; }
+  std::uint64_t total() const noexcept { return 0; }
+};
+
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+inline MetricsSnapshot snapshot() { return {}; }
+inline MetricsSnapshot snapshot_delta(const MetricsSnapshot&) { return {}; }
+std::string metrics_text();
+std::string metrics_json();
+
+inline bool tracing_enabled() noexcept { return false; }
+inline void set_tracing(bool) {}
+inline void trace_clear() {}
+inline std::size_t trace_size() { return 0; }
+std::string trace_json();
+inline bool trace_dump(const std::string&) { return false; }
+inline std::vector<SpanStats> aggregate_spans(std::uint64_t) { return {}; }
+inline void set_thread_name(const std::string&) {}
+inline void init_from_env() {}
+
+class Span {
+ public:
+  explicit Span(const char*) noexcept {}
+  explicit Span(std::string) noexcept {}
+  template <typename Fn,
+            typename = decltype(std::string(std::declval<Fn>()()))>
+  explicit Span(const Fn&) noexcept {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+#endif  // MCS_OBS_DISABLE
+
+}  // namespace mcs::obs

@@ -1,0 +1,98 @@
+/// \file obs_passes.cpp
+/// \brief Flow registration for the observability layer: the `stats` pass
+/// (dump / reset the metrics registry) and the `trace` pass
+/// (on | off | clear | dump <file> | summary).  Both are analysis passes:
+/// they never touch the working network, so observation stays separated
+/// from synthesis by construction.
+
+#include <string>
+
+#include "mcs/flow/flow.hpp"
+#include "mcs/flow/registration.hpp"
+#include "mcs/obs/obs.hpp"
+
+// The registrations below use designated initializers and deliberately
+// leave defaulted PassInfo/ParamSpec members out; GCC's -Wextra flags
+// every omitted member, so silence that one diagnostic here.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+#endif
+
+namespace mcs::flow {
+
+void register_obs_passes(PassRegistry& registry) {
+  registry.add({
+      .name = "stats",
+      .summary = "print the process-wide metrics registry (counters, gauges)",
+      .kind = PassKind::kAnalysis,
+      .params = {{.key = "json",
+                  .type = ParamType::kBool,
+                  .default_value = "false",
+                  .help = "emit one JSON object instead of the text table"}},
+      .run =
+          [](FlowContext& ctx, const PassArgs& args) {
+            const std::string text =
+                args.get_bool("json") ? obs::metrics_json() + "\n"
+                                      : obs::metrics_text();
+            std::fputs(text.c_str(), stdout);
+            (void)ctx;
+          },
+  });
+
+  registry.add({
+      .name = "trace",
+      .summary = "control span tracing (cmd: on, off, clear, summary, dump)",
+      .kind = PassKind::kAnalysis,
+      .params = {{.key = "cmd",
+                  .type = ParamType::kString,
+                  .default_value = "summary",
+                  .help = "on, off, clear, summary, or dump"},
+                 {.key = "file",
+                  .type = ParamType::kString,
+                  .default_value = "",
+                  .help = "output path for dump (Chrome trace-event JSON)"}},
+      .run =
+          [](FlowContext& ctx, const PassArgs& args) {
+            const std::string cmd = args.get_string("cmd");
+            if (cmd == "on") {
+              obs::set_tracing(true);
+              ctx.note = "tracing on";
+            } else if (cmd == "off") {
+              obs::set_tracing(false);
+              ctx.note = "tracing off";
+            } else if (cmd == "clear") {
+              obs::trace_clear();
+              ctx.note = "trace buffer cleared";
+            } else if (cmd == "summary") {
+              const auto spans = obs::aggregate_spans(0);
+              if (spans.empty()) {
+                std::printf("(no spans recorded%s)\n",
+                            obs::tracing_enabled() ? "" : "; tracing is off");
+              } else {
+                std::printf("%-28s %10s %12s\n", "span", "count", "seconds");
+                for (const obs::SpanStats& s : spans) {
+                  std::printf("%-28s %10zu %12.6f\n", s.name.c_str(), s.count,
+                              s.seconds);
+                }
+              }
+              ctx.note = std::to_string(obs::trace_size()) + " spans";
+            } else if (cmd == "dump") {
+              const std::string file = args.get_string("file");
+              if (file.empty()) {
+                throw FlowError("trace: dump needs file=<path>");
+              }
+              if (!obs::trace_dump(file)) {
+                throw FlowError("trace: cannot write '" + file + "'");
+              }
+              ctx.note = std::to_string(obs::trace_size()) + " spans -> " +
+                         file;
+            } else {
+              throw FlowError(
+                  "trace: unknown command '" + cmd +
+                  "' (expected on, off, clear, summary, or dump)");
+            }
+          },
+  });
+}
+
+}  // namespace mcs::flow

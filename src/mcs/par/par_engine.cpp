@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mcs/common/hash.hpp"
+#include "mcs/obs/obs.hpp"
 #include "mcs/par/thread_pool.hpp"
 #include "mcs/tt/tt6.hpp"
 
@@ -46,8 +47,22 @@ void for_each_shard(const PartitionSet& parts, std::size_t num_threads,
                     const std::function<void(std::size_t)>& fn) {
   if (parts.parts.empty()) return;
   const std::vector<std::uint32_t> order = largest_first_order(parts);
-  ThreadPool::global().submit_bulk(parts.parts.size(), fn, num_threads,
+  // Per-shard spans carry the worker attribution in trace exports (the
+  // span name is only materialized when tracing is on).
+  const std::function<void(std::size_t)> traced = [&](std::size_t i) {
+    obs::Span span([&] { return "par:shard:" + std::to_string(i); });
+    fn(i);
+  };
+  ThreadPool::global().submit_bulk(parts.parts.size(), traced, num_threads,
                                    order.data());
+}
+
+/// partition_network with a trace span and a run counter.
+template <typename Params>
+PartitionSet partition_traced(const Network& net, const Params& pp) {
+  obs::Span span("par:partition");
+  obs::counter("par.partition_runs").increment();
+  return partition_network(net, pp);
 }
 
 struct Phase {
@@ -165,7 +180,7 @@ Network par_run(const Network& net, const ShardPassFn& pass,
                 const ReassembleOptions& reassemble_opts) {
   const std::size_t threads = ThreadPool::resolve_threads(params.num_threads);
   Phase phase{stats};
-  PartitionSet parts = partition_network(net, partition_params(params, threads));
+  PartitionSet parts = partition_traced(net, partition_params(params, threads));
   phase.lap(&ParStats::partition_seconds);
   return par_run(net, std::move(parts), pass, params, stats, reassemble_opts);
 }
@@ -185,7 +200,10 @@ Network par_run(const Network& net, PartitionSet parts, const ShardPassFn& pass,
 
   ReassembleOptions ropts = reassemble_opts;
   ropts.num_threads = static_cast<int>(threads);
-  Network result = reassemble(net, parts, ropts);
+  Network result = [&] {
+    obs::Span span("par:reassemble");
+    return reassemble(net, parts, ropts);
+  }();
   phase.lap(&ParStats::reassemble_seconds);
   fill_post(stats, result);
   return result;
@@ -195,7 +213,7 @@ LutNetwork par_run_lut(const Network& net, const ShardMapFn& map_shard,
                        const ParParams& params, ParStats* stats) {
   const std::size_t threads = ThreadPool::resolve_threads(params.num_threads);
   Phase phase{stats};
-  PartitionSet parts = partition_network(net, partition_params(params, threads));
+  PartitionSet parts = partition_traced(net, partition_params(params, threads));
   phase.lap(&ParStats::partition_seconds);
   return par_run_lut(net, std::move(parts), map_shard, params, stats);
 }
@@ -221,6 +239,7 @@ LutNetwork par_run_lut(const Network& net, PartitionSet parts,
   // hashed on (function, inputs) while stitching -- the LUT-level analogue
   // of reassemble()'s re-strashing -- so logic duplicated across shards
   // (kOutputCones) collapses back to one copy.
+  obs::Span stitch_span("par:stitch");
   LutNetwork merged;
   merged.num_pis = static_cast<int>(net.num_pis());
   merged.po_refs.resize(net.num_pos(), 0);
@@ -312,7 +331,7 @@ Network par_mch(const Network& net, const MchParams& mch_params,
   // shard count is needed before the work phase.
   const std::size_t threads = ThreadPool::resolve_threads(params.num_threads);
   Phase phase{stats};
-  PartitionSet parts = partition_network(net, partition_params(params, threads));
+  PartitionSet parts = partition_traced(net, partition_params(params, threads));
   phase.lap(&ParStats::partition_seconds);
   std::vector<MchStats> shard_stats(mch_stats ? parts.parts.size() : 0);
   Network result = par_run(
@@ -346,7 +365,7 @@ LutNetwork par_map_lut(const Network& net, const LutMapParams& map_params,
       ThreadPool::resolve_threads(lut_params.num_threads);
   Phase phase{stats};
   PartitionSet parts =
-      partition_network(net, partition_params(lut_params, threads));
+      partition_traced(net, partition_params(lut_params, threads));
   phase.lap(&ParStats::partition_seconds);
   std::vector<LutMapStats> shard_stats(map_stats ? parts.parts.size() : 0);
   LutNetwork merged = par_run_lut(

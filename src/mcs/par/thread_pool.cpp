@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "mcs/obs/obs.hpp"
+
 namespace mcs {
 
 namespace {
+
+/// Cached resolve_threads(<1) default; -1 = not yet computed.  Read once
+/// and kept for the process lifetime (see resolve_threads docs).
+std::atomic<long> g_default_threads{-1};
 
 /// Pool owning the current thread, when it is a worker thread.  Used to
 /// route nested submit() calls to the worker's own deque and to run nested
@@ -65,6 +71,10 @@ void ThreadPool::spawn_workers_locked(std::size_t target) {
     num_workers_.store(workers_.size(), std::memory_order_release);
     raw->thread = std::thread([this, index]() { worker_loop(index); });
   }
+  // High-water worker count across every pool in the process (checking for
+  // the global pool here would recurse into global()'s construction).
+  obs::gauge("pool.workers").set_max(
+      static_cast<std::int64_t>(workers_.size()));
 }
 
 std::size_t ThreadPool::pending() const {
@@ -79,12 +89,36 @@ void ThreadPool::wait_idle() {
 
 std::size_t ThreadPool::resolve_threads(int requested) noexcept {
   if (requested >= 1) return static_cast<std::size_t>(requested);
-  if (const char* env = std::getenv("MCS_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1 && v <= 1024) return static_cast<std::size_t>(v);
+  long cached = g_default_threads.load(std::memory_order_acquire);
+  if (cached < 0) {
+    long resolved = 0;
+    if (const char* env = std::getenv("MCS_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 1 && v <= 1024) resolved = v;
+    }
+    if (resolved == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      resolved = static_cast<long>(std::max(1u, hw));
+    }
+    // First resolution wins when two threads race here; both then agree.
+    long expected = -1;
+    if (g_default_threads.compare_exchange_strong(expected, resolved,
+                                                  std::memory_order_acq_rel)) {
+      cached = resolved;
+    } else {
+      cached = expected;
+    }
+    try {
+      obs::gauge("config.threads_default").set(cached);
+    } catch (...) {
+      // Registry allocation failure must not break thread resolution.
+    }
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return std::max(1u, hw);
+  return static_cast<std::size_t>(cached);
+}
+
+void ThreadPool::refresh_thread_default() noexcept {
+  g_default_threads.store(-1, std::memory_order_release);
 }
 
 void ThreadPool::push_task(std::function<void()> fn) {
@@ -100,7 +134,10 @@ void ThreadPool::push_task(std::function<void()> fn) {
     // Lock order here and everywhere: mutex_ before a Worker::mutex.
     std::lock_guard<std::mutex> lock(mutex_);
     ++unfinished_;
-    ready_.fetch_add(1, std::memory_order_release);
+    const std::size_t depth =
+        ready_.fetch_add(1, std::memory_order_release) + 1;
+    static obs::Gauge& queue_hwm = obs::gauge("pool.queue_depth_max");
+    queue_hwm.set_max(static_cast<std::int64_t>(depth));
     if (tl_pool == this) {
       // Nested submission: the worker's own deque, popped LIFO by the owner
       // for locality, stolen FIFO by idle workers.
@@ -134,6 +171,7 @@ bool ThreadPool::try_run_one_task(std::size_t self) {
     }
   }
   // 3. Steal from the other workers, oldest first (FIFO end).
+  bool stolen = false;
   if (!task) {
     const std::size_t n = num_workers_.load(std::memory_order_acquire);
     for (std::size_t off = 1; off < n && !task; ++off) {
@@ -142,10 +180,16 @@ bool ThreadPool::try_run_one_task(std::size_t self) {
       if (!w.deque.empty()) {
         task = std::move(w.deque.front());
         w.deque.pop_front();
+        stolen = true;
       }
     }
   }
   if (!task) return false;
+
+  static obs::Counter& executed = obs::counter("pool.tasks_executed");
+  static obs::Counter& steals = obs::counter("pool.tasks_stolen");
+  executed.increment();
+  if (stolen) steals.increment();
 
   ready_.fetch_sub(1, std::memory_order_acq_rel);
   task();
@@ -161,9 +205,12 @@ void ThreadPool::participate(const std::shared_ptr<Batch>& batch) {
   const std::size_t n = b.n;
   const bool was_in_batch = tl_in_batch;
   tl_in_batch = true;
+  obs::Span span("pool:batch");
+  static obs::Counter& items = obs::counter("pool.batch_items");
   for (;;) {
     const std::size_t k = b.next.fetch_add(1, std::memory_order_relaxed);
     if (k >= n) break;
+    items.increment();
     const std::size_t i = b.order != nullptr ? b.order[k] : k;
     try {
       (*b.fn)(i);
@@ -208,6 +255,9 @@ void ThreadPool::submit_bulk(std::size_t n,
     return;
   }
 
+  static obs::Counter& batches = obs::counter("pool.bulk_batches");
+  batches.increment();
+
   auto batch = std::make_shared<Batch>();
   batch->fn = &fn;
   batch->order = order;
@@ -247,19 +297,26 @@ void ThreadPool::submit_bulk(std::size_t n,
 void ThreadPool::worker_loop(std::size_t index) {
   tl_pool = this;
   tl_worker_index = index;
+  obs::set_thread_name("pool-worker-" + std::to_string(index));
+  static obs::Counter& idle_us = obs::counter("pool.idle_us");
+  static obs::Counter& busy_us = obs::counter("pool.busy_us");
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
+    const std::uint64_t wait_start = obs::now_us();
     wake_.wait(lock, [&]() {
       if (stop_) return true;
       if (ready_.load(std::memory_order_acquire) > 0) return true;
       return batch_ != nullptr && batch_->slots.load() > 0 &&
              batch_->next.load(std::memory_order_relaxed) < batch_->n;
     });
+    idle_us.add(obs::now_us() - wait_start);
     if (stop_ && ready_.load(std::memory_order_acquire) == 0) return;
     if (ready_.load(std::memory_order_acquire) > 0) {
       lock.unlock();
+      const std::uint64_t busy_start = obs::now_us();
       while (try_run_one_task(index)) {
       }
+      busy_us.add(obs::now_us() - busy_start);
       lock.lock();
       continue;
     }
@@ -268,7 +325,9 @@ void ThreadPool::worker_loop(std::size_t index) {
       std::shared_ptr<Batch> batch = batch_;
       batch->slots.fetch_sub(1);
       lock.unlock();
+      const std::uint64_t busy_start = obs::now_us();
       participate(batch);
+      busy_us.add(obs::now_us() - busy_start);
       batch.reset();
       lock.lock();
     }

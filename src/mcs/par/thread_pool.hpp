@@ -114,9 +114,18 @@ class ThreadPool {
   void wait_idle();
 
   /// Resolves a user-facing thread-count request: values >= 1 are taken
-  /// verbatim; values < 1 mean "use the MCS_THREADS environment variable,
-  /// or, when unset/invalid, the hardware concurrency" (at least 1).
+  /// verbatim; values < 1 mean "use the process default" -- the MCS_THREADS
+  /// environment variable, or, when unset/invalid, the hardware concurrency
+  /// (at least 1).  The default is computed *once*, on the first defaulted
+  /// resolution, and cached: later changes to the environment are invisible
+  /// (multi-job safety -- a job server mutating its environment cannot
+  /// retroactively change the pool geometry of in-flight work).  The cached
+  /// value is surfaced as the `config.threads_default` gauge.
   static std::size_t resolve_threads(int requested) noexcept;
+
+  /// Drops the cached resolve_threads default so the next defaulted call
+  /// re-reads MCS_THREADS.  A test hook; production code never needs it.
+  static void refresh_thread_default() noexcept;
 
   /// Upper bound on workers of one pool (explicit oversubscription requests
   /// beyond this are clamped; a backstop, not a tuning knob).

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <vector>
 
+#include "mcs/obs/obs.hpp"
 #include "mcs/par/thread_pool.hpp"
 #include "mcs/sat/cnf.hpp"
 #include "mcs/sat/solver.hpp"
@@ -68,6 +69,8 @@ CecResult check_equivalence(const Network& a, const Network& b,
                             const CecOptions& opts) {
   assert(a.num_pis() == b.num_pis());
   assert(a.num_pos() == b.num_pos());
+  obs::Span cec_span("cec:check");
+  obs::counter("cec.checks").increment();
   const std::size_t threads = ThreadPool::resolve_threads(opts.num_threads);
 
   // Stage 1: random-simulation falsification (level-blocked parallel; PI
@@ -75,12 +78,14 @@ CecResult check_equivalence(const Network& a, const Network& b,
   // same vectors and any thread count sees the same values).
   if (sim_falsify(a, b, opts.sim_words, opts.sim_seed, opts.num_threads) >=
       0) {
+    obs::counter("cec.sim_refuted").increment();
     return CecResult::kNotEquivalent;
   }
 
   // Stage 2: SAT miter with shared PI variables.  Serial path: one
   // monolithic miter over every PO.
   if (threads <= 1 || a.num_pos() < 2) {
+    obs::counter("cec.batches").increment();
     switch (solve_miter_range(a, b, 0, a.num_pos(), opts.conflict_limit)) {
       case sat::Result::kUnsat:
         return CecResult::kEquivalent;
@@ -99,10 +104,17 @@ CecResult check_equivalence(const Network& a, const Network& b,
   const std::size_t num_batches = (num_pos + kCecPoBatch - 1) / kCecPoBatch;
   std::atomic<bool> found_sat{false};
   std::atomic<bool> found_unknown{false};
+  static obs::Counter& batches_run = obs::counter("cec.batches");
+  static obs::Counter& early_exits = obs::counter("cec.early_exits");
   ThreadPool::global().submit_bulk(
       num_batches,
       [&](std::size_t batch) {
-        if (found_sat.load(std::memory_order_relaxed)) return;  // early exit
+        if (found_sat.load(std::memory_order_relaxed)) {
+          early_exits.increment();
+          return;  // early exit
+        }
+        obs::Span batch_span("cec:batch");
+        batches_run.increment();
         const std::size_t begin = batch * kCecPoBatch;
         const std::size_t end = std::min(num_pos, begin + kCecPoBatch);
         switch (solve_miter_range(a, b, begin, end, opts.conflict_limit)) {

@@ -61,6 +61,12 @@ class IncrementalMiter {
 
   std::size_t num_clauses() const noexcept { return solver_.num_clauses(); }
 
+  /// Total solver conflicts over this miter's lifetime (effort metric; the
+  /// sweep engine folds it into the sweep.conflicts counter per batch).
+  std::int64_t num_conflicts() const noexcept {
+    return solver_.num_conflicts();
+  }
+
  private:
   const Network& net_;
   Solver solver_;

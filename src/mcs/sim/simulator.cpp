@@ -8,6 +8,7 @@
 #include "mcs/common/hash.hpp"
 #include "mcs/common/rng.hpp"
 #include "mcs/network/network_utils.hpp"
+#include "mcs/obs/obs.hpp"
 #include "mcs/par/thread_pool.hpp"
 
 namespace mcs {
@@ -26,6 +27,11 @@ RandomSimulation::RandomSimulation(const Network& net, int num_words,
     : net_(net),
       num_words_(num_words),
       capacity_words_(num_words + std::max(0, reserve_extra_words)) {
+  obs::Span span("sim:random");
+  // gate-words: one 64-pattern word evaluated for one gate.
+  obs::counter("sim.gate_words")
+      .add(static_cast<std::uint64_t>(net.num_gates()) *
+           static_cast<std::uint64_t>(num_words));
   values_.assign(net.size() * static_cast<std::size_t>(capacity_words_),
                  0ull);
 
@@ -166,6 +172,9 @@ void RandomSimulation::add_pattern_words(
     if (net_.is_gate(n)) eval_node(n, w0, w0 + count);
   }
   num_words_ += count;
+  obs::counter("sim.gate_words")
+      .add(static_cast<std::uint64_t>(net_.num_gates()) *
+           static_cast<std::uint64_t>(count));
 }
 
 std::uint64_t RandomSimulation::signature(Signal s) const noexcept {

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "mcs/network/network_utils.hpp"
+#include "mcs/obs/obs.hpp"
 #include "mcs/par/thread_pool.hpp"
 #include "mcs/sat/miter.hpp"
 #include "mcs/sim/simulator.hpp"
@@ -57,6 +58,7 @@ bool words_are(const std::uint64_t* w, int num_words, std::uint64_t fill) {
 std::vector<ProvenEquiv> sweep_equivalences(const Network& net,
                                             const FraigParams& params,
                                             FraigStats* stats_out) {
+  obs::Span sweep_span("sweep:equivalences");
   FraigStats stats;
   const std::size_t threads = ThreadPool::resolve_threads(params.num_threads);
   stats.num_threads = threads;
@@ -166,9 +168,13 @@ std::vector<ProvenEquiv> sweep_equivalences(const Network& net,
     const std::size_t num_batches =
         (pairs.size() + kPairBatch - 1) / kPairBatch;
     std::vector<PairResult> results(pairs.size());
+    static obs::Counter& sat_calls = obs::counter("sweep.sat_calls");
+    static obs::Counter& conflicts = obs::counter("sweep.conflicts");
+    static obs::Counter& cascades = obs::counter("sweep.cascade_asserts");
     ThreadPool::global().submit_bulk(
         num_batches,
         [&](std::size_t b) {
+          obs::Span batch_span("sweep:batch");
           const std::size_t begin = b * kPairBatch;
           const std::size_t end = std::min(pairs.size(), begin + kPairBatch);
           sat::IncrementalMiter miter(net);
@@ -182,6 +188,7 @@ std::vector<ProvenEquiv> sweep_equivalences(const Network& net,
             roots.push_back(Signal(pairs[i].member, false));
             roots.push_back(Signal(pairs[i].repr, pairs[i].phase));
           }
+          std::uint64_t num_cascades = 0;
           for (const NodeId n : miter.encode(roots)) {
             const std::int32_t idx = proven_at[n];
             if (idx < 0) continue;
@@ -189,6 +196,7 @@ std::vector<ProvenEquiv> sweep_equivalences(const Network& net,
             if (miter.encoded(e.repr)) {
               miter.assert_equal(Signal(e.node, false),
                                  Signal(e.repr, e.phase));
+              ++num_cascades;
             }
           }
           for (std::size_t i = begin; i < end; ++i) {
@@ -200,6 +208,7 @@ std::vector<ProvenEquiv> sweep_equivalences(const Network& net,
                 results[i].verdict = Verdict::kProven;
                 // In-batch cascading: deeper miters of this batch collapse.
                 miter.assert_equal(a, b_sig);
+                ++num_cascades;
                 break;
               case sat::Result::kSat: {
                 results[i].verdict = Verdict::kCex;
@@ -215,6 +224,10 @@ std::vector<ProvenEquiv> sweep_equivalences(const Network& net,
                 break;
             }
           }
+          // Flushed once per batch (owner-thread cells; cheap but tidy).
+          sat_calls.add(end - begin);
+          conflicts.add(static_cast<std::uint64_t>(miter.num_conflicts()));
+          cascades.add(num_cascades);
         },
         threads);
 
@@ -267,7 +280,12 @@ std::vector<ProvenEquiv> sweep_equivalences(const Network& net,
     }
     sim.add_pattern_words(pi_words, static_cast<int>(num_new_words));
     stats.num_patterns_added += num_new_words;
+    obs::counter("sweep.cex_words").add(num_new_words);
   }
+  obs::counter("sweep.proven").add(stats.num_proven);
+  obs::counter("sweep.disproven").add(stats.num_disproven);
+  obs::counter("sweep.unknown").add(stats.num_unknown);
+  obs::counter("sweep.rounds").add(stats.num_rounds);
 
   // Already in ascending member order within each round; make the whole
   // list canonical for consumers.

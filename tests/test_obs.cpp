@@ -1,0 +1,462 @@
+/// Unit tests for mcs::obs: per-thread counter sharding aggregates to the
+/// same totals as a serial loop (including after worker-thread retirement),
+/// gauges/histograms behave, the Chrome trace-event export is well-formed
+/// JSON with correctly nested spans and per-thread attribution, and -- the
+/// determinism contract -- fraig and the partition-parallel optimizer stay
+/// bit-identical with tracing on vs off at 1 and N threads.
+///
+/// Every metric/tracing assertion is guarded for MCS_OBS_DISABLE builds
+/// (the API collapses to no-op stubs there); the determinism tests compile
+/// and run in both configurations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mcs/circuits/circuits.hpp"
+#include "mcs/network/convert.hpp"
+#include "mcs/network/network_utils.hpp"
+#include "mcs/obs/obs.hpp"
+#include "mcs/par/par_engine.hpp"
+#include "mcs/par/thread_pool.hpp"
+#include "mcs/sweep/sweep.hpp"
+
+namespace mcs {
+namespace {
+
+// --- a minimal JSON validator ----------------------------------------------
+// Recursive-descent acceptor for the full JSON grammar; the trace and
+// metrics exports must round-trip it byte-exactly (pos == size at the end).
+
+class JsonValidator {
+ public:
+  static bool valid(const std::string& s) {
+    JsonValidator v(s);
+    v.ws();
+    if (!v.value()) return false;
+    v.ws();
+    return v.pos_ == s.size();
+  }
+
+ private:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool lit(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        ++pos_;  // accept any escaped char (incl. the 'u' of \uXXXX)
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control characters are illegal in JSON
+      }
+    }
+    return false;
+  }
+  bool number() {
+    eat('-');
+    std::size_t digits = 0;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_, ++digits;
+    if (digits == 0) return false;
+    if (eat('.')) {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return true;
+  }
+  bool value() {
+    ws();
+    switch (peek()) {
+      case '{': {
+        ++pos_;
+        ws();
+        if (eat('}')) return true;
+        do {
+          ws();
+          if (!string()) return false;
+          ws();
+          if (!eat(':')) return false;
+          if (!value()) return false;
+          ws();
+        } while (eat(','));
+        return eat('}');
+      }
+      case '[': {
+        ++pos_;
+        ws();
+        if (eat(']')) return true;
+        do {
+          if (!value()) return false;
+          ws();
+        } while (eat(','));
+        return eat(']');
+      }
+      case '"':
+        return string();
+      case 't':
+        return lit("true");
+      case 'f':
+        return lit("false");
+      case 'n':
+        return lit("null");
+      default:
+        return number();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(ObsJsonValidator, SelfCheck) {
+  EXPECT_TRUE(JsonValidator::valid("{}"));
+  EXPECT_TRUE(JsonValidator::valid(R"({"a": [1, -2.5e3, "x\"y"], "b": {}})"));
+  EXPECT_TRUE(JsonValidator::valid("[true, false, null]"));
+  EXPECT_FALSE(JsonValidator::valid("{"));
+  EXPECT_FALSE(JsonValidator::valid("{\"a\": }"));
+  EXPECT_FALSE(JsonValidator::valid("{} trailing"));
+  EXPECT_FALSE(JsonValidator::valid("{\"a\"\n: \"\x01\"}"));
+}
+
+#ifndef MCS_OBS_DISABLE
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(ObsMetrics, CounterAggregatesAcrossPoolWorkers) {
+  obs::Counter& c = obs::counter("test.pool_adds");
+  const std::uint64_t before = c.value();
+
+  constexpr std::size_t kItems = 5000;
+  std::uint64_t serial = 0;
+  for (std::size_t i = 0; i < kItems; ++i) serial += i + 1;
+
+  {
+    ThreadPool pool(4);
+    pool.submit_bulk(
+        kItems, [&](std::size_t i) { c.add(i + 1); }, 4);
+  }
+  // The pool is destroyed: the workers' per-thread cells have been folded
+  // into the retired accumulator, and the total must still be exact.
+  EXPECT_EQ(c.value() - before, serial);
+}
+
+TEST(ObsMetrics, CounterSurvivesManyShortLivedThreads) {
+  obs::Counter& c = obs::counter("test.short_threads");
+  const std::uint64_t before = c.value();
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&c] { c.add(10); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  EXPECT_EQ(c.value() - before, 8u * 4u * 10u);
+}
+
+TEST(ObsMetrics, GaugeSetMaxIsHighWaterMark) {
+  obs::Gauge& g = obs::gauge("test.hwm");
+  g.set(0);
+  g.set_max(7);
+  g.set_max(3);
+  EXPECT_EQ(g.value(), 7);
+  g.set_max(11);
+  EXPECT_EQ(g.value(), 11);
+  g.set(2);  // plain set still lowers
+  EXPECT_EQ(g.value(), 2);
+}
+
+TEST(ObsMetrics, HistogramBucketsByLog2) {
+  obs::Histogram& h = obs::histogram("test.hist");
+  const std::uint64_t before = h.total();
+  h.observe(0);   // bucket 0
+  h.observe(1);   // bucket 1
+  h.observe(2);   // bucket 2
+  h.observe(3);   // bucket 2
+  h.observe(~0ull);  // overflow bucket
+  EXPECT_EQ(h.total() - before, 5u);
+  const std::vector<std::uint64_t> buckets = h.buckets();
+  ASSERT_GE(buckets.size(), 3u);
+  EXPECT_GE(buckets[2], 2u) << "2 and 3 share the log2 bucket";
+  EXPECT_GE(buckets.back(), 1u) << "huge samples land in the last bucket";
+}
+
+TEST(ObsMetrics, SnapshotDeltaReportsOnlyMovedCounters) {
+  obs::Counter& moved = obs::counter("test.delta_moved");
+  obs::counter("test.delta_still");  // registered but untouched
+
+  const obs::MetricsSnapshot before = obs::snapshot();
+  moved.add(42);
+  const obs::MetricsSnapshot delta = obs::snapshot_delta(before);
+
+  bool saw_moved = false;
+  for (const obs::MetricValue& mv : delta.counters) {
+    EXPECT_NE(mv.name, "test.delta_still")
+        << "untouched counters must not appear in a delta";
+    if (mv.name == "test.delta_moved") {
+      saw_moved = true;
+      EXPECT_EQ(mv.value, 42);
+    }
+  }
+  EXPECT_TRUE(saw_moved);
+}
+
+TEST(ObsMetrics, LookupIsStableAndIdempotent) {
+  obs::Counter& a = obs::counter("test.same_name");
+  obs::Counter& b = obs::counter("test.same_name");
+  EXPECT_EQ(&a, &b) << "lookup-or-create must return the same instance";
+}
+
+TEST(ObsMetrics, MetricsJsonIsValid) {
+  obs::counter("test.json_presence").add(1);
+  const std::string json = obs::metrics_json();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("test.json_presence"), std::string::npos);
+}
+
+// --- tracing ----------------------------------------------------------------
+
+/// One parsed "X" event from the Chrome trace export.
+struct ParsedEvent {
+  long tid = 0;
+  std::string name;
+  unsigned long long ts = 0;
+  unsigned long long dur = 0;
+};
+
+/// Extracts the complete ("X") events; the emitter writes fields in a fixed
+/// order so a scan is enough (the JSON validator covers grammar).
+std::vector<ParsedEvent> parse_events(const std::string& json) {
+  std::vector<ParsedEvent> out;
+  std::size_t pos = 0;
+  const std::string marker = "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+  while ((pos = json.find(marker, pos)) != std::string::npos) {
+    pos += marker.size();
+    ParsedEvent ev;
+    ev.tid = std::strtol(json.c_str() + pos, nullptr, 10);
+    const std::size_t name_at = json.find("\"name\":\"", pos) + 8;
+    const std::size_t name_end = json.find('"', name_at);
+    ev.name = json.substr(name_at, name_end - name_at);
+    const std::size_t ts_at = json.find("\"ts\":", name_end) + 5;
+    ev.ts = std::strtoull(json.c_str() + ts_at, nullptr, 10);
+    const std::size_t dur_at = json.find("\"dur\":", ts_at) + 6;
+    ev.dur = std::strtoull(json.c_str() + dur_at, nullptr, 10);
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+class ObsTracing : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_tracing(true);
+    obs::trace_clear();
+  }
+  void TearDown() override {
+    obs::set_tracing(false);
+    obs::trace_clear();
+  }
+};
+
+TEST_F(ObsTracing, SpansNestAndExportValidChromeJson) {
+  {
+    obs::Span outer("outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      obs::Span inner("inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    { obs::Span inner2(std::string("inner2")); }
+  }
+  EXPECT_EQ(obs::trace_size(), 3u);
+
+  const std::string json = obs::trace_json();
+  ASSERT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+  const std::vector<ParsedEvent> events = parse_events(json);
+  ASSERT_EQ(events.size(), 3u);
+  const ParsedEvent* outer = nullptr;
+  const ParsedEvent* inner = nullptr;
+  for (const ParsedEvent& ev : events) {
+    if (ev.name == "outer") outer = &ev;
+    if (ev.name == "inner") inner = &ev;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->tid, inner->tid) << "same thread, same lane";
+  // Well-formed nesting: the child interval lies inside the parent's.
+  EXPECT_GE(inner->ts, outer->ts);
+  EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur);
+  EXPECT_GE(outer->dur, inner->dur);
+}
+
+TEST_F(ObsTracing, ThreadAttributionAndNames) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([t] {
+      obs::set_thread_name("obs-test-" + std::to_string(t));
+      obs::Span span([&] { return "work:" + std::to_string(t); });
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const std::string json = obs::trace_json();
+  ASSERT_TRUE(JsonValidator::valid(json)) << json;
+  const std::vector<ParsedEvent> events = parse_events(json);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid)
+      << "spans from distinct threads must land in distinct lanes";
+  // Thread-name metadata events accompany the named threads.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("obs-test-0"), std::string::npos);
+  EXPECT_NE(json.find("obs-test-1"), std::string::npos);
+}
+
+TEST_F(ObsTracing, PoolWorkersAppearInTrace) {
+  ThreadPool pool(2);
+  pool.submit_bulk(
+      64,
+      [](std::size_t) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      },
+      2);
+  pool.wait_idle();
+
+  const std::string json = obs::trace_json();
+  ASSERT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("pool-worker-"), std::string::npos)
+      << "worker threads must self-identify in the trace";
+  EXPECT_NE(json.find("pool:batch"), std::string::npos);
+}
+
+TEST_F(ObsTracing, DumpRoundTripsThroughFile) {
+  { obs::Span span("dumped"); }
+  const std::string path =
+      ::testing::TempDir() + "/mcs_obs_trace_test.json";
+  ASSERT_TRUE(obs::trace_dump(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, obs::trace_json());
+  EXPECT_TRUE(JsonValidator::valid(content));
+  EXPECT_NE(content.find("\"dumped\""), std::string::npos);
+}
+
+TEST_F(ObsTracing, AggregateSpansFoldsByName) {
+  const std::uint64_t start = obs::now_us();
+  for (int i = 0; i < 3; ++i) {
+    obs::Span span("agg:repeat");
+  }
+  const std::vector<obs::SpanStats> spans = obs::aggregate_spans(start);
+  const auto it =
+      std::find_if(spans.begin(), spans.end(),
+                   [](const obs::SpanStats& s) { return s.name == "agg:repeat"; });
+  ASSERT_NE(it, spans.end());
+  EXPECT_EQ(it->count, 3u);
+}
+
+TEST_F(ObsTracing, DisabledSpanRecordsNothing) {
+  obs::set_tracing(false);
+  { obs::Span span("invisible"); }
+  EXPECT_EQ(obs::trace_size(), 0u);
+}
+
+#endif  // MCS_OBS_DISABLE
+
+// --- determinism contract ---------------------------------------------------
+// Observation must never change results: fraig and the partition-parallel
+// optimizer produce bit-identical networks with tracing off vs on, at one
+// and several threads.  These compile in MCS_OBS_DISABLE builds too (the
+// tracing toggles are no-ops there; the 1-vs-N identity still holds).
+
+class ObsDeterminism : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    obs::set_tracing(false);
+    obs::trace_clear();
+  }
+};
+
+TEST_F(ObsDeterminism, FraigBitIdenticalWithTracingOnOff) {
+  const Network net = expand_to_aig(circuits::multiplier(8));
+
+  obs::set_tracing(false);
+  FraigParams ref_params;
+  ref_params.num_threads = 1;
+  const Network reference = fraig(net, ref_params);
+
+  obs::set_tracing(true);
+  for (const int threads : {1, 4}) {
+    FraigParams params;
+    params.num_threads = threads;
+    const Network traced = fraig(net, params);
+    EXPECT_TRUE(structurally_identical(traced, reference))
+        << "fraig diverged with tracing on at " << threads << " threads";
+  }
+}
+
+TEST_F(ObsDeterminism, ParOptimizeBitIdenticalWithTracingOnOff) {
+  const Network net = expand_to_aig(circuits::multiplier(8));
+
+  obs::set_tracing(false);
+  ParParams ref_params;
+  ref_params.num_threads = 1;
+  const Network reference =
+      par_optimize(net, GateBasis::aig(), 2, ref_params);
+
+  obs::set_tracing(true);
+  for (const int threads : {1, 4}) {
+    ParParams params;
+    params.num_threads = threads;
+    const Network traced = par_optimize(net, GateBasis::aig(), 2, params);
+    EXPECT_TRUE(structurally_identical(traced, reference))
+        << "par_optimize diverged with tracing on at " << threads
+        << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace mcs

@@ -144,21 +144,35 @@ TEST(ThreadPool, EnsureWorkersGrows) {
 TEST(ThreadPool, McsThreadsEnvironmentVariable) {
   // Restore any ambient MCS_THREADS afterwards: the CI matrix runs this
   // whole binary under MCS_THREADS=1/4 and the later tests must see it.
+  // resolve_threads reads the environment ONCE and caches the default, so
+  // each setenv below is followed by refresh_thread_default() -- the test
+  // hook that drops the cache (production code never calls it).
   const char* ambient = std::getenv("MCS_THREADS");
   const std::string saved = ambient != nullptr ? ambient : "";
 
   ASSERT_EQ(::setenv("MCS_THREADS", "3", 1), 0);
+  ThreadPool::refresh_thread_default();
   EXPECT_EQ(ThreadPool::resolve_threads(0), 3u);
   EXPECT_EQ(ThreadPool::resolve_threads(-1), 3u);
   EXPECT_EQ(ThreadPool::resolve_threads(2), 2u) << "explicit request wins";
+
+  // Without a refresh the first resolution stays authoritative: later env
+  // changes must NOT leak into resolve_threads (read-once contract).
+  ASSERT_EQ(::setenv("MCS_THREADS", "7", 1), 0);
+  EXPECT_EQ(ThreadPool::resolve_threads(0), 3u)
+      << "cached default must ignore env changes after first resolution";
+
   ASSERT_EQ(::setenv("MCS_THREADS", "junk", 1), 0);
+  ThreadPool::refresh_thread_default();
   EXPECT_GE(ThreadPool::resolve_threads(0), 1u) << "junk falls back to hw";
   ASSERT_EQ(::unsetenv("MCS_THREADS"), 0);
+  ThreadPool::refresh_thread_default();
   EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
 
   if (ambient != nullptr) {
     ASSERT_EQ(::setenv("MCS_THREADS", saved.c_str(), 1), 0);
   }
+  ThreadPool::refresh_thread_default();
 }
 
 // --- parallel random simulation ---------------------------------------------
