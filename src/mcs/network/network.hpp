@@ -143,7 +143,7 @@ class StrashTable {
   /// (strash.collisions, extra probes past the first) only when the probe
   /// sequence actually collided -- the common clean-hit path pays a single
   /// relaxed store.  Total probes are derivable: lookups + collisions.
-  NodeId lookup(GateType t, const Key& fanin) const noexcept {
+  NodeId lookup(GateType t, const Key& fanin) const {
     const std::uint64_t h = hash(t, fanin);
     const std::size_t mask = slots_.size() - 1;
     std::uint64_t probes = 0;
@@ -191,14 +191,16 @@ class StrashTable {
 
   /// Process-wide strash counters (all tables share them; per-table stats
   /// would bloat every Network copy).  Cached refs: one registry lookup
-  /// per process, not per call.
+  /// per process, not per call.  First-call construction allocates in the
+  /// obs registry and may throw, so neither this nor the instrumented
+  /// methods are noexcept.
   struct Metrics {
     obs::Counter& lookups = obs::counter("strash.lookups");
     obs::Counter& collisions = obs::counter("strash.collisions");
     obs::Counter& inserts = obs::counter("strash.inserts");
     obs::Gauge& bytes_max = obs::gauge("strash.bytes_max");
   };
-  static Metrics& metrics() noexcept {
+  static Metrics& metrics() {
     static Metrics m;
     return m;
   }

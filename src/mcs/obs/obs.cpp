@@ -36,10 +36,20 @@ struct TraceEvent {
   std::uint64_t dur_us;
 };
 
-struct ThreadTraceBuf {
+struct TraceBufData {
   int tid = 0;
   std::string name;
   std::vector<TraceEvent> events;
+};
+
+/// Live per-thread trace buffer.  The owning thread appends under `mu`
+/// (record_span, set_thread_name); aggregating readers hold reg.mu to walk
+/// the buffer lists and additionally take each buffer's `mu` to touch its
+/// events.  Lock order: reg.mu before buf.mu; writers take buf.mu alone, so
+/// a worker finishing a late span can never race trace_json/aggregate_spans
+/// or trace_clear on another thread.
+struct ThreadTraceBuf : TraceBufData {
+  std::mutex mu;
 };
 
 /// Everything mutex-guarded lives here; the hot paths never touch it after
@@ -61,7 +71,7 @@ struct Registry {
   // tracing
   int next_tid = 0;
   std::vector<ThreadTraceBuf*> live_bufs;
-  std::vector<ThreadTraceBuf> retired_bufs;
+  std::vector<TraceBufData> retired_bufs;  // dead threads: reg.mu suffices
 
   std::uint64_t read_slot_locked(std::uint32_t slot) const {
     if (slot >= detail::kMaxSlots) {
@@ -110,8 +120,10 @@ struct ThreadTraceHolder {
     std::lock_guard<std::mutex> lock(reg.mu);
     reg.live_bufs.erase(
         std::find(reg.live_bufs.begin(), reg.live_bufs.end(), &buf));
+    // Only this thread writes buf, and readers reach it via live_bufs under
+    // reg.mu (held here), so the data slice can be moved out lock-free.
     if (!buf.events.empty() || !buf.name.empty())
-      reg.retired_bufs.push_back(std::move(buf));
+      reg.retired_bufs.push_back(std::move(static_cast<TraceBufData&>(buf)));
   }
 };
 
@@ -150,6 +162,7 @@ void dump_trace_at_exit() {
 namespace detail {
 
 std::atomic<bool> g_tracing{false};
+std::atomic<std::uint64_t> g_trace_epoch{0};
 
 ThreadCells::ThreadCells() {
   for (auto& c : cells) c.store(0, std::memory_order_relaxed);
@@ -167,20 +180,20 @@ ThreadCells::~ThreadCells() {
     reg.retired[s] += cells[s].load(std::memory_order_relaxed);
 }
 
-std::atomic<std::uint64_t>& overflow_cell(std::uint32_t slot) {
-  Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
-  return *reg.overflow[slot - kMaxSlots];
-}
-
 void record_span(const char* name_literal, const std::string& name_owned,
-                 std::uint64_t start_us, std::uint64_t dur_us) {
+                 std::uint64_t start_us, std::uint64_t dur_us,
+                 std::uint64_t epoch) {
   ThreadTraceBuf& buf = thread_trace_buf();
   TraceEvent ev;
   ev.literal = name_literal;
   if (name_literal == nullptr) ev.owned = name_owned;
   ev.start_us = start_us;
   ev.dur_us = dur_us;
+  std::lock_guard<std::mutex> lock(buf.mu);
+  // trace_clear bumps the epoch before clearing each buffer under buf.mu,
+  // so checking under the same lock guarantees a cleared buffer never gains
+  // a pre-clear event afterwards.
+  if (epoch != g_trace_epoch.load(std::memory_order_relaxed)) return;
   buf.events.push_back(std::move(ev));
 }
 
@@ -223,6 +236,8 @@ Counter& counter(std::string_view name) {
   reg.infos.push_back({key, MetricKind::kCounter, slot});
   reg.counters.emplace_back(new Counter(slot));
   Counter* c = reg.counters.back().get();
+  if (slot >= detail::kMaxSlots)
+    c->overflow_ = reg.overflow[slot - detail::kMaxSlots].get();
   typed().counters.emplace(std::move(key), c);
   return *c;
 }
@@ -253,6 +268,11 @@ Histogram& histogram(std::string_view name) {
   reg.infos.push_back({key, MetricKind::kHistogram, base});
   reg.histograms.emplace_back(new Histogram(base));
   Histogram* h = reg.histograms.back().get();
+  for (int b = 0; b < detail::kHistBuckets; ++b) {
+    const std::uint32_t slot = base + static_cast<std::uint32_t>(b);
+    if (slot >= detail::kMaxSlots)
+      h->overflow_[b] = reg.overflow[slot - detail::kMaxSlots].get();
+  }
   typed().histograms.emplace(std::move(key), h);
   return *h;
 }
@@ -358,19 +378,17 @@ std::string metrics_text() {
     width = std::max(width, mv.name.size());
   for (const MetricValue& mv : snap.gauges)
     width = std::max(width, mv.name.size());
-  char line[256];
+  auto row = [&](const MetricValue& mv) {
+    out += "  ";
+    out += mv.name;
+    out.append(width - mv.name.size() + 1, ' ');
+    out += std::to_string(mv.value);
+    out += '\n';
+  };
   if (!snap.counters.empty()) out += "counters:\n";
-  for (const MetricValue& mv : snap.counters) {
-    std::snprintf(line, sizeof(line), "  %-*s %lld\n", (int)width,
-                  mv.name.c_str(), (long long)mv.value);
-    out += line;
-  }
+  for (const MetricValue& mv : snap.counters) row(mv);
   if (!snap.gauges.empty()) out += "gauges:\n";
-  for (const MetricValue& mv : snap.gauges) {
-    std::snprintf(line, sizeof(line), "  %-*s %lld\n", (int)width,
-                  mv.name.c_str(), (long long)mv.value);
-    out += line;
-  }
+  for (const MetricValue& mv : snap.gauges) row(mv);
   if (out.empty()) out = "(no metrics recorded)\n";
   return out;
 }
@@ -410,7 +428,13 @@ void set_tracing(bool on) {
 void trace_clear() {
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mu);
-  for (ThreadTraceBuf* buf : reg.live_bufs) buf->events.clear();
+  // Invalidate in-flight spans first: once a buffer is cleared below, any
+  // span that started before this call sees a stale epoch and drops itself.
+  detail::g_trace_epoch.fetch_add(1, std::memory_order_relaxed);
+  for (ThreadTraceBuf* buf : reg.live_bufs) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
   reg.retired_bufs.clear();
 }
 
@@ -418,21 +442,23 @@ std::size_t trace_size() {
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mu);
   std::size_t n = 0;
-  for (const ThreadTraceBuf* buf : reg.live_bufs) n += buf->events.size();
-  for (const ThreadTraceBuf& buf : reg.retired_bufs) n += buf.events.size();
+  for (ThreadTraceBuf* buf : reg.live_bufs) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += buf->events.size();
+  }
+  for (const TraceBufData& buf : reg.retired_bufs) n += buf.events.size();
   return n;
 }
 
 void set_thread_name(const std::string& name) {
   ThreadTraceBuf& buf = thread_trace_buf();
-  Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mu);
+  std::lock_guard<std::mutex> lock(buf.mu);
   buf.name = name;
 }
 
 namespace {
 
-void append_trace_events(std::string& out, const ThreadTraceBuf& buf,
+void append_trace_events(std::string& out, const TraceBufData& buf,
                          bool& first) {
   if (!buf.name.empty()) {
     if (!first) out += ',';
@@ -466,9 +492,11 @@ std::string trace_json() {
   std::lock_guard<std::mutex> lock(reg.mu);
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  for (const ThreadTraceBuf* buf : reg.live_bufs)
+  for (ThreadTraceBuf* buf : reg.live_bufs) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
     append_trace_events(out, *buf, first);
-  for (const ThreadTraceBuf& buf : reg.retired_bufs)
+  }
+  for (const TraceBufData& buf : reg.retired_bufs)
     append_trace_events(out, buf, first);
   out += "]}";
   return out;
@@ -487,7 +515,7 @@ std::vector<SpanStats> aggregate_spans(std::uint64_t since_us) {
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mu);
   std::map<std::string, SpanStats> agg;
-  auto fold = [&](const ThreadTraceBuf& buf) {
+  auto fold = [&](const TraceBufData& buf) {
     for (const TraceEvent& ev : buf.events) {
       if (ev.start_us < since_us) continue;
       const std::string name =
@@ -498,8 +526,11 @@ std::vector<SpanStats> aggregate_spans(std::uint64_t since_us) {
       st.seconds += static_cast<double>(ev.dur_us) * 1e-6;
     }
   };
-  for (const ThreadTraceBuf* buf : reg.live_bufs) fold(*buf);
-  for (const ThreadTraceBuf& buf : reg.retired_bufs) fold(buf);
+  for (ThreadTraceBuf* buf : reg.live_bufs) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    fold(*buf);
+  }
+  for (const TraceBufData& buf : reg.retired_bufs) fold(buf);
   std::vector<SpanStats> out;
   out.reserve(agg.size());
   for (auto& [name, st] : agg) out.push_back(std::move(st));

@@ -87,13 +87,15 @@ inline ThreadCells& thread_cells() {
   return cells;
 }
 
-/// Fallback cell for metric slots past kMaxSlots (shared, fetch_add).
-std::atomic<std::uint64_t>& overflow_cell(std::uint32_t slot);
-
 void record_span(const char* name_literal, const std::string& name_owned,
-                 std::uint64_t start_us, std::uint64_t dur_us);
+                 std::uint64_t start_us, std::uint64_t dur_us,
+                 std::uint64_t epoch);
 
 extern std::atomic<bool> g_tracing;
+
+/// Bumped by trace_clear(); a span records only if the epoch it started in
+/// is still current, so in-flight spans cannot repopulate a cleared trace.
+extern std::atomic<std::uint64_t> g_trace_epoch;
 
 }  // namespace detail
 
@@ -113,8 +115,7 @@ class Counter {
       c.store(c.load(std::memory_order_relaxed) + delta,
               std::memory_order_relaxed);
     } else {
-      detail::overflow_cell(slot_).fetch_add(delta,
-                                             std::memory_order_relaxed);
+      overflow_->fetch_add(delta, std::memory_order_relaxed);
     }
   }
   void increment() noexcept { add(1); }
@@ -126,6 +127,9 @@ class Counter {
   friend Counter& counter(std::string_view);
   explicit Counter(std::uint32_t slot) : slot_(slot) {}
   std::uint32_t slot_;
+  /// Shared fallback cell, resolved at registration (slots never move), so
+  /// overflow adds stay a single lock-free fetch_add.  Null below kMaxSlots.
+  std::atomic<std::uint64_t>* overflow_ = nullptr;
 };
 
 /// A last-value gauge (single atomic; set/add from any thread).
@@ -171,7 +175,7 @@ class Histogram {
       c.store(c.load(std::memory_order_relaxed) + 1,
               std::memory_order_relaxed);
     } else {
-      detail::overflow_cell(slot).fetch_add(1, std::memory_order_relaxed);
+      overflow_[b]->fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -183,6 +187,9 @@ class Histogram {
   friend Histogram& histogram(std::string_view);
   explicit Histogram(std::uint32_t base) : base_(base) {}
   std::uint32_t base_;
+  /// Per-bucket shared fallback cells for slots past kMaxSlots, resolved at
+  /// registration; entries for in-block buckets stay null.
+  std::atomic<std::uint64_t>* overflow_[detail::kHistBuckets] = {};
 };
 
 /// Registry lookup-or-create.  The returned references are stable for the
@@ -274,8 +281,12 @@ class Span {
   Span& operator=(const Span&) = delete;
 
   ~Span() {
-    if (active_) {
-      detail::record_span(literal_, owned_, start_us_, now_us() - start_us_);
+    // Re-check tracing so a span in flight across set_tracing(false) does
+    // not record; the epoch guard likewise drops spans that straddle a
+    // trace_clear() instead of repopulating the cleared buffers.
+    if (active_ && tracing_enabled()) {
+      detail::record_span(literal_, owned_, start_us_, now_us() - start_us_,
+                          epoch_);
     }
   }
 
@@ -283,6 +294,7 @@ class Span {
   void begin(const char* literal) noexcept {
     active_ = true;
     literal_ = literal;
+    epoch_ = detail::g_trace_epoch.load(std::memory_order_relaxed);
     start_us_ = now_us();
   }
 
@@ -290,6 +302,7 @@ class Span {
   const char* literal_ = nullptr;
   std::string owned_;
   std::uint64_t start_us_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 #else  // MCS_OBS_DISABLE -----------------------------------------------------

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdint>
@@ -402,6 +403,47 @@ TEST_F(ObsTracing, DisabledSpanRecordsNothing) {
   obs::set_tracing(false);
   { obs::Span span("invisible"); }
   EXPECT_EQ(obs::trace_size(), 0u);
+}
+
+TEST_F(ObsTracing, InFlightSpansDropAcrossClearAndDisable) {
+  // A span alive across trace_clear() must not repopulate the cleared
+  // buffers when it ends ...
+  {
+    obs::Span span("straddles-clear");
+    obs::trace_clear();
+  }
+  EXPECT_EQ(obs::trace_size(), 0u);
+  // ... and one alive across set_tracing(false) must not record either.
+  {
+    obs::Span span("straddles-disable");
+    obs::set_tracing(false);
+  }
+  EXPECT_EQ(obs::trace_size(), 0u);
+}
+
+TEST_F(ObsTracing, ConcurrentRecordAndAggregateIsSafe) {
+  // Writers record spans while another thread exports/aggregates/clears:
+  // the exact interleaving submit_bulk leaves behind (a worker finishing
+  // its batch span after the caller resumed).  Run under TSAN this is the
+  // regression test for the record_span data race.
+  // Writers are bounded (not free-spinning) so the buffers can't outgrow
+  // the readers and balloon the trace_json cost under sanitizers.
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([] {
+      for (int i = 0; i < 20000; ++i) {
+        obs::Span span("stress:span");
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    (void)obs::aggregate_spans(0);
+    (void)obs::trace_size();
+    if (i % 4 == 0) obs::trace_clear();
+    ASSERT_TRUE(JsonValidator::valid(obs::trace_json()));
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_TRUE(JsonValidator::valid(obs::trace_json()));
 }
 
 #endif  // MCS_OBS_DISABLE
