@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the mcs_server daemon in pipe mode (no
+# networking): a FIFO pair feeds one server process a mixed batch through
+# mcs_submit --script -- small maps, a heavier optimization job, a job that
+# gets cancelled mid-session, a rejected submit and a malformed line --
+# then requests shutdown and checks the drain accounting.
+#
+# Usage: scripts/server_smoke.sh [BUILD_DIR]   (default: ./build)
+set -euo pipefail
+
+build_dir=${1:-build}
+server=$build_dir/tools/mcs_server
+submit=$build_dir/tools/mcs_submit
+[ -x "$server" ] && [ -x "$submit" ] || {
+  echo "server_smoke: build mcs_server + mcs_submit first ($build_dir)" >&2
+  exit 1
+}
+
+work=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$work"' EXIT
+
+mkfifo "$work/to_server" "$work/from_server"
+
+# Heavy job first so the small jobs demonstrably overtake it; cancellation
+# targets the second heavy job after a short delay so it is (on any but an
+# absurdly fast machine) mid-run when the cancel lands -- and "cancelled
+# before start" is an equally valid outcome on a loaded runner.
+cat > "$work/session.ndjson" <<'EOF'
+{"type": "ping"}
+{"type": "submit", "id": "heavy", "flow": "gen:multiplier,bits=64; compress2rs", "weight": 1.0}
+{"type": "submit", "id": "victim", "flow": "gen:multiplier,bits=64; compress2rs; compress2rs; compress2rs"}
+{"type": "submit", "id": "small1", "flow": "gen:adder,bits=8; map_lut:k=4"}
+{"type": "submit", "id": "small2", "flow": "gen:adder,bits=16; rewrite"}
+{"type": "submit", "id": "small3", "flow": "gen:adder,bits=8; compress2rs; cec"}
+{"type": "submit", "id": "reject-me", "flow": "no_such_pass:bogus=1"}
+this line is not JSON at all
+{"type": "submit", "id": "late-timeout", "flow": "gen:multiplier,bits=64; compress2rs", "timeout_ms": 1}
+!sleep 150
+{"type": "cancel", "id": "victim"}
+{"type": "shutdown"}
+EOF
+
+"$server" --pipe < "$work/to_server" > "$work/from_server" &
+server_pid=$!
+
+"$submit" --connect "pipe:$work/to_server,$work/from_server" \
+          --script "$work/session.ndjson" > "$work/responses.ndjson"
+
+wait "$server_pid"
+echo "--- session transcript ---"
+cat "$work/responses.ndjson"
+echo "--------------------------"
+
+python3 - "$work/responses.ndjson" <<'EOF'
+import json, sys
+
+done, errors, types = {}, [], []
+drained = None
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line:
+        continue
+    msg = json.loads(line)  # every server line must be well-formed JSON
+    types.append(msg["type"])
+    if msg["type"] == "done":
+        done[msg["job"]] = msg["status"]
+    elif msg["type"] == "error":
+        errors.append(msg)
+    elif msg["type"] == "drained":
+        drained = msg
+
+def check(cond, what):
+    if not cond:
+        sys.exit(f"server_smoke: FAIL: {what}")
+
+check(types[0] == "pong", "first response should be the pong")
+for job in ("heavy", "small1", "small2", "small3"):
+    check(done.get(job) == "ok", f"{job} should finish ok (got {done.get(job)})")
+check(done.get("victim") == "cancelled",
+      f"victim should be cancelled (got {done.get('victim')})")
+check(done.get("late-timeout") == "timeout",
+      f"late-timeout should time out (got {done.get('late-timeout')})")
+check(any(e.get("job") == "reject-me" for e in errors),
+      "reject-me should be rejected with an error line")
+check(any("job" not in e for e in errors),
+      "the malformed line should produce a job-less protocol error")
+check(drained is not None, "session should end with a drained line")
+check(drained["jobs"] == 0, "drained should report zero jobs in flight")
+check(drained["completed"] == 4, f"4 ok jobs (got {drained['completed']})")
+check(drained["cancelled"] == 1, "1 cancelled job")
+check(drained["timed_out"] == 1, "1 timed-out job")
+check(drained["rejected"] == 1, "1 rejected submit")
+check(drained["protocol_errors"] == 1, "1 protocol error")
+
+# Fairness, observable in the stream order: both small map jobs must be
+# done before the heavy compress2rs job finishes (they were submitted
+# later; stage-granular fair scheduling lets them overtake).
+order = [m["job"] for m in map(json.loads, open(sys.argv[1]))
+         if m.get("type") == "done"]
+check(order.index("small1") < order.index("heavy"),
+      f"small1 should finish before heavy (order: {order})")
+print("server_smoke: OK --", len(order), "jobs done in order", order)
+EOF

@@ -378,6 +378,7 @@ StageReport run_stage(FlowContext& ctx, const PassInfo& pass,
     report.delay = ctx.cells->delay;
   }
   ctx.history.push_back(report);
+  if (ctx.on_stage) ctx.on_stage(ctx.history.back(), ctx.history.size() - 1);
   if (ctx.verbose) {
     if (!report.ok) {
       std::printf("%s: error: %s\n", report.pass.c_str(), report.note.c_str());
@@ -397,6 +398,26 @@ StageReport run_stage(FlowContext& ctx, const PassInfo& pass,
       if (!report.note.empty()) std::printf("  -- %s", report.note.c_str());
       std::printf("\n");
     }
+  }
+  return report;
+}
+
+std::optional<StageReport> check_interrupted(FlowContext& ctx,
+                                             const PassInfo& next_pass) {
+  const char* reason =
+      ctx.cancel ? ctx.cancel->stop_reason() : nullptr;
+  if (reason == nullptr) return std::nullopt;
+  StageReport report;
+  report.pass = next_pass.name;
+  report.ok = false;
+  report.note = reason;
+  report.gates = ctx.net.num_gates();
+  report.depth = ctx.net.depth();
+  report.choices = ctx.net.num_choices();
+  ctx.history.push_back(report);
+  if (ctx.on_stage) ctx.on_stage(ctx.history.back(), ctx.history.size() - 1);
+  if (ctx.verbose) {
+    std::printf("%s: stopped: %s\n", report.pass.c_str(), report.note.c_str());
   }
   return report;
 }
@@ -444,6 +465,15 @@ FlowReport Flow::run(FlowContext& ctx) const {
   FlowReport report;
   const auto t0 = std::chrono::steady_clock::now();
   for (const Stage& stage : stages_) {
+    // Cooperative stop: a cancelled token or a passed deadline stops the
+    // flow *between* stages, recorded as a failed stage that never ran.
+    if (auto stopped = check_interrupted(ctx, *stage.pass)) {
+      report.stages.push_back(std::move(*stopped));
+      report.ok = false;
+      report.error =
+          report.stages.back().pass + ": " + report.stages.back().note;
+      break;
+    }
     report.stages.push_back(run_stage(ctx, *stage.pass, stage.args));
     if (!report.stages.back().ok) {
       report.ok = false;
@@ -494,6 +524,57 @@ void append_json_double(std::string& out, double v) {
 
 }  // namespace
 
+std::string StageReport::to_json() const {
+  const StageReport& s = *this;
+  std::string out;
+  out += "{\"pass\": ";
+  append_json_string(out, s.pass);
+  out += ", \"args\": ";
+  append_json_string(out, s.args);
+  out += ", \"ok\": ";
+  out += s.ok ? "true" : "false";
+  out += ", \"seconds\": ";
+  append_json_double(out, s.seconds);
+  out += ", \"gates\": " + std::to_string(s.gates);
+  out += ", \"depth\": " + std::to_string(s.depth);
+  out += ", \"choices\": " + std::to_string(s.choices);
+  out += ", \"luts\": " + std::to_string(s.luts);
+  out += ", \"lut_depth\": " + std::to_string(s.lut_depth);
+  out += ", \"cells\": " + std::to_string(s.cells);
+  out += ", \"area\": ";
+  append_json_double(out, s.area);
+  out += ", \"delay\": ";
+  append_json_double(out, s.delay);
+  out += ", \"note\": ";
+  append_json_string(out, s.note);
+  // Observability fields (see README "Observability"): counter *deltas*
+  // over the stage, gauges at stage end, per-name span aggregates.
+  out += ", \"metrics\": {\"counters\": {";
+  for (std::size_t k = 0; k < s.metrics.counters.size(); ++k) {
+    if (k) out += ", ";
+    append_json_string(out, s.metrics.counters[k].name);
+    out += ": " + std::to_string(s.metrics.counters[k].value);
+  }
+  out += "}, \"gauges\": {";
+  for (std::size_t k = 0; k < s.metrics.gauges.size(); ++k) {
+    if (k) out += ", ";
+    append_json_string(out, s.metrics.gauges[k].name);
+    out += ": " + std::to_string(s.metrics.gauges[k].value);
+  }
+  out += "}}, \"spans\": [";
+  for (std::size_t k = 0; k < s.spans.size(); ++k) {
+    if (k) out += ", ";
+    out += "{\"name\": ";
+    append_json_string(out, s.spans[k].name);
+    out += ", \"count\": " + std::to_string(s.spans[k].count);
+    out += ", \"seconds\": ";
+    append_json_double(out, s.spans[k].seconds);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
 std::string FlowReport::to_json() const {
   std::string out = "{\"ok\": ";
   out += ok ? "true" : "false";
@@ -503,53 +584,8 @@ std::string FlowReport::to_json() const {
   append_json_double(out, total_seconds);
   out += ", \"stages\": [";
   for (std::size_t i = 0; i < stages.size(); ++i) {
-    const StageReport& s = stages[i];
     if (i) out += ", ";
-    out += "{\"pass\": ";
-    append_json_string(out, s.pass);
-    out += ", \"args\": ";
-    append_json_string(out, s.args);
-    out += ", \"ok\": ";
-    out += s.ok ? "true" : "false";
-    out += ", \"seconds\": ";
-    append_json_double(out, s.seconds);
-    out += ", \"gates\": " + std::to_string(s.gates);
-    out += ", \"depth\": " + std::to_string(s.depth);
-    out += ", \"choices\": " + std::to_string(s.choices);
-    out += ", \"luts\": " + std::to_string(s.luts);
-    out += ", \"lut_depth\": " + std::to_string(s.lut_depth);
-    out += ", \"cells\": " + std::to_string(s.cells);
-    out += ", \"area\": ";
-    append_json_double(out, s.area);
-    out += ", \"delay\": ";
-    append_json_double(out, s.delay);
-    out += ", \"note\": ";
-    append_json_string(out, s.note);
-    // Observability fields (see README "Observability"): counter *deltas*
-    // over the stage, gauges at stage end, per-name span aggregates.
-    out += ", \"metrics\": {\"counters\": {";
-    for (std::size_t k = 0; k < s.metrics.counters.size(); ++k) {
-      if (k) out += ", ";
-      append_json_string(out, s.metrics.counters[k].name);
-      out += ": " + std::to_string(s.metrics.counters[k].value);
-    }
-    out += "}, \"gauges\": {";
-    for (std::size_t k = 0; k < s.metrics.gauges.size(); ++k) {
-      if (k) out += ", ";
-      append_json_string(out, s.metrics.gauges[k].name);
-      out += ": " + std::to_string(s.metrics.gauges[k].value);
-    }
-    out += "}}, \"spans\": [";
-    for (std::size_t k = 0; k < s.spans.size(); ++k) {
-      if (k) out += ", ";
-      out += "{\"name\": ";
-      append_json_string(out, s.spans[k].name);
-      out += ", \"count\": " + std::to_string(s.spans[k].count);
-      out += ", \"seconds\": ";
-      append_json_double(out, s.spans[k].seconds);
-      out += "}";
-    }
-    out += "]}";
+    out += stages[i].to_json();
   }
   out += "]}";
   return out;

@@ -30,6 +30,8 @@
 
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -189,6 +191,61 @@ class PassRegistry {
   std::unordered_map<std::string, const PassInfo*> by_name_;
 };
 
+// --- cooperative cancellation -----------------------------------------------
+
+/// Cooperative stop control for a running flow: a cancellation flag plus an
+/// optional wall-clock deadline.  Flow::run()/run_flow() (and the job
+/// server's per-stage scheduler) consult the token at *stage boundaries*
+/// only -- a running pass is never interrupted, so passes stay oblivious
+/// and intermediate state is never torn.  A tripped token stops the flow
+/// with a failed synthetic stage whose note is the stop reason
+/// ("cancelled" or "timeout").
+///
+/// The token is shared (shared_ptr in FlowContext) between the flow runner
+/// and any number of controlling threads; every member is thread-safe.
+class CancelToken {
+ public:
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms the wall-clock deadline \p timeout from now; non-positive
+  /// durations disarm it.
+  void set_deadline_after(std::chrono::nanoseconds timeout) noexcept {
+    if (timeout.count() <= 0) {
+      armed_.store(false, std::memory_order_relaxed);
+      return;
+    }
+    deadline_ns_.store(
+        (std::chrono::steady_clock::now().time_since_epoch() + timeout)
+            .count(),
+        std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_relaxed);
+  }
+
+  bool deadline_passed() const noexcept {
+    return armed_.load(std::memory_order_relaxed) &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >=
+               deadline_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// nullptr while runnable, else the stop reason.  An explicit cancel
+  /// wins over a passed deadline (the controller's intent is clearer).
+  const char* stop_reason() const noexcept {
+    if (cancel_requested()) return "cancelled";
+    if (deadline_passed()) return "timeout";
+    return nullptr;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> armed_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  ///< steady_clock since-epoch
+};
+
 // --- flow state and reports -------------------------------------------------
 
 /// Timing and result snapshot of one executed stage.
@@ -217,6 +274,11 @@ struct StageReport {
   // library is built with MCS_OBS_DISABLE.
   obs::MetricsSnapshot metrics;
   std::vector<obs::SpanStats> spans;
+
+  /// One self-contained JSON object for this stage -- the unit the job
+  /// server streams to clients as stages complete (FlowReport::to_json
+  /// emits the same objects inside its "stages" array).
+  std::string to_json() const;
 };
 
 /// Structured result of a whole flow; stages in execution order (a failed
@@ -243,13 +305,35 @@ struct FlowContext {
   bool verbose = false;    ///< passes print per-stage summaries (the shell)
   std::string note;        ///< set by the running pass, harvested per stage
   std::vector<StageReport> history;  ///< every stage executed on this context
+
+  /// Cooperative stop control: when set, Flow::run()/run_flow() (and the
+  /// job server) check the token at every stage boundary and stop with a
+  /// failed "cancelled"/"timeout" stage instead of running the next pass.
+  /// Mid-stage work is never interrupted.
+  std::shared_ptr<CancelToken> cancel;
+
+  /// Streaming hook: invoked after every stage lands in ctx.history (the
+  /// synthetic cancelled/timeout stage included) with the report and its
+  /// index, before the next stage starts.  The job server streams per-stage
+  /// JSON to its clients from here.  Must not throw.
+  std::function<void(const StageReport&, std::size_t)> on_stage;
 };
 
 /// Executes one bound pass on \p ctx: times it, captures errors (returned
-/// as !ok, never thrown), snapshots stats, appends to ctx.history and
-/// prints a summary when ctx.verbose.  The shell and Flow::run share this.
+/// as !ok, never thrown), snapshots stats, appends to ctx.history, invokes
+/// ctx.on_stage and prints a summary when ctx.verbose.  The shell,
+/// Flow::run and the job server's scheduler share this.
 StageReport run_stage(FlowContext& ctx, const PassInfo& pass,
                       const PassArgs& args);
+
+/// The stage-boundary interruption check shared by Flow::run and the job
+/// server's per-stage scheduler: when ctx.cancel reports a stop reason,
+/// builds a failed StageReport for the not-run \p next_pass (note = the
+/// reason, current network stats snapshotted), appends it to ctx.history,
+/// invokes ctx.on_stage, and returns it.  std::nullopt while runnable (or
+/// when no token is set).
+std::optional<StageReport> check_interrupted(FlowContext& ctx,
+                                             const PassInfo& next_pass);
 
 /// A validated pipeline of bound passes.
 class Flow {

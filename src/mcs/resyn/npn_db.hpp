@@ -36,6 +36,21 @@ class NpnDatabase {
 
   /// Shared per-basis/objective instances (the strategies are stateless
   /// apart from this cache).
+  ///
+  /// **Concurrency contract (multi-job server).**  The instances are
+  /// `thread_local`: every pool worker / job-runner thread lazily builds
+  /// its own copy per (basis, objective) key, so there is no locking and
+  /// no cross-thread mutation.  This stays correct when *jobs from
+  /// different flows interleave on the same worker* (the mcs::server
+  /// case) because an entry's content is a pure function of its key --
+  /// which NPN class, which basis, which objective -- never of who asked
+  /// first or in what order: a rewrite in job A warms exactly the cache a
+  /// rewrite in job B would have built, bit for bit.  Memory stays
+  /// bounded by the 222-class NPN-4 space per key per thread; a
+  /// long-lived server does not grow it beyond one warm set per worker.
+  /// tests/test_server.cpp locks this in: two different rewrite-heavy
+  /// flows through concurrent server jobs produce networks bit-identical
+  /// to their serial runs.
   static NpnDatabase& shared(GateBasis basis, Objective objective);
 
   std::size_t num_classes() const noexcept { return classes_.size(); }

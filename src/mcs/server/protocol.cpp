@@ -1,0 +1,240 @@
+#include "mcs/server/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "mcs/server/json.hpp"
+
+namespace mcs::server {
+
+namespace {
+
+std::string get_string(const Json& obj, std::string_view key, bool required) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) {
+    if (required) {
+      throw ProtocolError("request: missing field \"" + std::string(key) +
+                          "\"");
+    }
+    return {};
+  }
+  if (!v->is_string()) {
+    throw ProtocolError("request: field \"" + std::string(key) +
+                        "\" must be a string");
+  }
+  return v->as_string();
+}
+
+std::int64_t get_int(const Json& obj, std::string_view key,
+                     std::int64_t fallback) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    throw ProtocolError("request: field \"" + std::string(key) +
+                        "\" must be a number");
+  }
+  return v->as_int();
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  Json msg = Json::null();
+  try {
+    msg = Json::parse(line);
+  } catch (const JsonError& e) {
+    throw ProtocolError(std::string("request: ") + e.what());
+  }
+  if (!msg.is_object()) {
+    throw ProtocolError("request: expected a JSON object");
+  }
+  const std::string type = get_string(msg, "type", /*required=*/true);
+
+  Request req;
+  if (type == "ping") {
+    req.kind = Request::Kind::kPing;
+    return req;
+  }
+  if (type == "shutdown") {
+    req.kind = Request::Kind::kShutdown;
+    return req;
+  }
+  if (type == "cancel") {
+    req.kind = Request::Kind::kCancel;
+    req.id = get_string(msg, "id", /*required=*/true);
+    if (req.id.empty()) throw ProtocolError("cancel: empty job id");
+    return req;
+  }
+  if (type != "submit") {
+    throw ProtocolError("request: unknown type \"" + type + "\"");
+  }
+
+  req.kind = Request::Kind::kSubmit;
+  req.id = get_string(msg, "id", /*required=*/true);
+  if (req.id.empty()) throw ProtocolError("submit: empty job id");
+  req.flow_spec = get_string(msg, "flow", /*required=*/true);
+  if (req.flow_spec.empty()) throw ProtocolError("submit: empty flow spec");
+
+  req.timeout_ms = get_int(msg, "timeout_ms", 0);
+  if (req.timeout_ms < 0) throw ProtocolError("submit: negative timeout_ms");
+  req.threads = static_cast<int>(get_int(msg, "threads", 0));
+  if (req.threads < 0) throw ProtocolError("submit: negative threads");
+
+  if (const Json* w = msg.find("weight")) {
+    if (!w->is_number()) throw ProtocolError("submit: weight must be a number");
+    req.weight = w->as_number();
+    if (!(req.weight > 0.0) || !std::isfinite(req.weight)) {
+      throw ProtocolError("submit: weight must be finite and > 0");
+    }
+  }
+
+  if (const Json* input = msg.find("input")) {
+    if (!input->is_object()) {
+      throw ProtocolError("submit: \"input\" must be an object");
+    }
+    req.input_format = get_string(*input, "format", /*required=*/true);
+    if (req.input_format != "aiger" && req.input_format != "blif") {
+      throw ProtocolError("submit: input format must be \"aiger\" or "
+                          "\"blif\", got \"" + req.input_format + "\"");
+    }
+    req.input_text = get_string(*input, "text", /*required=*/true);
+    if (req.input_text.empty()) throw ProtocolError("submit: empty input text");
+  }
+  return req;
+}
+
+// --- response builders ------------------------------------------------------
+
+std::string accepted_line(std::string_view job, std::size_t queued) {
+  std::string out = "{\"type\": \"accepted\", \"job\": ";
+  out += json_quote(job);
+  out += ", \"queued\": " + std::to_string(queued) + "}";
+  return out;
+}
+
+std::string stage_line(std::string_view job, std::size_t index,
+                       const flow::StageReport& report) {
+  std::string out = "{\"type\": \"stage\", \"job\": ";
+  out += json_quote(job);
+  out += ", \"index\": " + std::to_string(index);
+  out += ", \"stage\": " + report.to_json() + "}";
+  return out;
+}
+
+std::string done_line(std::string_view job, std::string_view status,
+                      std::string_view error, std::size_t stages,
+                      double seconds, double queue_wait_seconds,
+                      const flow::FlowContext& ctx) {
+  std::string out = "{\"type\": \"done\", \"job\": ";
+  out += json_quote(job);
+  out += ", \"status\": ";
+  out += json_quote(status);
+  out += ", \"error\": ";
+  out += json_quote(error);
+  out += ", \"stages\": " + std::to_string(stages);
+  out += ", \"seconds\": ";
+  append_double(out, seconds);
+  out += ", \"queue_wait_seconds\": ";
+  append_double(out, queue_wait_seconds);
+  out += ", \"gates\": " + std::to_string(ctx.net.num_gates());
+  out += ", \"depth\": " + std::to_string(ctx.net.depth());
+  out += ", \"luts\": " +
+         std::to_string(ctx.luts ? ctx.luts->size() : std::size_t{0});
+  out += ", \"cells\": " +
+         std::to_string(ctx.cells ? ctx.cells->size() : std::size_t{0});
+  out += "}";
+  return out;
+}
+
+std::string error_line(std::string_view job, std::string_view message) {
+  std::string out = "{\"type\": \"error\"";
+  if (!job.empty()) {
+    out += ", \"job\": ";
+    out += json_quote(job);
+  }
+  out += ", \"error\": ";
+  out += json_quote(message);
+  out += "}";
+  return out;
+}
+
+namespace {
+
+std::string counters_body(const ServerCounters& c) {
+  std::string out;
+  out += "\"accepted\": " + std::to_string(c.accepted);
+  out += ", \"completed\": " + std::to_string(c.completed);
+  out += ", \"failed\": " + std::to_string(c.failed);
+  out += ", \"cancelled\": " + std::to_string(c.cancelled);
+  out += ", \"timed_out\": " + std::to_string(c.timed_out);
+  out += ", \"rejected\": " + std::to_string(c.rejected);
+  out += ", \"protocol_errors\": " + std::to_string(c.protocol_errors);
+  out += ", \"running\": " + std::to_string(c.running);
+  out += ", \"queued\": " + std::to_string(c.queued);
+  out += ", \"draining\": ";
+  out += c.draining ? "true" : "false";
+  return out;
+}
+
+}  // namespace
+
+std::string pong_line(const ServerCounters& c) {
+  return "{\"type\": \"pong\", " + counters_body(c) + "}";
+}
+
+std::string draining_line(const ServerCounters& c) {
+  return "{\"type\": \"draining\", \"jobs\": " +
+         std::to_string(c.running + c.queued) + ", " + counters_body(c) + "}";
+}
+
+std::string drained_line(const ServerCounters& c) {
+  return "{\"type\": \"drained\", \"jobs\": " +
+         std::to_string(c.running + c.queued) + ", " + counters_body(c) + "}";
+}
+
+// --- request builders -------------------------------------------------------
+
+std::string submit_line(const Request& req) {
+  std::string out = "{\"type\": \"submit\", \"id\": ";
+  out += json_quote(req.id);
+  out += ", \"flow\": ";
+  out += json_quote(req.flow_spec);
+  if (req.timeout_ms > 0) {
+    out += ", \"timeout_ms\": " + std::to_string(req.timeout_ms);
+  }
+  if (req.threads > 0) {
+    out += ", \"threads\": " + std::to_string(req.threads);
+  }
+  if (req.weight != 1.0) {
+    out += ", \"weight\": ";
+    append_double(out, req.weight);
+  }
+  if (!req.input_format.empty()) {
+    out += ", \"input\": {\"format\": ";
+    out += json_quote(req.input_format);
+    out += ", \"text\": ";
+    out += json_quote(req.input_text);
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string cancel_line(std::string_view id) {
+  std::string out = "{\"type\": \"cancel\", \"id\": ";
+  out += json_quote(id);
+  out += "}";
+  return out;
+}
+
+std::string ping_line() { return "{\"type\": \"ping\"}"; }
+
+std::string shutdown_line() { return "{\"type\": \"shutdown\"}"; }
+
+}  // namespace mcs::server

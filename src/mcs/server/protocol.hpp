@@ -1,0 +1,111 @@
+/// \file protocol.hpp
+/// \brief The job server's newline-delimited JSON wire protocol.
+///
+/// Every message -- in either direction -- is one JSON object on one line.
+/// Client -> server requests:
+///
+///   {"type":"submit", "id":"j1", "flow":"gen:adder,bits=32; compress2rs",
+///    "timeout_ms":60000, "threads":2, "weight":1.0,
+///    "input":{"format":"aiger","text":"aag 0 0 0 0 0\n"}}   // optional
+///   {"type":"cancel", "id":"j1"}
+///   {"type":"ping"}
+///   {"type":"shutdown"}          // drain: finish accepted jobs, then stop
+///
+/// Server -> client responses (every job-scoped line carries "job"):
+///
+///   {"type":"accepted", "job":"j1", "queued":3}
+///   {"type":"stage", "job":"j1", "index":0, "stage":{<StageReport JSON>}}
+///   {"type":"done", "job":"j1", "status":"ok|error|cancelled|timeout",
+///    "error":"", "stages":4, "seconds":1.25, "queue_wait_seconds":0.01,
+///    "gates":812, "depth":14, "luts":0, "cells":0}
+///   {"type":"error", "job":"j1"?, "error":"..."}   // rejected / protocol
+///   {"type":"pong", ...counters...}
+///   {"type":"draining", "jobs":2} / {"type":"drained", "jobs":0}
+///
+/// A "submit" is either *rejected* up front (spec/input does not validate:
+/// one "error" line, no job exists) or *accepted* (one "accepted" line,
+/// then zero or more "stage" lines as stages complete, then exactly one
+/// "done" line).  Stage streaming includes the mcs::obs "metrics"/"spans"
+/// deltas of each stage, so a client sees per-stage telemetry live.
+///
+/// Parsing is strict: unknown "type" values, missing required fields and
+/// wrong field types raise ProtocolError (the server answers with an
+/// "error" line and stays healthy).  Unknown *extra* fields are ignored,
+/// so clients can be newer than servers.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "mcs/flow/flow.hpp"
+
+namespace mcs::server {
+
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One parsed client request.
+struct Request {
+  enum class Kind { kSubmit, kCancel, kPing, kShutdown };
+
+  Kind kind = Kind::kPing;
+  std::string id;         ///< submit/cancel: client-chosen job id
+  std::string flow_spec;  ///< submit: the flow-spec mini-language string
+
+  /// Optional inline input network ("aiger" ascii or "blif" text); empty
+  /// format means the flow's own sources (gen/read_*) provide the network.
+  std::string input_format;
+  std::string input_text;
+
+  std::int64_t timeout_ms = 0;  ///< wall-clock budget; 0 = server default
+  int threads = 0;              ///< per-job worker threads; 0 = server default
+  double weight = 1.0;          ///< fair-share weight (> 0; bigger = more)
+};
+
+/// Parses one request line.  Throws ProtocolError on malformed JSON,
+/// unknown type, missing/mistyped fields or out-of-range values.
+Request parse_request(const std::string& line);
+
+/// Aggregate server counters, embedded in "pong"/"draining"/"drained"
+/// lines and exported by JobServer::counters().
+struct ServerCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;   ///< finished with status "ok"
+  std::uint64_t failed = 0;      ///< finished with status "error"
+  std::uint64_t cancelled = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t rejected = 0;    ///< submits that never became jobs
+  std::uint64_t protocol_errors = 0;
+  std::size_t running = 0;       ///< jobs currently executing a stage
+  std::size_t queued = 0;        ///< jobs waiting for a runner slot
+  bool draining = false;
+};
+
+// --- response builders (one line each, no trailing newline) -----------------
+
+std::string accepted_line(std::string_view job, std::size_t queued);
+std::string stage_line(std::string_view job, std::size_t index,
+                       const flow::StageReport& report);
+std::string done_line(std::string_view job, std::string_view status,
+                      std::string_view error, std::size_t stages,
+                      double seconds, double queue_wait_seconds,
+                      const flow::FlowContext& ctx);
+/// Protocol- or submit-level failure; \p job may be empty (no job context).
+std::string error_line(std::string_view job, std::string_view message);
+std::string pong_line(const ServerCounters& c);
+std::string draining_line(const ServerCounters& c);
+std::string drained_line(const ServerCounters& c);
+
+// --- request builders (the mcs_submit client side) --------------------------
+
+std::string submit_line(const Request& req);
+std::string cancel_line(std::string_view id);
+std::string ping_line();
+std::string shutdown_line();
+
+}  // namespace mcs::server

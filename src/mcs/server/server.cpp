@@ -1,0 +1,466 @@
+#include "mcs/server/server.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "mcs/io/aiger.hpp"
+#include "mcs/io/blif_read.hpp"
+#include "mcs/par/thread_pool.hpp"
+
+namespace mcs::server {
+
+namespace {
+
+/// Cached metric handles (registry lookup takes a mutex; handles are
+/// process-stable).  All server metrics are catalogued in the README.
+struct ServerMetrics {
+  obs::Counter& jobs_accepted = obs::counter("server.jobs_accepted");
+  obs::Counter& jobs_completed = obs::counter("server.jobs_completed");
+  obs::Counter& jobs_failed = obs::counter("server.jobs_failed");
+  obs::Counter& jobs_cancelled = obs::counter("server.jobs_cancelled");
+  obs::Counter& jobs_timed_out = obs::counter("server.jobs_timed_out");
+  obs::Counter& jobs_rejected = obs::counter("server.jobs_rejected");
+  obs::Counter& protocol_errors = obs::counter("server.protocol_errors");
+  obs::Counter& stages_run = obs::counter("server.stages_run");
+  obs::Histogram& queue_wait_us = obs::histogram("server.queue_wait_us");
+  obs::Histogram& job_latency_us = obs::histogram("server.job_latency_us");
+  obs::Gauge& jobs_running = obs::gauge("server.jobs_running");
+  obs::Gauge& jobs_queued = obs::gauge("server.jobs_queued");
+  obs::Gauge& jobs_in_flight_hwm = obs::gauge("server.jobs_in_flight_hwm");
+};
+
+ServerMetrics& metrics() {
+  static ServerMetrics m;
+  return m;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int default_job_slots() {
+  const int resolved = static_cast<int>(ThreadPool::resolve_threads(0));
+  // At least 2 slots so short jobs keep flowing past one heavy stage even
+  // on a single core; capped because slots multiplex *jobs*, not cores --
+  // each stage still fans out on the shared pool.
+  return std::clamp(resolved, 2, 8);
+}
+
+}  // namespace
+
+JobServer::JobServer(ServerOptions options) : options_(options) {
+  if (options_.job_slots <= 0) options_.job_slots = default_job_slots();
+  runners_.reserve(static_cast<std::size_t>(options_.job_slots));
+  for (int i = 0; i < options_.job_slots; ++i) {
+    runners_.emplace_back(
+        [this, i] { runner_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+JobServer::~JobServer() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_ready_.notify_all();
+  for (std::thread& t : runners_) t.join();
+}
+
+std::uint64_t JobServer::attach(Sink sink) {
+  auto client = std::make_shared<Client>();
+  client->sink = std::move(sink);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_client_++;
+  clients_.emplace(id, std::move(client));
+  return id;
+}
+
+void JobServer::detach(std::uint64_t client, bool cancel_jobs) {
+  std::vector<std::shared_ptr<flow::CancelToken>> to_cancel;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    clients_.erase(client);
+    if (cancel_jobs) {
+      for (const auto& [key, job] : jobs_) {
+        if (key.first == client) to_cancel.push_back(job->token);
+      }
+    }
+  }
+  // Queued jobs are not plucked from the ready queue here: their runner
+  // dispatch hits check_interrupted immediately and finalizes them (the
+  // done line then goes nowhere, which is exactly detach semantics).
+  for (const auto& token : to_cancel) token->request_cancel();
+  if (!to_cancel.empty()) cv_ready_.notify_all();
+}
+
+void JobServer::emit(std::uint64_t client, const std::string& line) {
+  std::shared_ptr<Client> c;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = clients_.find(client);
+    if (it == clients_.end()) return;  // detached; drop the line
+    c = it->second;
+  }
+  std::lock_guard<std::mutex> write_lock(c->write_mutex);
+  try {
+    c->sink(line);
+  } catch (...) {
+    // A dying sink (broken pipe wrapper etc.) must not take the server
+    // down; the client's lines are simply lost.
+  }
+}
+
+void JobServer::handle_line(std::uint64_t client, const std::string& line) {
+  // Blank lines are keep-alive no-ops, not protocol errors.
+  if (line.find_first_not_of(" \t\r\n") == std::string::npos) return;
+
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const ProtocolError& e) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.protocol_errors;
+    }
+    metrics().protocol_errors.increment();
+    emit(client, error_line("", e.what()));
+    return;
+  }
+
+  switch (req.kind) {
+    case Request::Kind::kSubmit:
+      handle_submit(client, req);
+      return;
+    case Request::Kind::kCancel:
+      handle_cancel(client, req);
+      return;
+    case Request::Kind::kPing:
+      emit(client, pong_line(counters()));
+      return;
+    case Request::Kind::kShutdown: {
+      ServerCounters snap;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        draining_ = true;
+        snap = counters_locked();
+      }
+      emit(client, draining_line(snap));
+      return;
+    }
+  }
+}
+
+void JobServer::handle_submit(std::uint64_t client, const Request& req) {
+  auto reject = [&](const std::string& why) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.rejected;
+    }
+    metrics().jobs_rejected.increment();
+    emit(client, error_line(req.id, why));
+  };
+
+  auto job = std::make_shared<Job>();
+  job->client = client;
+  job->id = req.id;
+  job->weight = req.weight;
+
+  // Everything about the job that can fail is validated here, before it
+  // becomes visible: flow spec parse, inline input parse.  A rejected
+  // submit leaves no trace beyond the counter.
+  try {
+    job->flow = flow::Flow::parse(req.flow_spec);
+  } catch (const flow::FlowError& e) {
+    reject(std::string("flow: ") + e.what());
+    return;
+  }
+  if (job->flow.stages().empty()) {
+    reject("flow: empty pipeline");
+    return;
+  }
+
+  if (!req.input_format.empty()) {
+    try {
+      std::istringstream in(req.input_text);
+      Network net =
+          req.input_format == "aiger" ? read_aiger(in) : read_blif(in);
+      job->ctx.net = std::move(net);
+      job->ctx.original = job->ctx.net;
+    } catch (const std::exception& e) {
+      reject(std::string("input: ") + e.what());
+      return;
+    }
+  }
+
+  job->ctx.par.num_threads =
+      req.threads > 0 ? req.threads : options_.threads_per_job;
+  job->token = std::make_shared<flow::CancelToken>();
+  const std::int64_t timeout_ms =
+      req.timeout_ms > 0 ? req.timeout_ms : options_.default_timeout_ms;
+  if (timeout_ms > 0) {
+    job->token->set_deadline_after(std::chrono::milliseconds(timeout_ms));
+  }
+  job->ctx.cancel = job->token;
+  if (options_.stream_stages) {
+    // Captures `this` plus values only: the job must not own a closure
+    // that owns the job.  JobServer outlives every job (the destructor
+    // drains), so `this` is safe from inside a stage.
+    job->ctx.on_stage = [this, client, id = job->id](
+                            const flow::StageReport& report,
+                            std::size_t index) {
+      emit(client, stage_line(id, index, report));
+    };
+  }
+  job->accepted_at = std::chrono::steady_clock::now();
+
+  std::string why;
+  std::size_t queued = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (draining_) {
+      why = "server is draining; submission refused";
+    } else if (jobs_.size() >= options_.max_jobs_in_flight) {
+      why = "server at capacity (" +
+            std::to_string(options_.max_jobs_in_flight) +
+            " jobs in flight); resubmit later";
+    } else if (jobs_.count(std::make_pair(client, job->id)) != 0) {
+      why = "duplicate job id \"" + job->id + "\" (still in flight)";
+    } else {
+      job->seq = next_seq_++;
+      job->vtime = vfloor_;
+      jobs_.emplace(std::make_pair(client, job->id), job);
+      ready_.emplace(std::make_pair(job->vtime, job->seq), job);
+      ++counters_.accepted;
+      queued = ready_.size();
+      update_gauges_locked();
+      metrics().jobs_in_flight_hwm.set_max(
+          static_cast<std::int64_t>(jobs_.size()));
+    }
+  }
+  if (!why.empty()) {
+    reject(why);
+    return;
+  }
+  cv_ready_.notify_one();
+  metrics().jobs_accepted.increment();
+  emit(client, accepted_line(job->id, queued));
+}
+
+void JobServer::handle_cancel(std::uint64_t client, const Request& req) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = jobs_.find(std::make_pair(client, req.id));
+  if (it == jobs_.end()) {
+    lock.unlock();
+    emit(client, error_line(req.id, "cancel: no such in-flight job"));
+    return;
+  }
+  std::shared_ptr<Job> job = it->second;  // keep alive past the map erase
+  cancel_job_locked(job, lock);
+}
+
+bool JobServer::cancel(std::string_view job_id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (const auto& [key, job] : jobs_) {
+    if (key.second == job_id) {
+      std::shared_ptr<Job> keep = job;
+      return cancel_job_locked(keep, lock);
+    }
+  }
+  return false;
+}
+
+/// Requests cancellation of \p job.  A *queued* job (not running, still in
+/// the ready queue) is finalized right here -- it will never touch a
+/// runner.  A *running* job only gets its token tripped; the owning runner
+/// observes it at the next stage boundary.  May release \p lock (and does
+/// not re-acquire it); callers must not rely on it afterwards.
+bool JobServer::cancel_job_locked(const std::shared_ptr<Job>& job,
+                                  std::unique_lock<std::mutex>& lock) {
+  job->token->request_cancel();
+  if (job->running || job->finalized) return true;
+  ready_.erase(std::make_pair(job->vtime, job->seq));
+  update_gauges_locked();
+  lock.unlock();
+  finalize(job, "cancelled", "cancelled before start");
+  return true;
+}
+
+void JobServer::runner_loop(std::size_t /*index*/) {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_ready_.wait(lock, [this] { return stop_ || !ready_.empty(); });
+      if (stop_ && ready_.empty()) return;
+      auto it = ready_.begin();
+      job = it->second;
+      ready_.erase(it);
+      job->running = true;
+      // The dispatch floor only ever rises: newly accepted jobs enter at
+      // the vtime of the fair-share frontier instead of at 0, so a
+      // long-lived server does not hand newcomers an unbounded credit.
+      vfloor_ = std::max(vfloor_, job->vtime);
+      update_gauges_locked();
+    }
+
+    if (!job->started) {
+      job->started = true;
+      job->queue_wait_seconds = seconds_since(job->accepted_at);
+      metrics().queue_wait_us.observe(
+          static_cast<std::uint64_t>(job->queue_wait_seconds * 1e6));
+      job->span = std::make_unique<obs::Span>("server:job");
+    }
+
+    const flow::Flow::Stage& stage = job->flow.stages()[job->next_stage];
+
+    // Stage boundary: a tripped token stops the job with a synthetic
+    // failed stage (streamed like any other) instead of running the pass.
+    if (auto stopped = flow::check_interrupted(job->ctx, *stage.pass)) {
+      const bool timed_out = stopped->note == "timeout";
+      finalize(job, timed_out ? "timeout" : "cancelled", stopped->note);
+      continue;
+    }
+
+    flow::StageReport report;
+    {
+      obs::Span span("server:stage");
+      report = flow::run_stage(job->ctx, *stage.pass, stage.args);
+    }
+    metrics().stages_run.increment();
+    // Floor per-stage cost so zero-measure stages still advance vtime and
+    // a flood of trivial jobs cannot pin the queue head forever.
+    job->vtime += std::max(report.seconds, 1e-7) / job->weight;
+    ++job->next_stage;
+
+    if (!report.ok) {
+      finalize(job, "error",
+               report.note.empty() ? (report.pass + " failed")
+                                   : (report.pass + ": " + report.note));
+      continue;
+    }
+    if (job->next_stage >= job->flow.stages().size()) {
+      finalize(job, "ok", "");
+      continue;
+    }
+
+    // Check again after the stage so a cancel/timeout that landed while
+    // the pass ran finalizes now instead of after another queue round-trip.
+    const flow::Flow::Stage& next = job->flow.stages()[job->next_stage];
+    if (auto stopped = flow::check_interrupted(job->ctx, *next.pass)) {
+      const bool timed_out = stopped->note == "timeout";
+      finalize(job, timed_out ? "timeout" : "cancelled", stopped->note);
+      continue;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->running = false;
+      ready_.emplace(std::make_pair(job->vtime, job->seq), job);
+      update_gauges_locked();
+    }
+    cv_ready_.notify_one();
+  }
+}
+
+void JobServer::finalize(const std::shared_ptr<Job>& job,
+                         std::string_view status, const std::string& error) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job->finalized) return;
+    job->finalized = true;
+    job->running = false;
+    jobs_.erase(std::make_pair(job->client, job->id));
+    if (status == "ok") {
+      ++counters_.completed;
+    } else if (status == "cancelled") {
+      ++counters_.cancelled;
+    } else if (status == "timeout") {
+      ++counters_.timed_out;
+    } else {
+      ++counters_.failed;
+    }
+    update_gauges_locked();
+  }
+
+  const double total_seconds = seconds_since(job->accepted_at);
+  ServerMetrics& m = metrics();
+  if (status == "ok") {
+    m.jobs_completed.increment();
+  } else if (status == "cancelled") {
+    m.jobs_cancelled.increment();
+  } else if (status == "timeout") {
+    m.jobs_timed_out.increment();
+  } else {
+    m.jobs_failed.increment();
+  }
+  m.job_latency_us.observe(static_cast<std::uint64_t>(total_seconds * 1e6));
+  job->span.reset();  // records server:job on this thread
+
+  emit(job->client,
+       done_line(job->id, status, error, job->ctx.history.size(),
+                 total_seconds, job->queue_wait_seconds, job->ctx));
+
+  cv_drained_.notify_all();
+}
+
+void JobServer::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  cv_drained_.wait(lock, [this] { return jobs_.empty(); });
+}
+
+bool JobServer::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+std::size_t JobServer::jobs_in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+ServerCounters JobServer::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_locked();
+}
+
+ServerCounters JobServer::counters_locked() const {
+  ServerCounters c = counters_;
+  c.queued = ready_.size();
+  c.running = jobs_.size() - ready_.size();
+  c.draining = draining_;
+  return c;
+}
+
+void JobServer::update_gauges_locked() {
+  metrics().jobs_queued.set(static_cast<std::int64_t>(ready_.size()));
+  metrics().jobs_running.set(
+      static_cast<std::int64_t>(jobs_.size() - ready_.size()));
+}
+
+void JobServer::serve_stream(std::istream& in, std::ostream& out) {
+  std::mutex out_mutex;  // the sink mutex is per client; this guards `out`
+  const std::uint64_t client =
+      attach([&out, &out_mutex](const std::string& line) {
+        std::lock_guard<std::mutex> lock(out_mutex);
+        out << line << '\n';
+        out.flush();
+      });
+
+  std::string line;
+  while (std::getline(in, line)) {
+    handle_line(client, line);
+    // A "shutdown" request flips draining_ (and was answered with a
+    // "draining" line); stop reading and fall through to the drain.
+    if (draining()) break;
+  }
+  drain();
+  emit(client, drained_line(counters()));
+  detach(client);
+}
+
+}  // namespace mcs::server

@@ -1,0 +1,203 @@
+/// \file server.hpp
+/// \brief mcs::server -- a persistent multi-tenant synthesis job server.
+///
+/// JobServer turns the library into a long-running service: many clients
+/// submit synthesis jobs (flow-spec strings, optionally with an inline
+/// AIGER/BLIF input network) over the newline-delimited JSON protocol
+/// (protocol.hpp), each job runs as its own flow::FlowContext through the
+/// registered passes, and per-stage StageReport JSON -- including the
+/// mcs::obs metrics/span deltas -- streams back to the submitting client
+/// as stages complete.
+///
+/// **Fair scheduling.**  Jobs multiplex over a small set of runner threads
+/// at *stage* granularity with a weighted-deficit (virtual-time) queue:
+/// every job carries a vtime that grows by `stage_seconds / weight` per
+/// executed stage, runners always dispatch the runnable job with the
+/// smallest vtime, and newly accepted jobs start at the observed vtime
+/// floor.  A heavy mult64 fraig therefore cannot starve a hundred small
+/// adder maps: after its first expensive stage its vtime is far above the
+/// floor, so every waiting small job is dispatched first, while the other
+/// runner slots keep draining short jobs even during the heavy stage
+/// itself.  Stages execute through flow::run_stage and fan out internally
+/// on the shared ThreadPool::global() -- the scheduler decides *which*
+/// job's stage runs next, the pool decides how a stage's own parallelism
+/// lands on the hardware.
+///
+/// **Cancellation and timeouts.**  Each job owns a flow::CancelToken
+/// (cancel request + wall-clock deadline armed at accept time), checked at
+/// every stage boundary -- a cancel during a running stage takes effect
+/// when that stage finishes, never tearing a pass mid-flight.  Stopped
+/// jobs emit a final synthetic stage ("cancelled"/"timeout") and a "done"
+/// line; other jobs are unaffected.
+///
+/// **Transports.**  The core is transport-agnostic: attach() registers a
+/// client sink, handle_line() feeds one protocol line.  serve_stream()
+/// adapts any istream/ostream pair (the `mcs_server --pipe` mode used by
+/// tests and CI -- no networking involved); tools/mcs_server.cpp adds
+/// Unix/TCP socket listeners on top of the same three calls.
+///
+/// **Observability.**  Every job runs under a `server:job` span (each
+/// stage additionally under `server:stage`), and the server maintains
+/// `server.*` counters (accepted/completed/cancelled/timed-out/...),
+/// queue-wait and job-latency histograms and running/queued gauges -- see
+/// the README metric catalogue.
+///
+/// **Multi-tenant safety.**  Jobs share pool workers, so process-wide
+/// state must be either immutable, thread-local, or observation-only.
+/// The audit (PR 7): ThreadPool::global() is result-neutral by the
+/// determinism contract; obs never feeds back; the pass registry is
+/// immutable after first access; `NpnDatabase::shared` is thread_local
+/// with entries that are pure functions of the class key (see
+/// npn_db.hpp), so interleaving jobs on one worker cannot change any
+/// result -- tests/test_server.cpp proves two concurrent flows are
+/// bit-identical to their serial runs.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mcs/flow/flow.hpp"
+#include "mcs/server/protocol.hpp"
+
+namespace mcs::server {
+
+struct ServerOptions {
+  /// Concurrent job-runner threads (stage-granular multiplexing happens on
+  /// top of these).  <= 0 derives a default: at least 2 slots -- so small
+  /// jobs keep flowing while a heavy stage occupies one slot even on one
+  /// core -- capped at the resolved thread default and at 8.
+  int job_slots = 0;
+
+  /// Default ctx.par.num_threads for jobs that do not request their own
+  /// (0 = the process default, i.e. MCS_THREADS / hardware).
+  int threads_per_job = 1;
+
+  /// Default wall-clock budget per job in milliseconds; 0 = unlimited.
+  /// A job's own "timeout_ms" overrides.
+  std::int64_t default_timeout_ms = 0;
+
+  /// Submissions beyond this many in-flight jobs are rejected (backpressure
+  /// instead of unbounded queue growth).
+  std::size_t max_jobs_in_flight = 4096;
+
+  /// Stream per-stage "stage" lines (on by default; "done" always sent).
+  bool stream_stages = true;
+};
+
+class JobServer {
+ public:
+  /// A client's output: receives complete protocol lines (no newline).
+  /// Invoked from runner and protocol threads, serialized per client by
+  /// the server.  Must not call back into the JobServer.
+  using Sink = std::function<void(const std::string& line)>;
+
+  explicit JobServer(ServerOptions options = {});
+
+  /// Drains (waits for every accepted job) and joins the runners.
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Registers a client; the returned id scopes job ids and routes
+  /// responses to \p sink.
+  std::uint64_t attach(Sink sink);
+
+  /// Unregisters a client; its pending responses are dropped.  With
+  /// \p cancel_jobs, the client's in-flight jobs are cancelled (socket
+  /// disconnect semantics); without, they run to completion unobserved.
+  void detach(std::uint64_t client, bool cancel_jobs = false);
+
+  /// Feeds one protocol line from \p client.  Responses (including all
+  /// errors) arrive through the client's sink; this never throws on
+  /// malformed input, and a failed line leaves the server healthy.
+  void handle_line(std::uint64_t client, const std::string& line);
+
+  /// Requests cancellation of the named job regardless of owning client
+  /// (the in-process/admin path; protocol "cancel" is client-scoped).
+  /// False when no in-flight job has this id.
+  bool cancel(std::string_view job_id);
+
+  /// Stops accepting submissions and blocks until every accepted job has
+  /// finished.  Idempotent.
+  void drain();
+
+  bool draining() const;
+  std::size_t jobs_in_flight() const;
+  ServerCounters counters() const;
+
+  /// One-client stream transport (the --pipe mode): reads request lines
+  /// from \p in until EOF or a "shutdown" request, writes every response
+  /// line to \p out (flushed per line), then drains and emits a final
+  /// "drained" line.  Tests and CI drive the whole server through this --
+  /// no sockets required.
+  void serve_stream(std::istream& in, std::ostream& out);
+
+ private:
+  struct Client {
+    Sink sink;
+    std::mutex write_mutex;  ///< one response line at a time
+  };
+
+  struct Job {
+    std::uint64_t seq = 0;  ///< accept order; vtime tiebreak
+    std::uint64_t client = 0;
+    std::string id;
+    double weight = 1.0;
+    flow::Flow flow;
+    flow::FlowContext ctx;
+    std::shared_ptr<flow::CancelToken> token;
+    std::size_t next_stage = 0;
+    double vtime = 0.0;  ///< consumed seconds / weight (fair-share key)
+    bool running = false;    ///< a runner is executing a stage right now
+    bool finalized = false;  ///< done line sent (guards double-finalize)
+    std::chrono::steady_clock::time_point accepted_at;
+    bool started = false;
+    double queue_wait_seconds = 0.0;
+    std::unique_ptr<obs::Span> span;  ///< server:job, accept -> done
+  };
+
+  void handle_submit(std::uint64_t client, const Request& req);
+  void handle_cancel(std::uint64_t client, const Request& req);
+  bool cancel_job_locked(const std::shared_ptr<Job>& job,
+                         std::unique_lock<std::mutex>& lock);
+  void runner_loop(std::size_t index);
+  /// Sends the final "done" line and retires the job.  \p status is one of
+  /// "ok" / "error" / "cancelled" / "timeout".
+  void finalize(const std::shared_ptr<Job>& job, std::string_view status,
+                const std::string& error);
+  void emit(std::uint64_t client, const std::string& line);
+  void update_gauges_locked();
+  ServerCounters counters_locked() const;
+
+  ServerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_ready_;    ///< runners wait for ready jobs
+  std::condition_variable cv_drained_;  ///< drain() waits for empty
+  bool stop_ = false;
+  bool draining_ = false;
+  std::uint64_t next_client_ = 1;
+  std::uint64_t next_seq_ = 1;
+  double vfloor_ = 0.0;  ///< max vtime ever dispatched; entry point for new jobs
+  std::map<std::uint64_t, std::shared_ptr<Client>> clients_;
+  /// In-flight jobs by (client, id) -- the uniqueness domain of job ids.
+  std::map<std::pair<std::uint64_t, std::string>, std::shared_ptr<Job>> jobs_;
+  /// Runnable jobs keyed by (vtime, seq): begin() is the fair-share pick.
+  std::map<std::pair<double, std::uint64_t>, std::shared_ptr<Job>> ready_;
+  ServerCounters counters_;
+  std::vector<std::thread> runners_;
+};
+
+}  // namespace mcs::server

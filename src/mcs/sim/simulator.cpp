@@ -26,7 +26,12 @@ RandomSimulation::RandomSimulation(const Network& net, int num_words,
                                    int reserve_extra_words)
     : net_(net),
       num_words_(num_words),
-      capacity_words_(num_words + std::max(0, reserve_extra_words)) {
+      // The stride stays tight here; the reserve is only a *budget* and
+      // materializes lazily in restride_to_budget() on the first
+      // add_pattern_words() -- sweeps without counterexamples never touch
+      // (or zero-fill) the reserved columns.
+      capacity_words_(num_words),
+      budget_words_(num_words + std::max(0, reserve_extra_words)) {
   obs::Span span("sim:random");
   // gate-words: one 64-pattern word evaluated for one gate.
   obs::counter("sim.gate_words")
@@ -158,6 +163,7 @@ void RandomSimulation::add_pattern_words(
                             std::to_string(count) + " words requested, " +
                             std::to_string(spare_words()) + " reserved");
   }
+  restride_to_budget();
   const int w0 = num_words_;
   for (std::size_t i = 0; i < net_.num_pis(); ++i) {
     std::uint64_t* w = mutable_values(net_.pi_at(i));
@@ -175,6 +181,20 @@ void RandomSimulation::add_pattern_words(
   obs::counter("sim.gate_words")
       .add(static_cast<std::uint64_t>(net_.num_gates()) *
            static_cast<std::uint64_t>(count));
+}
+
+void RandomSimulation::restride_to_budget() {
+  if (capacity_words_ == budget_words_) return;
+  std::vector<std::uint64_t> wide(
+      net_.size() * static_cast<std::size_t>(budget_words_), 0ull);
+  for (std::size_t n = 0; n < net_.size(); ++n) {
+    const std::uint64_t* src = values_.data() + n * capacity_words_;
+    std::uint64_t* dst = wide.data() + n * budget_words_;
+    std::copy(src, src + num_words_, dst);
+  }
+  values_ = std::move(wide);
+  capacity_words_ = budget_words_;
+  obs::counter("sim.restrides").increment();
 }
 
 std::uint64_t RandomSimulation::signature(Signal s) const noexcept {

@@ -29,24 +29,29 @@ namespace mcs {
 ///     on \p num_threads workers (all gates of one level are independent)
 ///     with bit-identical values for any thread count.
 ///
-/// Incremental re-simulation: construction may reserve capacity for extra
+/// Incremental re-simulation: construction may *budget* capacity for extra
 /// words (\p reserve_extra_words) and add_pattern_words() then appends
 /// directed words per PI -- how the SAT-sweeping engine (mcs/sweep) feeds
 /// counterexample patterns back into the signatures without recomputing the
-/// random words.
+/// random words.  The budget is lazy: the value table is allocated with the
+/// tight `num_words` stride and only re-strided (one copy) on the first
+/// add_pattern_words() call, so sweeps that never see a counterexample --
+/// the common case on equivalence-heavy netlists -- never pay for the
+/// reservation in memory or in construction-time zero-fill.
 class RandomSimulation {
  public:
   /// \p num_threads: workers for the gate sweep; values < 1 resolve via
   /// ThreadPool::resolve_threads (MCS_THREADS / hardware).  The computed
   /// values are identical for every thread count.
-  /// \p reserve_extra_words: capacity for add_pattern_word() calls.
+  /// \p reserve_extra_words: budget for add_pattern_words() calls (not
+  /// allocated until the first call actually needs it).
   RandomSimulation(const Network& net, int num_words, std::uint64_t seed,
                    int num_threads = 1, int reserve_extra_words = 0);
 
   int num_words() const noexcept { return num_words_; }
 
-  /// Words still available for add_pattern_words().
-  int spare_words() const noexcept { return capacity_words_ - num_words_; }
+  /// Words still available for add_pattern_words() within the budget.
+  int spare_words() const noexcept { return budget_words_ - num_words_; }
 
   /// Appends \p count simulation words in one incremental sweep:
   /// \p pi_words[w * num_pis + i] becomes value word (num_words() + w) of
@@ -76,10 +81,14 @@ class RandomSimulation {
     return values_.data() + static_cast<std::size_t>(n) * capacity_words_;
   }
   void eval_node(NodeId n, int begin_word, int end_word) noexcept;
+  /// Grows the per-node stride to budget_words_ (one row-by-row copy);
+  /// no-op once capacity_words_ == budget_words_.
+  void restride_to_budget();
 
   const Network& net_;
   int num_words_;
-  int capacity_words_;  ///< allocation stride (num_words_ + reserved spare)
+  int capacity_words_;  ///< current allocation stride per node
+  int budget_words_;    ///< num_words at construction + reserve_extra_words
   std::vector<std::uint64_t> values_;
 };
 

@@ -6,10 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "mcs/choice/mch.hpp"
@@ -20,6 +25,7 @@
 #include "mcs/opt/optimize.hpp"
 #include "mcs/par/par_engine.hpp"
 #include "mcs/sat/cec.hpp"
+#include "mcs/server/json.hpp"
 
 namespace mcs {
 namespace {
@@ -302,6 +308,91 @@ TEST(FlowParRun, ArbitraryRegisteredPassIsDeterministicAcrossThreads) {
         << "par_run(" << name << ") must not depend on the thread count";
     EXPECT_EQ(check_equivalence(net, r1), CecResult::kEquivalent) << name;
   }
+}
+
+// --- cooperative cancellation -----------------------------------------------
+
+TEST(FlowCancel, TokenSemantics) {
+  flow::CancelToken token;
+  EXPECT_EQ(token.stop_reason(), nullptr);
+  token.set_deadline_after(std::chrono::hours(1));
+  EXPECT_EQ(token.stop_reason(), nullptr);
+  token.set_deadline_after(std::chrono::nanoseconds(-1));  // disarm
+  EXPECT_FALSE(token.deadline_passed());
+  token.set_deadline_after(std::chrono::nanoseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(token.deadline_passed());
+  EXPECT_STREQ(token.stop_reason(), "timeout");
+  token.request_cancel();  // an explicit cancel wins over the deadline
+  EXPECT_STREQ(token.stop_reason(), "cancelled");
+}
+
+TEST(FlowCancel, PreTrippedTokenStopsBeforeFirstStage) {
+  FlowContext ctx;
+  ctx.cancel = std::make_shared<flow::CancelToken>();
+  ctx.cancel->request_cancel();
+  const FlowReport report = flow::run_flow("gen:adder,bits=8; rewrite", ctx);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.stages.size(), 1u);
+  EXPECT_FALSE(report.stages[0].ok);
+  EXPECT_EQ(report.stages[0].pass, "gen");  // the stage that never ran
+  EXPECT_EQ(report.stages[0].note, "cancelled");
+  EXPECT_EQ(report.error, "gen: cancelled");
+}
+
+TEST(FlowCancel, ExpiredDeadlineStopsWithTimeout) {
+  FlowContext ctx;
+  ctx.cancel = std::make_shared<flow::CancelToken>();
+  ctx.cancel->set_deadline_after(std::chrono::nanoseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const FlowReport report = flow::run_flow("gen:adder,bits=8", ctx);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.stages.size(), 1u);
+  EXPECT_EQ(report.stages[0].note, "timeout");
+}
+
+TEST(FlowCancel, OnStageHookSeesEveryStageIncludingSynthetic) {
+  FlowContext ctx;
+  ctx.cancel = std::make_shared<flow::CancelToken>();
+  std::vector<std::pair<std::string, std::size_t>> seen;
+  ctx.on_stage = [&](const flow::StageReport& r, std::size_t index) {
+    seen.emplace_back(r.pass, index);
+    if (seen.size() == 2) ctx.cancel->request_cancel();
+  };
+  const FlowReport report =
+      flow::run_flow("gen:adder,bits=8; strash; rewrite; balance", ctx);
+  EXPECT_FALSE(report.ok);
+  // gen and strash ran; rewrite became the synthetic cancelled stage (the
+  // hook sees it like any other); balance never appeared.
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, std::size_t>{"gen", 0}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, std::size_t>{"strash", 1}));
+  EXPECT_EQ(seen[2], (std::pair<std::string, std::size_t>{"rewrite", 2}));
+  EXPECT_EQ(report.stages.back().note, "cancelled");
+}
+
+// --- stage JSON --------------------------------------------------------------
+
+TEST(FlowReportJson, StageJsonParsesWithTheServerParser) {
+  // The server streams StageReport::to_json verbatim; the in-repo JSON
+  // parser must accept every emitted stage object (escaping, doubles, the
+  // nested metrics/spans structure).
+  FlowContext ctx;
+  const FlowReport report = flow::run_flow("gen:adder,bits=8; map_lut:k=4", ctx);
+  ASSERT_TRUE(report.ok);
+  for (const flow::StageReport& stage : report.stages) {
+    const server::Json parsed = server::Json::parse(stage.to_json());
+    ASSERT_TRUE(parsed.is_object());
+    EXPECT_EQ(parsed.find("pass")->as_string(), stage.pass);
+    EXPECT_EQ(parsed.find("ok")->as_bool(), stage.ok);
+    EXPECT_EQ(parsed.find("gates")->as_int(),
+              static_cast<std::int64_t>(stage.gates));
+    EXPECT_NE(parsed.find("metrics"), nullptr);
+    EXPECT_NE(parsed.find("spans"), nullptr);
+  }
+  const server::Json whole = server::Json::parse(report.to_json());
+  EXPECT_TRUE(whole.find("ok")->as_bool());
+  EXPECT_EQ(whole.find("stages")->items().size(), report.stages.size());
 }
 
 // --- README pass table ------------------------------------------------------

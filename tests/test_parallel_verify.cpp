@@ -215,6 +215,49 @@ TEST(ParallelSim, PiWordsAreSeedDerivedPerInterfaceIndex) {
   }
 }
 
+TEST(ParallelSim, LazyRestridePreservesExistingWords) {
+  // The reserve_extra_words budget materializes lazily: the table keeps the
+  // tight num_words stride until the first add_pattern_words() call, and
+  // the one-shot re-stride must carry every existing value over untouched.
+  const Network net = expand_to_aig(circuits::adder(16));
+  RandomSimulation sim(net, 8, 0xbeef, /*num_threads=*/1,
+                       /*reserve_extra_words=*/4);
+  EXPECT_EQ(sim.spare_words(), 4);
+
+  // Before any add, the reservation is invisible: values bit-match an
+  // unreserved simulation of the same seed.
+  const RandomSimulation tight(net, 8, 0xbeef);
+  for (NodeId n = 0; n < net.size(); ++n) {
+    ASSERT_EQ(0, std::memcmp(sim.node_values(n), tight.node_values(n),
+                             8 * sizeof(std::uint64_t)))
+        << "node " << n;
+  }
+
+  std::vector<std::uint64_t> before(net.size() * 8);
+  for (NodeId n = 0; n < net.size(); ++n) {
+    std::copy(sim.node_values(n), sim.node_values(n) + 8,
+              before.begin() + static_cast<std::size_t>(n) * 8);
+  }
+
+  // First add triggers the re-stride.
+  std::vector<std::uint64_t> pattern(net.num_pis(), 0x0123456789abcdefull);
+  sim.add_pattern_words(pattern, 1);
+  EXPECT_EQ(sim.num_words(), 9);
+  EXPECT_EQ(sim.spare_words(), 3);
+  for (NodeId n = 0; n < net.size(); ++n) {
+    ASSERT_EQ(0, std::memcmp(sim.node_values(n),
+                             before.data() + static_cast<std::size_t>(n) * 8,
+                             8 * sizeof(std::uint64_t)))
+        << "re-stride corrupted the existing words of node " << n;
+  }
+
+  // Later adds append within the (now materialized) budget; overrunning it
+  // still fails loudly instead of spilling into the next node's row.
+  sim.add_pattern_words(pattern, 3);
+  EXPECT_EQ(sim.spare_words(), 0);
+  EXPECT_THROW(sim.add_pattern_words(pattern, 1), std::length_error);
+}
+
 // --- parallel CEC -----------------------------------------------------------
 
 TEST(ParallelCec, VerdictMatchesSerialOnEquivalentPair) {

@@ -1,0 +1,510 @@
+/// Tests for mcs::server -- the JSON protocol layer (parser, request
+/// validation, response builders) and the JobServer itself: streaming stage
+/// reports, weighted-deficit fairness, per-job cancellation and timeouts,
+/// every flow error path (the daemon must stay healthy), drain semantics,
+/// and the multi-tenant determinism contract: concurrent jobs from
+/// *different* flows produce networks bit-identical to their serial runs
+/// (the `thread_local NpnDatabase::shared` regression).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mcs/flow/flow.hpp"
+#include "mcs/server/json.hpp"
+#include "mcs/server/protocol.hpp"
+#include "mcs/server/server.hpp"
+
+namespace mcs::server {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- json -------------------------------------------------------------------
+
+TEST(Json, ParsesObjectsArraysScalars) {
+  const Json v = Json::parse(
+      R"({"a": 1.5, "b": "x\n\"y\"", "c": [true, false, null], "d": {"e": -3}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.find("a")->as_number(), 1.5);
+  EXPECT_EQ(v.find("b")->as_string(), "x\n\"y\"");
+  ASSERT_TRUE(v.find("c")->is_array());
+  EXPECT_EQ(v.find("c")->items().size(), 3u);
+  EXPECT_TRUE(v.find("c")->items()[0].as_bool());
+  EXPECT_TRUE(v.find("c")->items()[2].is_null());
+  EXPECT_EQ(v.find("d")->find("e")->as_int(), -3);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, UnicodeEscapesBecomeUtf8) {
+  EXPECT_EQ(Json::parse(R"("Aé€")").as_string(),
+            "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("{} trailing"), JsonError);
+  EXPECT_THROW(Json::parse("{'single': 1}"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("\"bad \\q escape\""), JsonError);
+  EXPECT_THROW(Json::parse("01x"), JsonError);
+  EXPECT_THROW(Json::parse(R"("\ud800")"), JsonError);  // lone surrogate
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW(Json::parse(deep), JsonError);  // depth bound
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json v = Json::parse(R"({"n": 1})");
+  EXPECT_THROW(v.find("n")->as_string(), JsonError);
+  EXPECT_THROW(v.as_number(), JsonError);
+}
+
+TEST(Json, QuoteEscapesControlBytes) {
+  EXPECT_EQ(json_quote("a\"b\\c\nd\x01"), R"("a\"b\\c\nd\u0001")");
+  // Round-trip: whatever json_quote emits must parse back to the input.
+  const std::string nasty = "tab\t nl\n cr\r quote\" back\\ bell\x07";
+  EXPECT_EQ(Json::parse(json_quote(nasty)).as_string(), nasty);
+}
+
+// --- protocol ---------------------------------------------------------------
+
+TEST(Protocol, ParsesSubmitWithAllFields) {
+  const Request req = parse_request(
+      R"({"type": "submit", "id": "j1", "flow": "gen:adder,bits=8",)"
+      R"( "timeout_ms": 500, "threads": 2, "weight": 2.5,)"
+      R"( "input": {"format": "aiger", "text": "aag 0 0 0 0 0\n"}})");
+  EXPECT_EQ(req.kind, Request::Kind::kSubmit);
+  EXPECT_EQ(req.id, "j1");
+  EXPECT_EQ(req.flow_spec, "gen:adder,bits=8");
+  EXPECT_EQ(req.timeout_ms, 500);
+  EXPECT_EQ(req.threads, 2);
+  EXPECT_DOUBLE_EQ(req.weight, 2.5);
+  EXPECT_EQ(req.input_format, "aiger");
+  EXPECT_EQ(req.input_text, "aag 0 0 0 0 0\n");
+}
+
+TEST(Protocol, SubmitRoundTripsThroughBuilder) {
+  Request req;
+  req.kind = Request::Kind::kSubmit;
+  req.id = "weird \"id\"\n";
+  req.flow_spec = "gen:adder,bits=8; compress2rs";
+  req.weight = 0.5;
+  req.input_format = "blif";
+  req.input_text = ".model m\n.end\n";
+  const Request back = parse_request(submit_line(req));
+  EXPECT_EQ(back.id, req.id);
+  EXPECT_EQ(back.flow_spec, req.flow_spec);
+  EXPECT_DOUBLE_EQ(back.weight, req.weight);
+  EXPECT_EQ(back.input_format, req.input_format);
+  EXPECT_EQ(back.input_text, req.input_text);
+}
+
+TEST(Protocol, RejectsBadRequests) {
+  EXPECT_THROW(parse_request("not json"), ProtocolError);
+  EXPECT_THROW(parse_request("[1, 2]"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"type": "frobnicate"})"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"type": "submit", "id": "x"})"),
+               ProtocolError);  // missing flow
+  EXPECT_THROW(parse_request(R"({"type": "submit", "flow": "f"})"),
+               ProtocolError);  // missing id
+  EXPECT_THROW(
+      parse_request(R"({"type": "submit", "id": "", "flow": "f"})"),
+      ProtocolError);
+  EXPECT_THROW(parse_request(R"({"type": "submit", "id": 7, "flow": "f"})"),
+               ProtocolError);  // mistyped id
+  EXPECT_THROW(
+      parse_request(
+          R"({"type": "submit", "id": "x", "flow": "f", "weight": 0})"),
+      ProtocolError);
+  EXPECT_THROW(
+      parse_request(
+          R"({"type": "submit", "id": "x", "flow": "f", "timeout_ms": -1})"),
+      ProtocolError);
+  EXPECT_THROW(
+      parse_request(R"({"type": "submit", "id": "x", "flow": "f",)"
+                    R"( "input": {"format": "verilog", "text": "m"}})"),
+      ProtocolError);
+  EXPECT_THROW(parse_request(R"({"type": "cancel"})"), ProtocolError);
+}
+
+TEST(Protocol, IgnoresUnknownExtraFields) {
+  const Request req = parse_request(
+      R"({"type": "submit", "id": "j", "flow": "f", "future_field": [1]})");
+  EXPECT_EQ(req.id, "j");
+}
+
+// --- server test harness ----------------------------------------------------
+
+/// In-process client: collects response lines, parses them on demand.
+class TestClient {
+ public:
+  explicit TestClient(JobServer& server) : server_(server) {
+    id_ = server.attach([this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      lines_.push_back(line);
+    });
+  }
+  ~TestClient() { server_.detach(id_); }
+
+  void send(const std::string& line) { server_.handle_line(id_, line); }
+
+  std::vector<std::string> lines() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lines_;
+  }
+
+  /// Blocks until a "done" (or job-scoped "error") line for \p job arrived;
+  /// returns its status ("ok"/"error"/"cancelled"/"timeout") or "rejected".
+  std::string wait_outcome(const std::string& job,
+                           std::chrono::milliseconds timeout = 30s) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const std::string& line : lines_) {
+          const Json msg = Json::parse(line);
+          const Json* type = msg.find("type");
+          const Json* j = msg.find("job");
+          if (j == nullptr || j->as_string() != job) continue;
+          if (type->as_string() == "done")
+            return msg.find("status")->as_string();
+          if (type->as_string() == "error") return "rejected";
+        }
+      }
+      if (std::chrono::steady_clock::now() > deadline) return "TIMEOUT";
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+
+  /// Order in which jobs finished (their "done" lines).
+  std::vector<std::string> done_order() const {
+    std::vector<std::string> order;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& line : lines_) {
+      const Json msg = Json::parse(line);
+      if (const Json* t = msg.find("type"); t && t->as_string() == "done")
+        order.push_back(msg.find("job")->as_string());
+    }
+    return order;
+  }
+
+  /// Streamed stage reports of \p job, parsed.
+  std::vector<Json> stages_of(const std::string& job) const {
+    std::vector<Json> stages;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& line : lines_) {
+      Json msg = Json::parse(line);
+      const Json* t = msg.find("type");
+      if (t && t->as_string() == "stage" &&
+          msg.find("job")->as_string() == job) {
+        stages.push_back(std::move(msg));
+      }
+    }
+    return stages;
+  }
+
+ private:
+  JobServer& server_;
+  std::uint64_t id_ = 0;
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+std::string submit(const std::string& id, const std::string& flow,
+                   std::int64_t timeout_ms = 0, double weight = 1.0) {
+  Request req;
+  req.kind = Request::Kind::kSubmit;
+  req.id = id;
+  req.flow_spec = flow;
+  req.timeout_ms = timeout_ms;
+  req.weight = weight;
+  return submit_line(req);
+}
+
+// --- server: happy path -----------------------------------------------------
+
+TEST(JobServer, StreamsStagesAndCompletes) {
+  JobServer server(ServerOptions{.job_slots = 2});
+  TestClient client(server);
+  client.send(submit("j1", "gen:adder,bits=8; compress2rs; map_lut:k=4"));
+  EXPECT_EQ(client.wait_outcome("j1"), "ok");
+
+  const auto stages = client.stages_of("j1");
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[0].find("index")->as_int(), 0);
+  const Json* rep = stages[0].find("stage");
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->find("pass")->as_string(), "gen");
+  EXPECT_TRUE(rep->find("ok")->as_bool());
+  EXPECT_GT(rep->find("gates")->as_int(), 0);
+  // The stage payload carries the obs delta (counters moved during gen).
+  EXPECT_NE(rep->find("metrics"), nullptr);
+  EXPECT_EQ(stages[2].find("stage")->find("pass")->as_string(), "map_lut");
+
+  const ServerCounters c = server.counters();
+  EXPECT_EQ(c.accepted, 1u);
+  EXPECT_EQ(c.completed, 1u);
+  EXPECT_EQ(server.jobs_in_flight(), 0u);
+}
+
+TEST(JobServer, InlineInputNetworkFeedsSourcelessFlow) {
+  // A 1-AND AIGER fed inline; the flow has no gen/read stage.
+  const std::string aag = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+  Request req;
+  req.kind = Request::Kind::kSubmit;
+  req.id = "inline";
+  req.flow_spec = "strash; map_lut:k=4";
+  req.input_format = "aiger";
+  req.input_text = aag;
+
+  JobServer server(ServerOptions{.job_slots = 1});
+  TestClient client(server);
+  client.send(submit_line(req));
+  EXPECT_EQ(client.wait_outcome("inline"), "ok");
+  const auto stages = client.stages_of("inline");
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].find("stage")->find("gates")->as_int(), 1);
+}
+
+// --- server: error paths (the daemon must stay healthy through all) ---------
+
+TEST(JobServer, SurvivesEveryClientError) {
+  JobServer server(ServerOptions{.job_slots = 2});
+  TestClient client(server);
+
+  // 1. Malformed JSON -> job-less protocol error.
+  client.send("this is not json");
+  // 2. Unknown pass -> rejected at submit.
+  client.send(submit("bad-pass", "definitely_not_a_pass"));
+  // 3. Invalid param value -> rejected at submit.
+  client.send(submit("bad-param", "gen:adder,bits=banana"));
+  // 4. Unknown param key -> rejected at submit.
+  client.send(submit("bad-key", "gen:adder,frobs=3"));
+  // 5. Bad inline input -> rejected at submit.
+  client.send(
+      R"({"type": "submit", "id": "bad-input", "flow": "strash",)"
+      R"( "input": {"format": "aiger", "text": "not an aiger file"}})");
+  // 6. Mid-flow stage failure -> accepted, then done status "error".
+  client.send(submit("bad-stage", "read_aiger:file=/nonexistent/x.aig"));
+  // 7. Cancelling an unknown job -> error, no crash.
+  client.send(cancel_line("never-existed"));
+
+  EXPECT_EQ(client.wait_outcome("bad-pass"), "rejected");
+  EXPECT_EQ(client.wait_outcome("bad-param"), "rejected");
+  EXPECT_EQ(client.wait_outcome("bad-key"), "rejected");
+  EXPECT_EQ(client.wait_outcome("bad-input"), "rejected");
+  EXPECT_EQ(client.wait_outcome("bad-stage"), "error");
+
+  // The failed stage still produced a well-formed streamed report.
+  const auto stages = client.stages_of("bad-stage");
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_FALSE(stages[0].find("stage")->find("ok")->as_bool());
+
+  // After all that, the server still runs jobs to completion.
+  client.send(submit("healthy", "gen:adder,bits=8; compress2rs"));
+  EXPECT_EQ(client.wait_outcome("healthy"), "ok");
+
+  const ServerCounters c = server.counters();
+  EXPECT_EQ(c.protocol_errors, 1u);
+  EXPECT_EQ(c.rejected, 4u);
+  EXPECT_EQ(c.failed, 1u);
+  EXPECT_EQ(c.completed, 1u);  // only "healthy" finished ok
+  EXPECT_EQ(server.jobs_in_flight(), 0u);
+}
+
+TEST(JobServer, RejectsDuplicateInFlightIds) {
+  JobServer server(ServerOptions{.job_slots = 1});
+  TestClient client(server);
+  client.send(submit("dup", "gen:multiplier,bits=32; compress2rs"));
+  client.send(submit("dup", "gen:adder,bits=8"));  // still in flight
+  EXPECT_EQ(client.wait_outcome("dup"), "rejected");  // the *second* answer
+  // The first "dup" still completes fine.
+  for (int i = 0; i < 30000; ++i) {
+    if (server.jobs_in_flight() == 0) break;
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(server.counters().completed, 1u);
+}
+
+// --- server: cancellation and timeouts --------------------------------------
+
+TEST(JobServer, CancelsRunningJobAtStageBoundary) {
+  JobServer server(ServerOptions{.job_slots = 1});
+  TestClient client(server);
+  client.send(
+      submit("victim",
+             "gen:multiplier,bits=32; compress2rs; compress2rs; compress2rs"));
+  std::this_thread::sleep_for(20ms);  // let it get into a stage
+  EXPECT_TRUE(server.cancel("victim"));
+  EXPECT_EQ(client.wait_outcome("victim"), "cancelled");
+
+  // The synthetic final stage is streamed and marked failed.  (In the
+  // microscopic window where the cancel lands while the job sits re-queued
+  // between stages it is finalized without one; every streamed stage is
+  // then a completed, ok one.)
+  const auto stages = client.stages_of("victim");
+  ASSERT_GE(stages.size(), 1u);
+  const Json* last = stages.back().find("stage");
+  if (!last->find("ok")->as_bool()) {
+    EXPECT_EQ(last->find("note")->as_string(), "cancelled");
+  }
+
+  // Unaffected future work.
+  client.send(submit("after", "gen:adder,bits=8"));
+  EXPECT_EQ(client.wait_outcome("after"), "ok");
+  EXPECT_EQ(server.counters().cancelled, 1u);
+}
+
+TEST(JobServer, CancelsQueuedJobImmediately) {
+  JobServer server(ServerOptions{.job_slots = 1});
+  TestClient client(server);
+  client.send(submit("hog", "gen:multiplier,bits=32; compress2rs"));
+  client.send(submit("queued", "gen:adder,bits=8"));
+  client.send(cancel_line("queued"));  // likely still behind the hog
+  const std::string status = client.wait_outcome("queued");
+  // Raced: either it was still queued (cancelled, zero stages) or it
+  // slipped onto the runner first (ok).  Both leave the server coherent.
+  EXPECT_TRUE(status == "cancelled" || status == "ok") << status;
+  EXPECT_EQ(client.wait_outcome("hog"), "ok");
+  EXPECT_EQ(server.jobs_in_flight(), 0u);
+}
+
+TEST(JobServer, EnforcesPerJobTimeout) {
+  JobServer server(ServerOptions{.job_slots = 2});
+  TestClient client(server);
+  client.send(submit("slow", "gen:multiplier,bits=32; compress2rs; compress2rs",
+                     /*timeout_ms=*/5));
+  EXPECT_EQ(client.wait_outcome("slow"), "timeout");
+
+  // Other jobs are untouched by a neighbour's deadline.
+  client.send(submit("fine", "gen:adder,bits=8; compress2rs"));
+  EXPECT_EQ(client.wait_outcome("fine"), "ok");
+  EXPECT_EQ(server.counters().timed_out, 1u);
+}
+
+TEST(JobServer, ServerDefaultTimeoutApplies) {
+  JobServer server(
+      ServerOptions{.job_slots = 1, .default_timeout_ms = 5});
+  TestClient client(server);
+  // Two slow stages: the deadline has certainly passed by the boundary in
+  // front of the second one (the token is only checked at boundaries).
+  client.send(
+      submit("slow", "gen:multiplier,bits=32; compress2rs; compress2rs"));
+  EXPECT_EQ(client.wait_outcome("slow"), "timeout");
+}
+
+// --- server: fairness -------------------------------------------------------
+
+TEST(JobServer, SmallJobsOvertakeAHeavyOne) {
+  // One heavy optimization plus a burst of small maps, submitted *after*
+  // the heavy job: with stage-granular fair scheduling every small job
+  // must finish before the heavy one does.
+  JobServer server(ServerOptions{.job_slots = 2});
+  TestClient client(server);
+  client.send(submit("heavy", "gen:multiplier,bits=64; compress2rs"));
+  for (int i = 0; i < 4; ++i) {
+    client.send(submit("small" + std::to_string(i),
+                       "gen:adder,bits=8; map_lut:k=4"));
+  }
+  EXPECT_EQ(client.wait_outcome("heavy"), "ok");
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(client.wait_outcome("small" + std::to_string(i)), "ok");
+  }
+  const std::vector<std::string> order = client.done_order();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order.back(), "heavy")
+      << "heavy job should finish last, got order: " << [&] {
+           std::string s;
+           for (const auto& o : order) s += o + " ";
+           return s;
+         }();
+}
+
+// --- server: drain ----------------------------------------------------------
+
+TEST(JobServer, DrainFinishesAcceptedWorkAndRejectsNew) {
+  JobServer server(ServerOptions{.job_slots = 2});
+  TestClient client(server);
+  client.send(submit("j1", "gen:multiplier,bits=32; compress2rs"));
+  client.send(shutdown_line());
+  client.send(submit("late", "gen:adder,bits=8"));
+  EXPECT_EQ(client.wait_outcome("late"), "rejected");
+  server.drain();
+  EXPECT_EQ(client.wait_outcome("j1"), "ok");
+  EXPECT_EQ(server.jobs_in_flight(), 0u);
+  const ServerCounters c = server.counters();
+  EXPECT_TRUE(c.draining);
+  EXPECT_EQ(c.completed, 1u);
+  EXPECT_EQ(c.rejected, 1u);
+}
+
+// --- server: multi-tenant determinism ---------------------------------------
+
+/// Two *different* rewrite-heavy flows (different bases, so different
+/// thread_local NpnDatabase::shared entries) run many times concurrently
+/// through the server; every run must be bit-identical to the serial
+/// run_flow result.  This is the regression for interleaving jobs on
+/// shared workers -- see NpnDatabase::shared's concurrency contract.
+TEST(JobServer, ConcurrentMixedFlowsMatchSerialBitForBit) {
+  const std::string dir = ::testing::TempDir();
+  const std::string flow_a =
+      "gen:adder,bits=16; rewrite:basis=aig; refactor:basis=aig; write_aiger:file=";
+  const std::string flow_b =
+      "gen:multiplier,bits=8; compress2rs:basis=xmg; write_aiger:file=";
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::remove(path.c_str());
+    return text.str();
+  };
+
+  // Serial references, on this thread, through plain run_flow.
+  {
+    flow::FlowContext ctx;
+    EXPECT_TRUE(flow::run_flow(flow_a + dir + "ref_a.aig", ctx).ok);
+  }
+  {
+    flow::FlowContext ctx;
+    EXPECT_TRUE(flow::run_flow(flow_b + dir + "ref_b.aig", ctx).ok);
+  }
+  const std::string ref_a = slurp(dir + "ref_a.aig");
+  const std::string ref_b = slurp(dir + "ref_b.aig");
+  ASSERT_FALSE(ref_a.empty());
+  ASSERT_FALSE(ref_b.empty());
+
+  // Concurrent mixed batch through the server (3 of each, interleaved).
+  JobServer server(ServerOptions{.job_slots = 4});
+  TestClient client(server);
+  for (int i = 0; i < 3; ++i) {
+    client.send(submit("a" + std::to_string(i),
+                       flow_a + dir + "srv_a" + std::to_string(i) + ".aig"));
+    client.send(submit("b" + std::to_string(i),
+                       flow_b + dir + "srv_b" + std::to_string(i) + ".aig"));
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(client.wait_outcome("a" + std::to_string(i)), "ok");
+    EXPECT_EQ(client.wait_outcome("b" + std::to_string(i)), "ok");
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(slurp(dir + "srv_a" + std::to_string(i) + ".aig"), ref_a)
+        << "job a" << i << " diverged from the serial run";
+    EXPECT_EQ(slurp(dir + "srv_b" + std::to_string(i) + ".aig"), ref_b)
+        << "job b" << i << " diverged from the serial run";
+  }
+}
+
+}  // namespace
+}  // namespace mcs::server

@@ -1,0 +1,373 @@
+/// \file mcs_server.cpp
+/// \brief The synthesis job-server daemon.
+///
+/// Wraps server::JobServer in three transports:
+///
+///   mcs_server --pipe               # NDJSON on stdin/stdout (tests, CI)
+///   mcs_server --unix /run/mcs.sock # Unix domain socket, thread per client
+///   mcs_server --tcp 7171           # TCP on 127.0.0.1, thread per client
+///
+/// All transports speak the protocol of server/protocol.hpp verbatim.  The
+/// daemon drains gracefully on SIGTERM/SIGINT (stops accepting, finishes
+/// every in-flight job, then exits 0) -- delivered via the classic
+/// self-pipe trick so blocked poll() loops wake deterministically.  A
+/// protocol {"type": "shutdown"} from any client stops the daemon the same
+/// way.  In pipe mode EOF on stdin is an implicit shutdown, so
+/// `mcs_submit --script jobs.ndjson` against a FIFO pair is a complete
+/// smoke test with no networking at all.
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mcs/server/protocol.hpp"
+#include "mcs/server/server.hpp"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_terminate_signal(int) {
+  const char byte = 1;
+  // write(2) is async-signal-safe; the result is irrelevant (a full pipe
+  // already means a pending wakeup).
+  [[maybe_unused]] ssize_t r = write(g_signal_pipe[1], &byte, 1);
+}
+
+void install_signal_handlers() {
+  if (pipe(g_signal_pipe) != 0) {
+    std::perror("mcs_server: pipe");
+    std::exit(1);
+  }
+  fcntl(g_signal_pipe[0], F_SETFL, O_NONBLOCK);
+  fcntl(g_signal_pipe[1], F_SETFL, O_NONBLOCK);
+  struct sigaction sa = {};
+  sa.sa_handler = on_terminate_signal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // sink write errors are handled, not fatal
+}
+
+/// Writes all of \p data to \p fd; false on error (client gone).
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void usage() {
+  std::fputs(
+      "usage: mcs_server (--pipe | --unix PATH | --tcp PORT) [options]\n"
+      "\n"
+      "transports\n"
+      "  --pipe            serve one client on stdin/stdout (NDJSON lines)\n"
+      "  --unix PATH       listen on a Unix domain socket\n"
+      "  --tcp PORT        listen on 127.0.0.1:PORT\n"
+      "\n"
+      "options\n"
+      "  --slots N           concurrent job runners (default: auto, 2..8)\n"
+      "  --threads-per-job N worker threads per job stage (default 1)\n"
+      "  --timeout-ms N      default per-job wall-clock budget (default none)\n"
+      "  --max-jobs N        in-flight job cap before rejecting (default 4096)\n"
+      "  --no-stream         suppress per-stage \"stage\" lines\n"
+      "\n"
+      "SIGTERM/SIGINT drain gracefully: accepted jobs finish, then exit 0.\n",
+      stderr);
+}
+
+// --- pipe mode --------------------------------------------------------------
+
+int run_pipe(mcs::server::JobServer& server) {
+  std::mutex out_mutex;
+  const std::uint64_t client =
+      server.attach([&out_mutex](const std::string& line) {
+        std::lock_guard<std::mutex> lock(out_mutex);
+        write_all(STDOUT_FILENO, line + "\n");
+      });
+
+  std::string buffer;
+  char chunk[4096];
+  bool stop = false;
+  while (!stop) {
+    pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0}, {g_signal_pipe[0], POLLIN, 0}};
+    if (poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // SIGTERM/SIGINT: drain below
+    if (fds[0].revents == 0) continue;
+    const ssize_t n = read(STDIN_FILENO, chunk, sizeof(chunk));
+    if (n <= 0) break;  // EOF: implicit shutdown
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      server.handle_line(client, line);
+      if (server.draining()) {
+        stop = true;  // "shutdown" request; stop reading, drain below
+        break;
+      }
+    }
+  }
+
+  if (!server.draining()) {
+    // SIGTERM/EOF path: announce the drain like a protocol shutdown would.
+    server.handle_line(client, mcs::server::shutdown_line());
+  }
+  server.drain();
+  {
+    std::lock_guard<std::mutex> lock(out_mutex);
+    write_all(STDOUT_FILENO,
+              mcs::server::drained_line(server.counters()) + "\n");
+  }
+  server.detach(client);
+  return 0;
+}
+
+// --- socket modes -----------------------------------------------------------
+
+struct ConnectionSet {
+  std::mutex mutex;
+  // fd -> that connection's write mutex (shared with its attached sink, so
+  // broadcasts cannot interleave with streamed stage/done lines).
+  std::map<int, std::shared_ptr<std::mutex>> fds;
+
+  std::shared_ptr<std::mutex> add(int fd) {
+    auto write_mutex = std::make_shared<std::mutex>();
+    std::lock_guard<std::mutex> lock(mutex);
+    fds.emplace(fd, write_mutex);
+    return write_mutex;
+  }
+  void remove(int fd) {
+    std::lock_guard<std::mutex> lock(mutex);
+    fds.erase(fd);
+  }
+  /// Writes one line to every live connection.
+  void broadcast(const std::string& line) {
+    std::vector<std::pair<int, std::shared_ptr<std::mutex>>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      snapshot.assign(fds.begin(), fds.end());
+    }
+    for (const auto& [fd, write_mutex] : snapshot) {
+      std::lock_guard<std::mutex> lock(*write_mutex);
+      write_all(fd, line + "\n");
+    }
+  }
+  /// Wakes every blocked connection reader (used at drain time).
+  void shutdown_all() {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const auto& [fd, write_mutex] : fds) shutdown(fd, SHUT_RDWR);
+  }
+};
+
+void serve_connection(mcs::server::JobServer& server, int fd,
+                      ConnectionSet& connections,
+                      std::shared_ptr<std::mutex> out_mutex) {
+  const std::uint64_t client =
+      server.attach([fd, out_mutex](const std::string& line) {
+        std::lock_guard<std::mutex> lock(*out_mutex);
+        write_all(fd, line + "\n");
+      });
+
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      server.handle_line(client, line);
+      if (server.draining()) {
+        // A protocol "shutdown" stops the whole daemon, exactly like
+        // SIGTERM: wake the accept loop through the self-pipe so
+        // run_listener proceeds to its drain/teardown.
+        on_terminate_signal(0);
+      }
+    }
+  }
+  // Disconnect cancels the client's jobs: nobody is listening for their
+  // results, and freeing their slots is the multi-tenant-friendly choice.
+  server.detach(client, /*cancel_jobs=*/true);
+  connections.remove(fd);
+  close(fd);
+}
+
+int run_listener(mcs::server::JobServer& server, int listen_fd) {
+  ConnectionSet connections;
+  std::vector<std::thread> threads;
+
+  for (;;) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {g_signal_pipe[0], POLLIN, 0}};
+    if (poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // SIGTERM/SIGINT
+    if (fds[0].revents == 0) continue;
+    const int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto out_mutex = connections.add(fd);
+    threads.emplace_back([&server, fd, &connections, out_mutex] {
+      serve_connection(server, fd, connections, out_mutex);
+    });
+  }
+
+  close(listen_fd);
+  server.drain();               // finish in-flight jobs; dones still stream
+  // Tell every client the drain completed (clients like `mcs_submit
+  // --shutdown` block on this line), then cut the connections.
+  connections.broadcast(mcs::server::drained_line(server.counters()));
+  connections.shutdown_all();   // wake readers so threads exit
+  for (std::thread& t : threads) t.join();
+  return 0;
+}
+
+int listen_unix(const std::string& path) {
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("mcs_server: socket");
+    return -1;
+  }
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "mcs_server: socket path too long: %s\n",
+                 path.c_str());
+    close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  unlink(path.c_str());  // stale socket from a previous run
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 64) != 0) {
+    std::perror("mcs_server: bind/listen");
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int listen_tcp(int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("mcs_server: socket");
+    return -1;
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, 64) != 0) {
+    std::perror("mcs_server: bind/listen");
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class Mode { kNone, kPipe, kUnix, kTcp };
+  Mode mode = Mode::kNone;
+  std::string unix_path;
+  int tcp_port = 0;
+  mcs::server::ServerOptions options;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "mcs_server: %s needs a value\n", argv[i]);
+      std::exit(1);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--pipe") {
+      mode = Mode::kPipe;
+    } else if (arg == "--unix") {
+      mode = Mode::kUnix;
+      unix_path = need_value(i);
+    } else if (arg == "--tcp") {
+      mode = Mode::kTcp;
+      tcp_port = std::atoi(need_value(i));
+    } else if (arg == "--slots") {
+      options.job_slots = std::atoi(need_value(i));
+    } else if (arg == "--threads-per-job") {
+      options.threads_per_job = std::atoi(need_value(i));
+    } else if (arg == "--timeout-ms") {
+      options.default_timeout_ms = std::atoll(need_value(i));
+    } else if (arg == "--max-jobs") {
+      options.max_jobs_in_flight =
+          static_cast<std::size_t>(std::atoll(need_value(i)));
+    } else if (arg == "--no-stream") {
+      options.stream_stages = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "mcs_server: unknown option %s\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  if (mode == Mode::kNone) {
+    usage();
+    return 1;
+  }
+  if (mode == Mode::kTcp && (tcp_port <= 0 || tcp_port > 65535)) {
+    std::fprintf(stderr, "mcs_server: bad TCP port\n");
+    return 1;
+  }
+
+  install_signal_handlers();
+
+  mcs::server::JobServer server(options);
+  if (mode == Mode::kPipe) return run_pipe(server);
+
+  const int listen_fd =
+      mode == Mode::kUnix ? listen_unix(unix_path) : listen_tcp(tcp_port);
+  if (listen_fd < 0) return 1;
+  std::fprintf(stderr, "mcs_server: listening on %s\n",
+               mode == Mode::kUnix
+                   ? unix_path.c_str()
+                   : ("127.0.0.1:" + std::to_string(tcp_port)).c_str());
+  const int rc = run_listener(server, listen_fd);
+  if (mode == Mode::kUnix) unlink(unix_path.c_str());
+  return rc;
+}

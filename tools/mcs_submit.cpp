@@ -1,0 +1,457 @@
+/// \file mcs_submit.cpp
+/// \brief Client for the mcs_server job protocol.
+///
+/// Single-job mode -- submit one flow, stream its reports, exit by status:
+///
+///   mcs_submit --connect unix:/run/mcs.sock
+///              --flow "gen:adder,bits=32; compress2rs; map_lut:k=6"
+///              [--id j1] [--input design.aig] [--timeout-ms 60000]
+///              [--threads 2] [--weight 2.0] [--cancel-after-ms 500]
+///
+///   exit code: 0 = done ok, 2 = done error, 3 = cancelled, 4 = timeout,
+///              5 = rejected, 1 = transport/protocol trouble.
+///
+/// Script mode -- drive a whole session from an NDJSON request file
+/// (`-` = stdin); lines are sent in order, `!sleep N` directive lines
+/// pause N ms (so a script can cancel a job mid-run deterministically):
+///
+///   mcs_submit --connect pipe:in.fifo,out.fifo --script session.ndjson
+///
+/// Script mode prints every response line to stdout and exits 0 once every
+/// submitted job got its "done" line (and, if a shutdown was sent, the
+/// final "drained" arrived) -- individual job statuses are in the output
+/// for the caller to inspect.
+///
+/// Transports: `unix:PATH`, `tcp:HOST:PORT`, and `pipe:TO,FROM` -- a FIFO
+/// pair feeding an `mcs_server --pipe < TO > FROM` instance.  The FIFO
+/// open order (TO for write first, then FROM for read) mirrors the
+/// server's shell-redirection order, so neither side deadlocks.
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mcs/server/json.hpp"
+#include "mcs/server/protocol.hpp"
+
+namespace {
+
+using mcs::server::Json;
+
+// --- transports -------------------------------------------------------------
+
+struct Connection {
+  int in_fd = -1;   ///< server -> client
+  int out_fd = -1;  ///< client -> server
+  std::string read_buffer;
+
+  bool send_line(const std::string& line) {
+    const std::string data = line + "\n";
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = write(out_fd, data.data() + off, data.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads the next response line; false on EOF/error.
+  bool read_line(std::string& line) {
+    for (;;) {
+      const std::size_t pos = read_buffer.find('\n');
+      if (pos != std::string::npos) {
+        line = read_buffer.substr(0, pos);
+        read_buffer.erase(0, pos + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = read(in_fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      read_buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Half-closes the client->server direction (pipe mode: EOF tells the
+  /// server to drain; we keep reading until "drained").
+  void close_send() {
+    if (out_fd >= 0 && out_fd != in_fd) close(out_fd);
+    if (out_fd >= 0 && out_fd == in_fd) shutdown(out_fd, SHUT_WR);
+    out_fd = -1;
+  }
+
+  ~Connection() {
+    if (out_fd >= 0 && out_fd != in_fd) close(out_fd);
+    if (in_fd >= 0) close(in_fd);
+  }
+};
+
+bool connect_unix(const std::string& path, Connection& conn) {
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    close(fd);
+    return false;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return false;
+  }
+  conn.in_fd = conn.out_fd = fd;
+  return true;
+}
+
+bool connect_tcp(const std::string& host, int port, Connection& conn) {
+  addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res) !=
+          0 ||
+      res == nullptr) {
+    return false;
+  }
+  const int fd = socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  bool ok = fd >= 0 && connect(fd, res->ai_addr, res->ai_addrlen) == 0;
+  freeaddrinfo(res);
+  if (!ok) {
+    if (fd >= 0) close(fd);
+    return false;
+  }
+  conn.in_fd = conn.out_fd = fd;
+  return true;
+}
+
+bool connect_pipe(const std::string& to_path, const std::string& from_path,
+                  Connection& conn) {
+  // Order matters with FIFOs: the server (shell-redirected) blocks opening
+  // its stdin FIFO for read until a writer appears, then its stdout FIFO
+  // for write until a reader appears.  Open write-to-server first.
+  conn.out_fd = open(to_path.c_str(), O_WRONLY);
+  if (conn.out_fd < 0) return false;
+  conn.in_fd = open(from_path.c_str(), O_RDONLY);
+  return conn.in_fd >= 0;
+}
+
+bool connect_spec(const std::string& spec, Connection& conn) {
+  if (spec.rfind("unix:", 0) == 0) return connect_unix(spec.substr(5), conn);
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) return false;
+    return connect_tcp(rest.substr(0, colon),
+                       std::atoi(rest.c_str() + colon + 1), conn);
+  }
+  if (spec.rfind("pipe:", 0) == 0) {
+    const std::string rest = spec.substr(5);
+    const std::size_t comma = rest.find(',');
+    if (comma == std::string::npos) return false;
+    return connect_pipe(rest.substr(0, comma), rest.substr(comma + 1), conn);
+  }
+  return false;
+}
+
+// --- response inspection ----------------------------------------------------
+
+struct Response {
+  std::string type;
+  std::string job;
+  std::string status;
+};
+
+Response inspect(const std::string& line) {
+  Response r;
+  try {
+    const Json msg = Json::parse(line);
+    if (const Json* t = msg.find("type"); t && t->is_string())
+      r.type = t->as_string();
+    if (const Json* j = msg.find("job"); j && j->is_string())
+      r.job = j->as_string();
+    if (const Json* s = msg.find("status"); s && s->is_string())
+      r.status = s->as_string();
+  } catch (const mcs::server::JsonError&) {
+    // Unparseable server line: printed verbatim, ignored for bookkeeping.
+  }
+  return r;
+}
+
+// --- modes ------------------------------------------------------------------
+
+int status_to_exit(const std::string& status) {
+  if (status == "ok") return 0;
+  if (status == "error") return 2;
+  if (status == "cancelled") return 3;
+  if (status == "timeout") return 4;
+  return 1;
+}
+
+int run_single(Connection& conn, const mcs::server::Request& req,
+               long long cancel_after_ms, bool quiet) {
+  if (!conn.send_line(mcs::server::submit_line(req))) {
+    std::fprintf(stderr, "mcs_submit: send failed\n");
+    return 1;
+  }
+
+  std::thread canceller;
+  if (cancel_after_ms > 0) {
+    canceller = std::thread([&conn, &req, cancel_after_ms] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(cancel_after_ms));
+      conn.send_line(mcs::server::cancel_line(req.id));
+    });
+  }
+
+  int exit_code = 1;
+  std::string line;
+  while (conn.read_line(line)) {
+    if (!quiet) std::cout << line << "\n" << std::flush;
+    const Response r = inspect(line);
+    if (r.type == "done" && r.job == req.id) {
+      exit_code = status_to_exit(r.status);
+      break;
+    }
+    if (r.type == "error" && (r.job == req.id || r.job.empty())) {
+      exit_code = 5;  // rejected before becoming a job
+      break;
+    }
+  }
+  if (canceller.joinable()) canceller.join();
+  return exit_code;
+}
+
+int run_script(Connection& conn, std::istream& script) {
+  std::set<std::string> pending;  // submitted ids awaiting "done"
+  bool sent_shutdown = false;
+
+  // Sending happens inline (requests are small; the server reads greedily),
+  // response collection afterwards -- with !sleep directives in between so
+  // scripts can race cancels against running jobs deterministically.  A
+  // response backlog during sends sits in the kernel buffers meanwhile.
+  std::string line;
+  while (std::getline(script, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("!sleep ", 0) == 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::atoll(line.c_str() + 7)));
+      continue;
+    }
+    try {
+      const mcs::server::Request req = mcs::server::parse_request(line);
+      if (req.kind == mcs::server::Request::Kind::kSubmit)
+        pending.insert(req.id);
+      if (req.kind == mcs::server::Request::Kind::kShutdown)
+        sent_shutdown = true;
+    } catch (const mcs::server::ProtocolError&) {
+      // Deliberately malformed lines are legal in scripts (the error-path
+      // smoke test sends them); the server answers with an "error" line.
+    }
+    if (!conn.send_line(line)) {
+      std::fprintf(stderr, "mcs_submit: send failed\n");
+      return 1;
+    }
+  }
+
+  bool drained = false;
+  while (conn.read_line(line)) {
+    std::cout << line << "\n" << std::flush;
+    const Response r = inspect(line);
+    if (r.type == "done") pending.erase(r.job);
+    if (r.type == "error" && !r.job.empty()) pending.erase(r.job);
+    if (r.type == "drained") {
+      drained = true;
+      break;
+    }
+    if (pending.empty() && !sent_shutdown) break;
+  }
+  if (!pending.empty()) {
+    std::fprintf(stderr, "mcs_submit: %zu job(s) never reported done\n",
+                 pending.size());
+    return 1;
+  }
+  if (sent_shutdown && !drained) {
+    std::fprintf(stderr, "mcs_submit: no \"drained\" after shutdown\n");
+    return 1;
+  }
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: mcs_submit --connect SPEC (--flow SPEC | --script FILE |\n"
+      "                                  --cancel ID | --ping | --shutdown)\n"
+      "\n"
+      "  --connect unix:PATH | tcp:HOST:PORT | pipe:TO_FIFO,FROM_FIFO\n"
+      "\n"
+      "single job\n"
+      "  --flow \"gen:adder,bits=32; compress2rs; map_lut:k=6\"\n"
+      "  --id NAME            job id (default: job1)\n"
+      "  --input FILE         inline network (.blif -> blif, else aiger)\n"
+      "  --format aiger|blif  override input format detection\n"
+      "  --timeout-ms N       per-job wall-clock budget\n"
+      "  --threads N          worker threads for this job's stages\n"
+      "  --weight W           fair-share weight (> 0)\n"
+      "  --cancel-after-ms N  send a cancel N ms after submitting\n"
+      "  --quiet              suppress response echo; exit code only\n"
+      "\n"
+      "session script\n"
+      "  --script FILE        NDJSON requests (- = stdin; !sleep N pauses)\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect_to;
+  std::string script_path;
+  std::string input_path;
+  std::string cancel_id;
+  bool ping = false;
+  bool shutdown_only = false;
+  bool quiet = false;
+  long long cancel_after_ms = 0;
+  mcs::server::Request req;
+  req.kind = mcs::server::Request::Kind::kSubmit;
+  req.id = "job1";
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "mcs_submit: %s needs a value\n", argv[i]);
+      std::exit(1);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect") {
+      connect_to = need_value(i);
+    } else if (arg == "--flow") {
+      req.flow_spec = need_value(i);
+    } else if (arg == "--id") {
+      req.id = need_value(i);
+    } else if (arg == "--input") {
+      input_path = need_value(i);
+    } else if (arg == "--format") {
+      req.input_format = need_value(i);
+    } else if (arg == "--timeout-ms") {
+      req.timeout_ms = std::atoll(need_value(i));
+    } else if (arg == "--threads") {
+      req.threads = std::atoi(need_value(i));
+    } else if (arg == "--weight") {
+      req.weight = std::atof(need_value(i));
+    } else if (arg == "--cancel-after-ms") {
+      cancel_after_ms = std::atoll(need_value(i));
+    } else if (arg == "--script") {
+      script_path = need_value(i);
+    } else if (arg == "--cancel") {
+      cancel_id = need_value(i);
+    } else if (arg == "--ping") {
+      ping = true;
+    } else if (arg == "--shutdown") {
+      shutdown_only = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "mcs_submit: unknown option %s\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+
+  if (connect_to.empty()) {
+    usage();
+    return 1;
+  }
+  signal(SIGPIPE, SIG_IGN);
+
+  Connection conn;
+  if (!connect_spec(connect_to, conn)) {
+    std::fprintf(stderr, "mcs_submit: cannot connect to %s\n",
+                 connect_to.c_str());
+    return 1;
+  }
+
+  if (!script_path.empty()) {
+    if (script_path == "-") return run_script(conn, std::cin);
+    std::ifstream script(script_path);
+    if (!script) {
+      std::fprintf(stderr, "mcs_submit: cannot open %s\n",
+                   script_path.c_str());
+      return 1;
+    }
+    return run_script(conn, script);
+  }
+
+  if (!cancel_id.empty()) {
+    if (!conn.send_line(mcs::server::cancel_line(cancel_id))) return 1;
+    std::string line;
+    if (conn.read_line(line)) std::cout << line << "\n";
+    return 0;
+  }
+  if (ping) {
+    if (!conn.send_line(mcs::server::ping_line())) return 1;
+    std::string line;
+    if (!conn.read_line(line)) return 1;
+    std::cout << line << "\n";
+    return 0;
+  }
+  if (shutdown_only) {
+    if (!conn.send_line(mcs::server::shutdown_line())) return 1;
+    std::string line;
+    while (conn.read_line(line)) {
+      std::cout << line << "\n" << std::flush;
+      if (inspect(line).type == "drained") return 0;
+    }
+    return 1;
+  }
+
+  if (req.flow_spec.empty()) {
+    std::fprintf(stderr, "mcs_submit: --flow, --script, --cancel, --ping or "
+                         "--shutdown required\n");
+    return 1;
+  }
+  if (!input_path.empty()) {
+    std::ifstream in(input_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "mcs_submit: cannot open %s\n", input_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    req.input_text = text.str();
+    if (req.input_format.empty()) {
+      req.input_format =
+          input_path.size() >= 5 &&
+                  input_path.compare(input_path.size() - 5, 5, ".blif") == 0
+              ? "blif"
+              : "aiger";
+    }
+  }
+  return run_single(conn, req, cancel_after_ms, quiet);
+}
