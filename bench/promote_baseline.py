@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a multicore parallel-scaling run and promote it to baseline.
+"""Validate a multicore scaling run and promote it to baseline.
 
 The committed `BENCH_par.json` baseline should come from a machine with
 real parallelism; the repo's fallback `BENCH_par_1core.json` was measured
@@ -9,14 +9,20 @@ that a candidate run (from `bench_micro --json-par=...` on a multicore
 runner, e.g. the CI artifact) is actually fit to be the reference, then
 writes it to the baseline path.
 
+The sweep-scaling baseline rides the same gate: point `--reference` and
+`--out` at BENCH_sweep.json for a `bench_micro --json-sweep=...` run.
+Sweep suites mix threaded series with single-config rows (the legacy
+engine reference has no "threads" field); such rows are keyed on the
+bench name alone and skip the thread-series checks.
+
 Checks, all hard failures:
-  - every row parses and carries bench/threads/seconds/hardware_threads,
+  - every row parses and carries bench/seconds/hardware_threads,
   - hardware_threads > 1 and identical across rows (one machine, one run),
   - the (bench, threads) set covers the reference row set (nothing
     silently dropped vs the current baseline / 1-core fallback),
   - "deterministic" is true wherever present (a nondeterministic run must
     never become the comparison anchor),
-  - every bench's thread series contains threads=1 (speedups have an
+  - every bench with a thread series contains threads=1 (speedups have an
     anchor) and speedup values are self-consistent with seconds.
 
 Usage:
@@ -52,8 +58,9 @@ def load_rows(path):
 def key_set(rows):
     keys = set()
     for _, obj in rows:
-        if "bench" in obj and "threads" in obj:
-            keys.add((obj["bench"], obj["threads"]))
+        if "bench" in obj:
+            # Single-config rows (no thread series) key on the bench alone.
+            keys.add((obj["bench"], obj.get("threads")))
     return keys
 
 
@@ -73,7 +80,7 @@ def main():
     hw = set()
     for line_no, obj in rows:
         where = f"{args.candidate}:{line_no}"
-        for field in ("bench", "threads", "seconds", "hardware_threads"):
+        for field in ("bench", "seconds", "hardware_threads"):
             if field not in obj:
                 problems.append(f"{where}: missing \"{field}\"")
         if obj.get("deterministic") is False:

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Crash-recovery integration test: a supervised mcs_server on a Unix
+# socket loses its worker to kill -9 mid-job.  The supervisor must restart
+# the worker, the restarted worker must replay the fsync'd journal, and
+# the client -- reconnecting with --retry and re-binding via "attach" --
+# must still receive a "done" line for the interrupted job, marked
+# "retried": true.  Finally a protocol shutdown drains the worker and the
+# supervisor exits 0.
+#
+# Usage: scripts/crash_recovery.sh [BUILD_DIR]   (default: ./build)
+set -euo pipefail
+
+build_dir=${1:-build}
+server=$build_dir/tools/mcs_server
+submit=$build_dir/tools/mcs_submit
+[ -x "$server" ] && [ -x "$submit" ] || {
+  echo "crash_recovery: build mcs_server + mcs_submit first ($build_dir)" >&2
+  exit 1
+}
+
+sup_pid=""
+work=$(mktemp -d)
+trap 'kill "$sup_pid" 2>/dev/null || true; rm -rf "$work"' EXIT
+
+fail() {
+  echo "crash_recovery: FAIL: $*" >&2
+  echo "--- supervisor log ---" >&2
+  cat "$work/server.log" >&2 || true
+  echo "--- client output ---" >&2
+  cat "$work/client.out" >&2 || true
+  exit 1
+}
+
+sock=$work/mcs.sock
+journal=$work/journal.ndjson
+
+"$server" --unix "$sock" --supervise --journal "$journal" \
+          --pidfile "$work/worker.pid" --max-restarts 5 --backoff-ms 50 \
+          --slots 2 2> "$work/server.log" &
+sup_pid=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+[ -S "$sock" ] || fail "server never bound $sock"
+
+# A job slow enough that the kill below lands mid-run; the client keeps
+# retrying across the crash window.
+"$submit" --connect "unix:$sock" --id crashjob \
+          --flow "gen:multiplier,bits=64; compress2rs; compress2rs; compress2rs" \
+          --retry 10 --retry-backoff-ms 100 > "$work/client.out" &
+client_pid=$!
+
+# The "started" journal entry is fsync'd before the first stage runs, so
+# its appearance proves the job is demonstrably in flight.
+for _ in $(seq 1 200); do
+  grep -q '"e": "started"' "$journal" 2>/dev/null && break
+  sleep 0.05
+done
+grep -q '"e": "started"' "$journal" || fail "crashjob never started"
+
+worker1=$(cat "$work/worker.pid")
+kill -9 "$worker1"
+echo "crash_recovery: killed worker $worker1 mid-job"
+
+if ! wait "$client_pid"; then
+  fail "client exited nonzero after the worker crash"
+fi
+
+worker2=$(cat "$work/worker.pid")
+[ "$worker1" != "$worker2" ] || fail "supervisor never forked a new worker"
+grep -q "restart 1/" "$work/server.log" \
+  || fail "supervisor log records no restart"
+
+python3 - "$work/client.out" <<'EOF' || exit 1
+import json, sys
+
+done = None
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line:
+        continue
+    msg = json.loads(line)  # every line must be well-formed JSON
+    if msg.get("type") == "done" and msg.get("job") == "crashjob":
+        done = msg
+
+def check(cond, what):
+    if not cond:
+        sys.exit(f"crash_recovery: FAIL: {what}")
+
+check(done is not None, "client never received a done line for crashjob")
+check(done["status"] == "ok", f"crashjob status {done['status']}, wanted ok")
+check(done.get("retried") is True,
+      "the replayed job's done line should carry \"retried\": true")
+print("crash_recovery: crashjob completed after replay, retried=true")
+EOF
+
+# Graceful end: drain via protocol shutdown; the worker exits 0 and the
+# supervisor follows with exit 0 (no restart on a clean exit).
+"$submit" --connect "unix:$sock" --shutdown > "$work/drain.out"
+if ! wait "$sup_pid"; then
+  fail "supervisor exited nonzero after a clean drain"
+fi
+sup_pid=""
+
+python3 - "$work/drain.out" <<'EOF' || exit 1
+import json, sys
+
+drained = None
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if line:
+        msg = json.loads(line)
+        if msg.get("type") == "drained":
+            drained = msg
+
+def check(cond, what):
+    if not cond:
+        sys.exit(f"crash_recovery: FAIL: {what}")
+
+check(drained is not None, "no drained line after shutdown")
+check(drained["jobs"] == 0, "drained should report zero jobs in flight")
+check(drained["retried"] >= 1,
+      "the restarted worker should count >= 1 retried job")
+EOF
+
+echo "crash_recovery: OK -- worker $worker1 killed, $worker2 replayed the job"

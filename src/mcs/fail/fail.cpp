@@ -1,0 +1,334 @@
+#include "mcs/fail/fail.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mcs/obs/obs.hpp"
+
+namespace mcs::fail {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+enum class Kind { kThrow, kAbort, kDelay, kShort, kAlloc };
+
+struct Rule {
+  std::string site;       ///< exact site name, or prefix when prefix=true
+  bool prefix = false;
+  Kind kind = Kind::kThrow;
+  std::uint64_t every = 1;
+  std::uint64_t after = 0;
+  std::uint64_t count = 0;  ///< 0 = unlimited
+  double p = 1.0;
+  std::uint64_t seed = 1;
+  std::uint64_t delay_ms = 1;
+  // mutable firing state (guarded by g_mutex)
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+};
+
+struct State {
+  std::mutex mutex;
+  std::vector<Rule> rules;
+  std::string spec;
+  std::uint64_t injected = 0;
+};
+
+State& state() {
+  static State* s = new State();  // leaked: outlives exit-time fault points
+  return *s;
+}
+
+bool site_matches(const Rule& r, const char* site) {
+  if (r.prefix) return std::string_view(site).substr(0, r.site.size()) == r.site;
+  return r.site == site;
+}
+
+/// splitmix64 of (seed, hit index) -- the deterministic probability stream.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t n) {
+  std::uint64_t z = seed * 0x9e3779b97f4a7c15ULL + n + 1;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d4ecb9f5a57d25ULL;
+  return z ^ (z >> 31);
+}
+
+/// Decides whether \p r fires for this hit and updates its firing state.
+/// Caller holds the state mutex.
+bool advance(Rule& r) {
+  const std::uint64_t hit = r.hits++;
+  if (hit < r.after) return false;
+  if (r.count != 0 && r.fired >= r.count) return false;
+  if ((hit - r.after) % r.every != 0) return false;
+  if (r.p < 1.0) {
+    const double u =
+        static_cast<double>(mix(r.seed, hit) >> 11) / 9007199254740992.0;
+    if (u >= r.p) return false;
+  }
+  ++r.fired;
+  return true;
+}
+
+void count_injected(Kind k) {
+  state().injected++;  // caller holds the mutex
+  switch (k) {
+    case Kind::kThrow: {
+      static obs::Counter& c = obs::counter("fail.injected.throw");
+      c.increment();
+      break;
+    }
+    case Kind::kAbort: {
+      static obs::Counter& c = obs::counter("fail.injected.abort");
+      c.increment();
+      break;
+    }
+    case Kind::kDelay: {
+      static obs::Counter& c = obs::counter("fail.injected.delay");
+      c.increment();
+      break;
+    }
+    case Kind::kShort: {
+      static obs::Counter& c = obs::counter("fail.injected.short");
+      c.increment();
+      break;
+    }
+    case Kind::kAlloc: {
+      static obs::Counter& c = obs::counter("fail.injected.alloc");
+      c.increment();
+      break;
+    }
+  }
+}
+
+/// An action decided under the lock, executed after it is released (a
+/// delay must not stall other sites; a throw must not leave the mutex
+/// held on non-unwinding paths).
+struct Pending {
+  Kind kind;
+  std::string site;
+  std::uint64_t delay_ms = 0;
+};
+
+void execute(const Pending& act) {
+  switch (act.kind) {
+    case Kind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(act.delay_ms));
+      return;
+    case Kind::kThrow:
+      throw InjectedFault("injected fault at " + act.site);
+    case Kind::kAlloc:
+      throw std::bad_alloc();
+    case Kind::kAbort:
+      std::fprintf(stderr, "mcs::fail: injected abort at %s\n",
+                   act.site.c_str());
+      std::fflush(stderr);
+      std::abort();
+    case Kind::kShort:
+      return;  // short only acts through clip()
+  }
+}
+
+std::uint64_t parse_u64(const std::string& clause, const std::string& key,
+                        const std::string& val) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(val, &pos);
+    if (pos != val.size()) throw std::invalid_argument(val);
+    return v;
+  } catch (const std::exception&) {
+    throw FaultSpecError("fault spec: bad integer for '" + key + "' in '" +
+                         clause + "'");
+  }
+}
+
+Rule parse_clause(const std::string& clause) {
+  // site=kind[,opt=val...]
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = clause.find(',', start);
+    parts.push_back(clause.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+
+  const std::size_t eq = parts[0].find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= parts[0].size()) {
+    throw FaultSpecError("fault spec: expected site=kind in '" + clause + "'");
+  }
+  Rule r;
+  r.site = parts[0].substr(0, eq);
+  if (!r.site.empty() && r.site.back() == '*') {
+    r.prefix = true;
+    r.site.pop_back();
+  }
+  const std::string kind = parts[0].substr(eq + 1);
+  if (kind == "throw") {
+    r.kind = Kind::kThrow;
+  } else if (kind == "abort") {
+    r.kind = Kind::kAbort;
+  } else if (kind == "delay") {
+    r.kind = Kind::kDelay;
+  } else if (kind == "short") {
+    r.kind = Kind::kShort;
+  } else if (kind == "alloc") {
+    r.kind = Kind::kAlloc;
+  } else {
+    throw FaultSpecError("fault spec: unknown kind '" + kind + "' in '" +
+                         clause + "' (throw|abort|delay|short|alloc)");
+  }
+
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::size_t oeq = parts[i].find('=');
+    if (oeq == std::string::npos || oeq == 0 || oeq + 1 > parts[i].size()) {
+      throw FaultSpecError("fault spec: expected option=value, got '" +
+                           parts[i] + "' in '" + clause + "'");
+    }
+    const std::string key = parts[i].substr(0, oeq);
+    const std::string val = parts[i].substr(oeq + 1);
+    if (key == "every") {
+      r.every = parse_u64(clause, key, val);
+      if (r.every == 0) {
+        throw FaultSpecError("fault spec: every=0 in '" + clause + "'");
+      }
+    } else if (key == "after") {
+      r.after = parse_u64(clause, key, val);
+    } else if (key == "count") {
+      r.count = parse_u64(clause, key, val);
+    } else if (key == "seed") {
+      r.seed = parse_u64(clause, key, val);
+    } else if (key == "ms") {
+      r.delay_ms = parse_u64(clause, key, val);
+    } else if (key == "p") {
+      try {
+        std::size_t pos = 0;
+        r.p = std::stod(val, &pos);
+        if (pos != val.size()) throw std::invalid_argument(val);
+      } catch (const std::exception&) {
+        throw FaultSpecError("fault spec: bad probability in '" + clause +
+                             "'");
+      }
+      if (!(r.p > 0.0 && r.p <= 1.0)) {
+        throw FaultSpecError("fault spec: p must be in (0,1] in '" + clause +
+                             "'");
+      }
+    } else {
+      throw FaultSpecError("fault spec: unknown option '" + key + "' in '" +
+                           clause + "'");
+    }
+  }
+  return r;
+}
+
+std::vector<Rule> parse_spec(const std::string& spec) {
+  std::vector<Rule> rules;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t semi = spec.find(';', start);
+    if (semi == std::string::npos) semi = spec.size();
+    // trim surrounding whitespace
+    std::size_t b = start, e = semi;
+    while (b < e && (spec[b] == ' ' || spec[b] == '\t' || spec[b] == '\n')) ++b;
+    while (e > b && (spec[e - 1] == ' ' || spec[e - 1] == '\t' ||
+                     spec[e - 1] == '\n')) {
+      --e;
+    }
+    if (e > b) rules.push_back(parse_clause(spec.substr(b, e - b)));
+    if (semi == spec.size()) break;
+    start = semi + 1;
+  }
+  return rules;
+}
+
+}  // namespace
+
+namespace detail {
+
+void fire(const char* site) {
+  State& s = state();
+  Pending act;
+  bool have = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (Rule& r : s.rules) {
+      if (r.kind == Kind::kShort || !site_matches(r, site)) continue;
+      if (!advance(r)) continue;
+      count_injected(r.kind);
+      act = Pending{r.kind, site, r.delay_ms};
+      have = true;
+      break;  // first matching rule wins; its hit counter advanced
+    }
+  }
+  if (have) execute(act);
+}
+
+std::size_t clip(const char* site, std::size_t n) {
+  State& s = state();
+  Pending act;
+  bool have = false;
+  std::size_t result = n;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (Rule& r : s.rules) {
+      if (!site_matches(r, site)) continue;
+      if (!advance(r)) continue;
+      count_injected(r.kind);
+      if (r.kind == Kind::kShort) {
+        if (n > 1) result = (n + 1) / 2;  // clip, but never to zero bytes
+      } else {
+        act = Pending{r.kind, site, r.delay_ms};
+        have = true;
+      }
+      break;
+    }
+  }
+  if (have) execute(act);
+  return result;
+}
+
+}  // namespace detail
+
+void configure(const std::string& spec) {
+  std::vector<Rule> rules = parse_spec(spec);  // throws before touching state
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.rules = std::move(rules);
+  s.spec = s.rules.empty() ? std::string() : spec;
+  s.injected = 0;
+  detail::g_armed.store(!s.rules.empty(), std::memory_order_relaxed);
+}
+
+void disable() { configure(std::string()); }
+
+std::string active_spec() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.spec;
+}
+
+void init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* spec = std::getenv("MCS_FAULTS");
+    if (spec == nullptr || spec[0] == '\0') return;
+    try {
+      configure(spec);
+    } catch (const FaultSpecError& e) {
+      std::fprintf(stderr, "mcs::fail: ignoring MCS_FAULTS: %s\n", e.what());
+    }
+  });
+}
+
+std::uint64_t injected_total() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.injected;
+}
+
+}  // namespace mcs::fail

@@ -1,0 +1,67 @@
+/// \file fail_passes.cpp
+/// \brief Flow registration for fault injection: the `faults` pass arms,
+/// disarms and inspects the mcs::fail rule set from flow specs and the
+/// shell (`faults:spec=flow.stage=throw,every=7`), so failure drills do
+/// not require restarting with a different MCS_FAULTS environment.
+
+#include <cstdio>
+#include <string>
+
+#include "mcs/fail/fail.hpp"
+#include "mcs/flow/flow.hpp"
+#include "mcs/flow/registration.hpp"
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+#endif
+
+namespace mcs::flow {
+
+void register_fail_passes(PassRegistry& registry) {
+  registry.add({
+      .name = "faults",
+      .summary = "arm/disarm deterministic fault injection (mcs::fail)",
+      .kind = PassKind::kSetting,
+      .params = {{.key = "spec",
+                  .type = ParamType::kString,
+                  .default_value = "",
+                  .help = "fault spec; ',' and ';' collide with the flow "
+                          "grammar, so write '|' for ',' and '/' for ';' "
+                          "(spec=flow.stage=throw|every=7/sat.solve=delay); "
+                          "empty disarms"},
+                 {.key = "show",
+                  .type = ParamType::kBool,
+                  .default_value = "false",
+                  .help = "print the active spec and injected-fault total"}},
+      .run =
+          [](FlowContext& ctx, const PassArgs& args) {
+            if (args.get_bool("show")) {
+              const std::string spec = fail::active_spec();
+              std::printf("faults: %s (injected=%llu)\n",
+                          spec.empty() ? "(disarmed)" : spec.c_str(),
+                          static_cast<unsigned long long>(
+                              fail::injected_total()));
+              ctx.note = spec.empty() ? "disarmed" : spec;
+              return;
+            }
+            // The flow framework reads an empty default_value as "no
+            // default", so resolve the documented empty-disarms case here.
+            std::string spec =
+                args.has("spec") ? args.get_string("spec") : std::string();
+            // The fault grammar's ',' and ';' are taken by the flow
+            // mini-language; accept '|' and '/' stand-ins in flow specs.
+            for (char& c : spec) {
+              if (c == '|') c = ',';
+              if (c == '/') c = ';';
+            }
+            try {
+              fail::configure(spec);
+            } catch (const fail::FaultSpecError& e) {
+              throw FlowError(e.what());
+            }
+            ctx.note = spec.empty() ? "faults disarmed" : "armed: " + spec;
+          },
+  });
+}
+
+}  // namespace mcs::flow

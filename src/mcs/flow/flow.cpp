@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "mcs/fail/fail.hpp"
 #include "mcs/flow/registration.hpp"
 
 namespace mcs::flow {
@@ -260,6 +261,7 @@ PassRegistry::PassRegistry() {
   register_map_passes(*this);
   register_par_passes(*this);
   register_obs_passes(*this);
+  register_fail_passes(*this);
 }
 
 void PassRegistry::add(PassInfo info) {
@@ -346,6 +348,9 @@ StageReport run_stage(FlowContext& ctx, const PassInfo& pass,
   const auto t0 = std::chrono::steady_clock::now();
   try {
     obs::Span span([&] { return "pass:" + pass.name; });
+    // Inside the try block: an injected fault becomes a failed stage, the
+    // same containment real pass errors get.
+    fail::point("flow.stage");
     pass.run(ctx, args);
     // A changed working network invalidates earlier mapped artifacts;
     // without this, `cec` after a transform would verify a stale mapping.
@@ -462,6 +467,7 @@ FlowReport Flow::run(FlowContext& ctx) const {
   // Headless tracing: MCS_TRACE=<file> captures this run without any shell
   // or bench plumbing (idempotent; the dump happens at process exit).
   obs::init_from_env();
+  fail::init_from_env();
   FlowReport report;
   const auto t0 = std::chrono::steady_clock::now();
   for (const Stage& stage : stages_) {

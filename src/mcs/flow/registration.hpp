@@ -21,5 +21,6 @@ void register_choice_passes(PassRegistry& registry);  // choice/choice_passes.cp
 void register_map_passes(PassRegistry& registry);     // map/map_passes.cpp
 void register_par_passes(PassRegistry& registry);     // par/par_passes.cpp
 void register_obs_passes(PassRegistry& registry);     // obs/obs_passes.cpp
+void register_fail_passes(PassRegistry& registry);    // fail/fail_passes.cpp
 
 }  // namespace mcs::flow

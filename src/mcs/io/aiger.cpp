@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "mcs/fail/fail.hpp"
 #include "mcs/network/network_utils.hpp"
 
 namespace mcs {
@@ -97,6 +98,7 @@ void write_aiger_file(const Network& net, const std::string& path,
 }
 
 Network read_aiger(std::istream& is) {
+  fail::point("io.read.aiger");
   std::string format;
   std::size_t M, I, L, O, A;
   if (!(is >> format >> M >> I >> L >> O >> A)) {

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mcs/fail/fail.hpp"
 #include "mcs/network/network_utils.hpp"
 
 namespace mcs {
@@ -55,6 +56,7 @@ Signal build_cover(Network& net, const NamesBlock& block,
 }  // namespace
 
 Network read_blif(std::istream& is) {
+  fail::point("io.read.blif");
   // Join continuation lines and tokenize.
   std::vector<std::vector<std::string>> lines;
   {

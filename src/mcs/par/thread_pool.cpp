@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "mcs/fail/fail.hpp"
 #include "mcs/obs/obs.hpp"
 
 namespace mcs {
@@ -213,6 +214,10 @@ void ThreadPool::participate(const std::shared_ptr<Batch>& batch) {
     items.increment();
     const std::size_t i = b.order != nullptr ? b.order[k] : k;
     try {
+      // Inside the per-item try: an injected throw is captured with the
+      // same min-index determinism as a real task exception (a bare throw
+      // on the worker loop would terminate the process).
+      fail::point("pool.task");
       (*b.fn)(i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(b.mutex);
@@ -240,6 +245,7 @@ void ThreadPool::submit_bulk(std::size_t n,
     for (std::size_t k = 0; k < n; ++k) {
       const std::size_t i = order != nullptr ? order[k] : k;
       try {
+        fail::point("pool.task");
         fn(i);
       } catch (...) {
         if (i < err_index) {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "mcs/fail/fail.hpp"
+
 namespace mcs::sat {
 
 namespace {
@@ -246,6 +248,7 @@ void Solver::decay_activities() { var_inc_ /= 0.95; }
 
 Result Solver::solve(const std::vector<Lit>& assumptions,
                      std::int64_t conflict_limit) {
+  fail::point("sat.solve");  // delay here simulates a stalled SAT call
   if (!ok_) return Result::kUnsat;
   backtrack(0);
 

@@ -1,0 +1,248 @@
+#include "mcs/server/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mcs/server/json.hpp"
+
+namespace mcs::server {
+
+namespace {
+
+const char* kind_tag(JournalEntry::Kind k) {
+  switch (k) {
+    case JournalEntry::Kind::kAccepted: return "accepted";
+    case JournalEntry::Kind::kStarted: return "started";
+    case JournalEntry::Kind::kStage: return "stage";
+    case JournalEntry::Kind::kDone: return "done";
+    case JournalEntry::Kind::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::string require_string(const Json& obj, const char* key) {
+  const Json* v = obj.find(key);
+  if (v == nullptr || !v->is_string()) {
+    throw std::runtime_error(std::string("journal: missing string \"") + key +
+                             "\"");
+  }
+  return v->as_string();
+}
+
+}  // namespace
+
+std::string JournalEntry::to_line() const {
+  std::string out = "{\"e\": \"";
+  out += kind_tag(kind);
+  out += '"';
+  if (kind != Kind::kShutdown) {
+    out += ", \"job\": " + json_quote(job);
+  }
+  switch (kind) {
+    case Kind::kAccepted:
+      out += ", \"request\": " + json_quote(payload);
+      break;
+    case Kind::kStage:
+      out += ", \"index\": " + std::to_string(index);
+      break;
+    case Kind::kDone:
+      out += ", \"status\": " + json_quote(status);
+      out += ", \"line\": " + json_quote(payload);
+      break;
+    case Kind::kStarted:
+    case Kind::kShutdown:
+      break;
+  }
+  out += "}";
+  return out;
+}
+
+JournalEntry JournalEntry::parse(const std::string& line) {
+  const Json obj = Json::parse(line);
+  if (!obj.is_object()) throw std::runtime_error("journal: not an object");
+  const std::string e = require_string(obj, "e");
+
+  JournalEntry entry;
+  if (e == "shutdown") {
+    entry.kind = Kind::kShutdown;
+    return entry;
+  }
+  entry.job = require_string(obj, "job");
+  if (e == "accepted") {
+    entry.kind = Kind::kAccepted;
+    entry.payload = require_string(obj, "request");
+  } else if (e == "started") {
+    entry.kind = Kind::kStarted;
+  } else if (e == "stage") {
+    entry.kind = Kind::kStage;
+    const Json* idx = obj.find("index");
+    if (idx == nullptr || !idx->is_number()) {
+      throw std::runtime_error("journal: stage entry without index");
+    }
+    entry.index = static_cast<std::size_t>(idx->as_int());
+  } else if (e == "done") {
+    entry.kind = Kind::kDone;
+    entry.status = require_string(obj, "status");
+    entry.payload = require_string(obj, "line");
+  } else {
+    throw std::runtime_error("journal: unknown entry kind \"" + e + "\"");
+  }
+  return entry;
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("journal: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+}
+
+void Journal::append(const JournalEntry& entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  const std::string line = entry.to_line() + "\n";
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr,
+                   "mcs_server: journal write failed (%s); journaling off\n",
+                   std::strerror(errno));
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // The durability point: an entry we acted on (told a client about)
+  // must survive a crash of this process *and* the machine.
+  ::fdatasync(fd_);
+}
+
+std::vector<JournalEntry> Journal::load(const std::string& path,
+                                        std::size_t* skipped) {
+  std::vector<JournalEntry> entries;
+  std::size_t bad = 0;
+  std::ifstream in(path, std::ios::binary);
+  if (in) {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      try {
+        entries.push_back(JournalEntry::parse(line));
+      } catch (const std::exception&) {
+        ++bad;  // torn tail or corruption; recovery works from the rest
+      }
+    }
+  }
+  if (skipped != nullptr) *skipped = bad;
+  return entries;
+}
+
+Recovery Journal::analyze(const std::vector<JournalEntry>& entries,
+                          std::size_t keep_done) {
+  Recovery rec;
+  rec.entries = entries.size();
+  // job id -> submit request line, insertion-ordered via the keys vector.
+  std::unordered_map<std::string, std::string> open_jobs;
+  std::vector<std::string> accept_order;
+  for (const JournalEntry& e : entries) {
+    rec.clean_shutdown = false;
+    switch (e.kind) {
+      case JournalEntry::Kind::kAccepted:
+        if (open_jobs.emplace(e.job, e.payload).second) {
+          accept_order.push_back(e.job);
+        } else {
+          open_jobs[e.job] = e.payload;  // replayed accept; newest request
+        }
+        break;
+      case JournalEntry::Kind::kDone:
+        open_jobs.erase(e.job);
+        rec.completed.emplace_back(e.job, e.payload);
+        break;
+      case JournalEntry::Kind::kShutdown:
+        rec.clean_shutdown = true;
+        break;
+      case JournalEntry::Kind::kStarted:
+      case JournalEntry::Kind::kStage:
+        break;
+    }
+  }
+  for (const std::string& job : accept_order) {
+    auto it = open_jobs.find(job);
+    if (it != open_jobs.end()) rec.pending.push_back(it->second);
+  }
+  // Dedup retained done entries by job id (newest wins), then keep only
+  // the most recent keep_done of them.
+  std::unordered_set<std::string> seen;
+  std::vector<std::pair<std::string, std::string>> dedup;
+  for (auto it = rec.completed.rbegin(); it != rec.completed.rend(); ++it) {
+    if (seen.insert(it->first).second) dedup.push_back(*it);
+  }
+  std::reverse(dedup.begin(), dedup.end());
+  if (dedup.size() > keep_done) {
+    dedup.erase(dedup.begin(),
+                dedup.end() - static_cast<std::ptrdiff_t>(keep_done));
+  }
+  rec.completed = std::move(dedup);
+  return rec;
+}
+
+void Journal::compact(const std::string& path, const Recovery& recovery) {
+  const std::string tmp = path + ".tmp";
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      throw std::runtime_error("journal: cannot write " + tmp + ": " +
+                               std::strerror(errno));
+    }
+    std::string body;
+    for (const auto& [job, line] : recovery.completed) {
+      JournalEntry e;
+      e.kind = JournalEntry::Kind::kDone;
+      e.job = job;
+      e.payload = line;
+      // Status is recoverable from the done line itself; "kept" marks the
+      // entry as a compaction survivor rather than a live transition.
+      e.status = "kept";
+      body += e.to_line() + "\n";
+    }
+    std::size_t off = 0;
+    while (off < body.size()) {
+      const ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        throw std::runtime_error(std::string("journal: write failed: ") +
+                                 std::strerror(err));
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    ::fsync(fd);
+    ::close(fd);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("journal: rename failed: " +
+                             std::string(std::strerror(errno)));
+  }
+}
+
+}  // namespace mcs::server

@@ -1,0 +1,122 @@
+/// \file journal.hpp
+/// \brief Durable NDJSON job journal for crash recovery.
+///
+/// The supervised server (`mcs_server --supervise`) appends every job
+/// transition to an append-only journal, fsync'd per entry, so a worker
+/// that dies mid-job (crash, OOM-kill, `kill -9`) leaves enough on disk
+/// for its replacement to finish the work: on startup the new worker
+/// replays the journal, re-queues every job that was accepted but never
+/// reached its "done" entry, and answers re-attaching clients from the
+/// retained done entries of jobs that *did* finish.
+///
+/// **Format.**  One JSON object per line, five entry kinds:
+///
+///   {"e":"accepted", "job":"j1", "request":"<the full submit line>"}
+///   {"e":"started",  "job":"j1"}
+///   {"e":"stage",    "job":"j1", "index":0}
+///   {"e":"done",     "job":"j1", "status":"ok", "line":"<the done line>"}
+///   {"e":"shutdown"}
+///
+/// "accepted" stores the *verbatim submit request line* -- replay is
+/// re-submission, so recovery automatically benefits from every
+/// validation and scheduling rule of the live path.  "done" stores the
+/// verbatim response line, so an attach after completion replays the
+/// exact bytes the client would have received.  A trailing "shutdown"
+/// marks a clean drain: nothing is replayed past one.
+///
+/// **Durability and tolerance.**  append() issues fdatasync before
+/// returning, so an entry a client was told about survives power loss.
+/// load() tolerates a torn tail: a final line cut mid-write (the one
+/// crash artifact an append-only file can have) is skipped, as is any
+/// malformed line, counted in Recovery::skipped.
+///
+/// **Compaction.**  Replay rewrites the journal before reopening it:
+/// only the done entries of the most recent completed jobs are retained
+/// (the attach answer cache); pending jobs re-journal their own accepted
+/// entries when re-submitted.  The rewrite goes through a temp file +
+/// fsync + atomic rename, so a crash during compaction leaves either the
+/// old journal or the new one, never a mix.
+
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcs::server {
+
+struct JournalEntry {
+  enum class Kind { kAccepted, kStarted, kStage, kDone, kShutdown };
+
+  Kind kind = Kind::kShutdown;
+  std::string job;      ///< job id (empty for shutdown)
+  std::string payload;  ///< accepted: submit request line; done: done line
+  std::size_t index = 0;   ///< stage: completed stage index
+  std::string status;      ///< done: ok|error|cancelled|timeout
+
+  /// The entry as one JSON line (no trailing newline).
+  std::string to_line() const;
+
+  /// Parses one journal line; throws JsonError/std::runtime_error on
+  /// malformed input (load() catches and skips).
+  static JournalEntry parse(const std::string& line);
+};
+
+/// What a journal says about the previous life of the server.
+struct Recovery {
+  /// Submit request lines of jobs accepted but never finished, in accept
+  /// order, deduplicated by job id (a replayed job re-journals a second
+  /// accepted entry; the last one wins so its request text is current).
+  std::vector<std::string> pending;
+
+  /// (job id, done line) of retained completed jobs, oldest first -- the
+  /// attach answer cache.
+  std::vector<std::pair<std::string, std::string>> completed;
+
+  bool clean_shutdown = true;  ///< last entry was "shutdown" (or no journal)
+  std::size_t entries = 0;     ///< parsed entries
+  std::size_t skipped = 0;     ///< malformed / torn lines skipped
+};
+
+/// Append-only fsync'd journal writer.
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Opens \p path for appending (created if absent).  Throws
+  /// std::runtime_error on failure.
+  void open(const std::string& path);
+  bool is_open() const noexcept { return fd_ >= 0; }
+
+  /// Appends one entry and fdatasyncs.  Serialized internally; a write
+  /// failure is reported on stderr once and the journal closes itself
+  /// (the server keeps serving -- degraded durability beats an outage).
+  void append(const JournalEntry& entry);
+
+  /// Reads and parses \p path ({} when the file does not exist).
+  /// Malformed lines -- including a torn tail -- are skipped, counted in
+  /// \p skipped when given.
+  static std::vector<JournalEntry> load(const std::string& path,
+                                        std::size_t* skipped = nullptr);
+
+  /// Derives the recovery picture: pending jobs, retained done entries
+  /// (most recent \p keep_done), clean-shutdown flag.
+  static Recovery analyze(const std::vector<JournalEntry>& entries,
+                          std::size_t keep_done = 256);
+
+  /// Rewrites \p path to contain only \p recovery's completed done
+  /// entries (temp file + fsync + atomic rename).  Throws on I/O errors.
+  static void compact(const std::string& path, const Recovery& recovery);
+
+ private:
+  std::mutex mutex_;
+  int fd_ = -1;
+};
+
+}  // namespace mcs::server

@@ -71,6 +71,12 @@ Request parse_request(const std::string& line) {
     if (req.id.empty()) throw ProtocolError("cancel: empty job id");
     return req;
   }
+  if (type == "attach") {
+    req.kind = Request::Kind::kAttach;
+    req.id = get_string(msg, "id", /*required=*/true);
+    if (req.id.empty()) throw ProtocolError("attach: empty job id");
+    return req;
+  }
   if (type != "submit") {
     throw ProtocolError("request: unknown type \"" + type + "\"");
   }
@@ -92,6 +98,12 @@ Request parse_request(const std::string& line) {
     if (!(req.weight > 0.0) || !std::isfinite(req.weight)) {
       throw ProtocolError("submit: weight must be finite and > 0");
     }
+  }
+
+  req.emit = get_string(msg, "emit", /*required=*/false);
+  if (!req.emit.empty() && req.emit != "aiger") {
+    throw ProtocolError("submit: emit must be \"aiger\", got \"" + req.emit +
+                        "\"");
   }
 
   if (const Json* input = msg.find("input")) {
@@ -130,7 +142,8 @@ std::string stage_line(std::string_view job, std::size_t index,
 std::string done_line(std::string_view job, std::string_view status,
                       std::string_view error, std::size_t stages,
                       double seconds, double queue_wait_seconds,
-                      const flow::FlowContext& ctx) {
+                      const flow::FlowContext& ctx,
+                      const DoneExtras& extras) {
   std::string out = "{\"type\": \"done\", \"job\": ";
   out += json_quote(job);
   out += ", \"status\": ";
@@ -148,6 +161,23 @@ std::string done_line(std::string_view job, std::string_view status,
          std::to_string(ctx.luts ? ctx.luts->size() : std::size_t{0});
   out += ", \"cells\": " +
          std::to_string(ctx.cells ? ctx.cells->size() : std::size_t{0});
+  if (extras.retried) out += ", \"retried\": true";
+  if (!extras.artifact_format.empty()) {
+    out += ", \"artifact\": {\"format\": ";
+    out += json_quote(extras.artifact_format);
+    out += ", \"text\": ";
+    out += json_quote(extras.artifact_text);
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string attached_line(std::string_view job, std::string_view state) {
+  std::string out = "{\"type\": \"attached\", \"job\": ";
+  out += json_quote(job);
+  out += ", \"state\": ";
+  out += json_quote(state);
   out += "}";
   return out;
 }
@@ -175,6 +205,7 @@ std::string counters_body(const ServerCounters& c) {
   out += ", \"timed_out\": " + std::to_string(c.timed_out);
   out += ", \"rejected\": " + std::to_string(c.rejected);
   out += ", \"protocol_errors\": " + std::to_string(c.protocol_errors);
+  out += ", \"retried\": " + std::to_string(c.retried);
   out += ", \"running\": " + std::to_string(c.running);
   out += ", \"queued\": " + std::to_string(c.queued);
   out += ", \"draining\": ";
@@ -215,6 +246,10 @@ std::string submit_line(const Request& req) {
     out += ", \"weight\": ";
     append_double(out, req.weight);
   }
+  if (!req.emit.empty()) {
+    out += ", \"emit\": ";
+    out += json_quote(req.emit);
+  }
   if (!req.input_format.empty()) {
     out += ", \"input\": {\"format\": ";
     out += json_quote(req.input_format);
@@ -228,6 +263,13 @@ std::string submit_line(const Request& req) {
 
 std::string cancel_line(std::string_view id) {
   std::string out = "{\"type\": \"cancel\", \"id\": ";
+  out += json_quote(id);
+  out += "}";
+  return out;
+}
+
+std::string attach_line(std::string_view id) {
+  std::string out = "{\"type\": \"attach\", \"id\": ";
   out += json_quote(id);
   out += "}";
   return out;

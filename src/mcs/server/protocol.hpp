@@ -5,9 +5,10 @@
 /// Client -> server requests:
 ///
 ///   {"type":"submit", "id":"j1", "flow":"gen:adder,bits=32; compress2rs",
-///    "timeout_ms":60000, "threads":2, "weight":1.0,
+///    "timeout_ms":60000, "threads":2, "weight":1.0, "emit":"aiger",
 ///    "input":{"format":"aiger","text":"aag 0 0 0 0 0\n"}}   // optional
 ///   {"type":"cancel", "id":"j1"}
+///   {"type":"attach", "id":"j1"}  // re-bind a job after a reconnect
 ///   {"type":"ping"}
 ///   {"type":"shutdown"}          // drain: finish accepted jobs, then stop
 ///
@@ -18,6 +19,10 @@
 ///   {"type":"done", "job":"j1", "status":"ok|error|cancelled|timeout",
 ///    "error":"", "stages":4, "seconds":1.25, "queue_wait_seconds":0.01,
 ///    "gates":812, "depth":14, "luts":0, "cells":0}
+///     ... plus "retried": true when the job was replayed from the crash
+///     journal, and "artifact": {"format":"aiger","text":"aag ..."} when
+///     the submit asked for "emit":"aiger"
+///   {"type":"attached", "job":"j1", "state":"running|queued|done"}
 ///   {"type":"error", "job":"j1"?, "error":"..."}   // rejected / protocol
 ///   {"type":"pong", ...counters...}
 ///   {"type":"draining", "jobs":2} / {"type":"drained", "jobs":0}
@@ -51,10 +56,10 @@ class ProtocolError : public std::runtime_error {
 
 /// One parsed client request.
 struct Request {
-  enum class Kind { kSubmit, kCancel, kPing, kShutdown };
+  enum class Kind { kSubmit, kCancel, kAttach, kPing, kShutdown };
 
   Kind kind = Kind::kPing;
-  std::string id;         ///< submit/cancel: client-chosen job id
+  std::string id;         ///< submit/cancel/attach: client-chosen job id
   std::string flow_spec;  ///< submit: the flow-spec mini-language string
 
   /// Optional inline input network ("aiger" ascii or "blif" text); empty
@@ -65,6 +70,10 @@ struct Request {
   std::int64_t timeout_ms = 0;  ///< wall-clock budget; 0 = server default
   int threads = 0;              ///< per-job worker threads; 0 = server default
   double weight = 1.0;          ///< fair-share weight (> 0; bigger = more)
+
+  /// submit: result artifact to inline in the "done" line ("" = none;
+  /// "aiger" = ASCII AIGER of the final working network).
+  std::string emit;
 };
 
 /// Parses one request line.  Throws ProtocolError on malformed JSON,
@@ -81,6 +90,7 @@ struct ServerCounters {
   std::uint64_t timed_out = 0;
   std::uint64_t rejected = 0;    ///< submits that never became jobs
   std::uint64_t protocol_errors = 0;
+  std::uint64_t retried = 0;     ///< jobs re-queued from the journal
   std::size_t running = 0;       ///< jobs currently executing a stage
   std::size_t queued = 0;        ///< jobs waiting for a runner slot
   bool draining = false;
@@ -91,10 +101,22 @@ struct ServerCounters {
 std::string accepted_line(std::string_view job, std::size_t queued);
 std::string stage_line(std::string_view job, std::size_t index,
                        const flow::StageReport& report);
+/// Optional extras of a "done" line: jobs replayed from the journal carry
+/// "retried": true; jobs submitted with "emit":"aiger" carry their result
+/// netlist inline as {"artifact": {"format":"aiger","text":"aag ..."}}.
+struct DoneExtras {
+  bool retried = false;
+  std::string artifact_format;  ///< "" = no artifact
+  std::string artifact_text;
+};
+
 std::string done_line(std::string_view job, std::string_view status,
                       std::string_view error, std::size_t stages,
                       double seconds, double queue_wait_seconds,
-                      const flow::FlowContext& ctx);
+                      const flow::FlowContext& ctx,
+                      const DoneExtras& extras = {});
+/// Ack for "attach": \p state is "running", "queued" or "done".
+std::string attached_line(std::string_view job, std::string_view state);
 /// Protocol- or submit-level failure; \p job may be empty (no job context).
 std::string error_line(std::string_view job, std::string_view message);
 std::string pong_line(const ServerCounters& c);
@@ -105,6 +127,7 @@ std::string drained_line(const ServerCounters& c);
 
 std::string submit_line(const Request& req);
 std::string cancel_line(std::string_view id);
+std::string attach_line(std::string_view id);
 std::string ping_line();
 std::string shutdown_line();
 

@@ -1,12 +1,15 @@
 #include "mcs/server/server.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "mcs/fail/fail.hpp"
 #include "mcs/io/aiger.hpp"
 #include "mcs/io/blif_read.hpp"
+#include "mcs/network/convert.hpp"
 #include "mcs/par/thread_pool.hpp"
 
 namespace mcs::server {
@@ -24,6 +27,10 @@ struct ServerMetrics {
   obs::Counter& jobs_rejected = obs::counter("server.jobs_rejected");
   obs::Counter& protocol_errors = obs::counter("server.protocol_errors");
   obs::Counter& stages_run = obs::counter("server.stages_run");
+  obs::Counter& restarts = obs::counter("server.restarts");
+  obs::Counter& jobs_retried = obs::counter("server.jobs_retried");
+  obs::Gauge& strash_bytes = obs::gauge("strash.bytes_max");
+  obs::Gauge& cut_arena_bytes = obs::gauge("cut.arena_bytes_max");
   obs::Histogram& queue_wait_us = obs::histogram("server.queue_wait_us");
   obs::Histogram& job_latency_us = obs::histogram("server.job_latency_us");
   obs::Gauge& jobs_running = obs::gauge("server.jobs_running");
@@ -49,10 +56,17 @@ int default_job_slots() {
   return std::clamp(resolved, 2, 8);
 }
 
+/// Done lines retained for "attach" after completion (FIFO-bounded; also
+/// the compaction budget of the journal, Journal::analyze's keep_done).
+constexpr std::size_t kDoneCacheMax = 256;
+
 }  // namespace
 
 JobServer::JobServer(ServerOptions options) : options_(options) {
   if (options_.job_slots <= 0) options_.job_slots = default_job_slots();
+  // Recovery runs before the runners exist: replayed jobs queue up
+  // exactly like live submissions and dispatch once the slots spin up.
+  if (!options_.journal_path.empty()) recover_from_journal();
   runners_.reserve(static_cast<std::size_t>(options_.job_slots));
   for (int i = 0; i < options_.job_slots; ++i) {
     runners_.emplace_back(
@@ -60,8 +74,46 @@ JobServer::JobServer(ServerOptions options) : options_(options) {
   }
 }
 
+void JobServer::recover_from_journal() {
+  std::size_t skipped = 0;
+  const std::vector<JournalEntry> entries =
+      Journal::load(options_.journal_path, &skipped);
+  const Recovery rec = Journal::analyze(entries, kDoneCacheMax);
+  // Compact before reopening: pending jobs re-journal their accepted
+  // entries on re-submission below, so only the done cache carries over.
+  Journal::compact(options_.journal_path, rec);
+  journal_.open(options_.journal_path);
+
+  for (const auto& [job, line] : rec.completed) {
+    if (done_cache_.emplace(job, line).second) {
+      done_cache_order_.push_back(job);
+    }
+  }
+  if (!rec.clean_shutdown && rec.entries > 0) {
+    // This process replaces one that died with work on the books.
+    metrics().restarts.increment();
+    std::fprintf(stderr,
+                 "mcs_server: unclean journal (%zu entries, %zu torn): "
+                 "replaying %zu unfinished job(s)\n",
+                 rec.entries, skipped, rec.pending.size());
+  }
+  replaying_ = true;
+  for (const std::string& request : rec.pending) {
+    // Client 0 is never attached: responses drop until the owner
+    // re-attaches by job id.  The replay reuses the full live submit
+    // path, so validation/quota/journal behavior is identical.
+    handle_line(0, request);
+  }
+  replaying_ = false;
+}
+
 JobServer::~JobServer() {
   drain();
+  if (journal_.is_open()) {
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kShutdown;
+    journal_.append(e);
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
@@ -107,6 +159,7 @@ void JobServer::emit(std::uint64_t client, const std::string& line) {
   }
   std::lock_guard<std::mutex> write_lock(c->write_mutex);
   try {
+    fail::point("server.emit");  // simulates a sink dying mid-write
     c->sink(line);
   } catch (...) {
     // A dying sink (broken pipe wrapper etc.) must not take the server
@@ -120,8 +173,11 @@ void JobServer::handle_line(std::uint64_t client, const std::string& line) {
 
   Request req;
   try {
+    // Injected faults land in the catch below and become protocol-error
+    // responses -- the daemon-stays-healthy contract under fire.
+    fail::point("server.line");
     req = parse_request(line);
-  } catch (const ProtocolError& e) {
+  } catch (const std::exception& e) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++counters_.protocol_errors;
@@ -137,6 +193,9 @@ void JobServer::handle_line(std::uint64_t client, const std::string& line) {
       return;
     case Request::Kind::kCancel:
       handle_cancel(client, req);
+      return;
+    case Request::Kind::kAttach:
+      handle_attach(client, req);
       return;
     case Request::Kind::kPing:
       emit(client, pong_line(counters()));
@@ -164,10 +223,33 @@ void JobServer::handle_submit(std::uint64_t client, const Request& req) {
     emit(client, error_line(req.id, why));
   };
 
+  // Graceful degradation, cheapest checks first: an oversized inline
+  // input is refused before it is parsed, and a memory-pressured process
+  // sheds new load instead of growing toward an OOM kill.
+  if (req.input_text.size() > options_.max_input_bytes) {
+    reject("input: " + std::to_string(req.input_text.size()) +
+           " bytes exceeds the inline limit of " +
+           std::to_string(options_.max_input_bytes) + " bytes");
+    return;
+  }
+  if (options_.max_memory_mb > 0) {
+    const std::int64_t used = metrics().strash_bytes.value() +
+                              metrics().cut_arena_bytes.value();
+    if (used > static_cast<std::int64_t>(options_.max_memory_mb) << 20) {
+      reject("server memory high-water exceeded (" +
+             std::to_string(used >> 20) + " MiB > " +
+             std::to_string(options_.max_memory_mb) +
+             " MiB); resubmit later");
+      return;
+    }
+  }
+
   auto job = std::make_shared<Job>();
-  job->client = client;
+  job->client.store(client, std::memory_order_relaxed);
   job->id = req.id;
   job->weight = req.weight;
+  job->retried = replaying_;
+  job->emit = req.emit;
 
   // Everything about the job that can fail is validated here, before it
   // becomes visible: flow spec parse, inline input parse.  A rejected
@@ -185,7 +267,13 @@ void JobServer::handle_submit(std::uint64_t client, const Request& req) {
 
   if (!req.input_format.empty()) {
     try {
-      std::istringstream in(req.input_text);
+      // A short-read fault truncates the inline text, exercising the
+      // reject path the way a torn transport would.
+      const std::size_t n =
+          fail::short_read("server.input", req.input_text.size());
+      std::istringstream in(n == req.input_text.size()
+                                ? req.input_text
+                                : req.input_text.substr(0, n));
       Network net =
           req.input_format == "aiger" ? read_aiger(in) : read_blif(in);
       job->ctx.net = std::move(net);
@@ -206,13 +294,17 @@ void JobServer::handle_submit(std::uint64_t client, const Request& req) {
   }
   job->ctx.cancel = job->token;
   if (options_.stream_stages) {
-    // Captures `this` plus values only: the job must not own a closure
-    // that owns the job.  JobServer outlives every job (the destructor
-    // drains), so `this` is safe from inside a stage.
-    job->ctx.on_stage = [this, client, id = job->id](
+    // Captures `this`, a raw Job* and values only: the job must not own a
+    // closure that owns the job.  JobServer outlives every job (the
+    // destructor drains) and the raw pointer is only dereferenced from
+    // inside a running stage, where the runner holds the shared_ptr.  The
+    // owning client is re-read per stage so "attach" re-routes streaming
+    // mid-job.
+    job->ctx.on_stage = [this, raw = job.get(), id = job->id](
                             const flow::StageReport& report,
                             std::size_t index) {
-      emit(client, stage_line(id, index, report));
+      emit(raw->client.load(std::memory_order_relaxed),
+           stage_line(id, index, report));
     };
   }
   job->accepted_at = std::chrono::steady_clock::now();
@@ -230,15 +322,38 @@ void JobServer::handle_submit(std::uint64_t client, const Request& req) {
     } else if (jobs_.count(std::make_pair(client, job->id)) != 0) {
       why = "duplicate job id \"" + job->id + "\" (still in flight)";
     } else {
-      job->seq = next_seq_++;
-      job->vtime = vfloor_;
-      jobs_.emplace(std::make_pair(client, job->id), job);
-      ready_.emplace(std::make_pair(job->vtime, job->seq), job);
-      ++counters_.accepted;
-      queued = ready_.size();
-      update_gauges_locked();
-      metrics().jobs_in_flight_hwm.set_max(
-          static_cast<std::int64_t>(jobs_.size()));
+      // Per-client quota: keys sharing a client id are contiguous in the
+      // (client, id)-ordered map.
+      std::size_t client_jobs = 0;
+      for (auto it = jobs_.lower_bound(std::make_pair(client, std::string()));
+           it != jobs_.end() && it->first.first == client; ++it) {
+        ++client_jobs;
+      }
+      if (client_jobs >= options_.max_jobs_per_client) {
+        why = "per-client quota reached (" +
+              std::to_string(options_.max_jobs_per_client) +
+              " jobs in flight); resubmit later";
+      } else {
+        job->seq = next_seq_++;
+        job->vtime = vfloor_;
+        jobs_.emplace(std::make_pair(client, job->id), job);
+        ready_.emplace(std::make_pair(job->vtime, job->seq), job);
+        ++counters_.accepted;
+        if (job->retried) ++counters_.retried;
+        queued = ready_.size();
+        update_gauges_locked();
+        metrics().jobs_in_flight_hwm.set_max(
+            static_cast<std::int64_t>(jobs_.size()));
+        if (journal_.is_open()) {
+          // Inside the critical section so no runner can journal this
+          // job's "started" before its "accepted" hits the disk.
+          JournalEntry e;
+          e.kind = JournalEntry::Kind::kAccepted;
+          e.job = job->id;
+          e.payload = submit_line(req);
+          journal_.append(e);
+        }
+      }
     }
   }
   if (!why.empty()) {
@@ -247,7 +362,49 @@ void JobServer::handle_submit(std::uint64_t client, const Request& req) {
   }
   cv_ready_.notify_one();
   metrics().jobs_accepted.increment();
+  if (job->retried) metrics().jobs_retried.increment();
   emit(client, accepted_line(job->id, queued));
+}
+
+void JobServer::handle_attach(std::uint64_t client, const Request& req) {
+  std::string response;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Find an in-flight job with this id; an orphan replayed from the
+    // journal (internal client 0) wins over any live client's job.
+    std::shared_ptr<Job> found;
+    std::uint64_t found_client = 0;
+    for (const auto& [key, job] : jobs_) {
+      if (key.second != req.id) continue;
+      if (found == nullptr || key.first == 0) {
+        found = job;
+        found_client = key.first;
+      }
+      if (key.first == 0) break;
+    }
+    if (found != nullptr) {
+      if (found_client != client &&
+          jobs_.count(std::make_pair(client, req.id)) != 0) {
+        response = error_line(
+            req.id, "attach: a job with this id is already yours");
+      } else {
+        if (found_client != client) {
+          jobs_.erase(std::make_pair(found_client, req.id));
+          jobs_.emplace(std::make_pair(client, req.id), found);
+          found->client.store(client, std::memory_order_relaxed);
+        }
+        response =
+            attached_line(req.id, found->running ? "running" : "queued");
+      }
+    } else if (auto it = done_cache_.find(req.id); it != done_cache_.end()) {
+      response = it->second;  // the exact done line, replayed
+    } else {
+      response = error_line(req.id,
+                            "attach: unknown job (never accepted, or its "
+                            "done line aged out of the cache)");
+    }
+  }
+  emit(client, response);
 }
 
 void JobServer::handle_cancel(std::uint64_t client, const Request& req) {
@@ -313,6 +470,12 @@ void JobServer::runner_loop(std::size_t /*index*/) {
       metrics().queue_wait_us.observe(
           static_cast<std::uint64_t>(job->queue_wait_seconds * 1e6));
       job->span = std::make_unique<obs::Span>("server:job");
+      if (journal_.is_open()) {
+        JournalEntry e;
+        e.kind = JournalEntry::Kind::kStarted;
+        e.job = job->id;
+        journal_.append(e);
+      }
     }
 
     const flow::Flow::Stage& stage = job->flow.stages()[job->next_stage];
@@ -335,6 +498,13 @@ void JobServer::runner_loop(std::size_t /*index*/) {
     // a flood of trivial jobs cannot pin the queue head forever.
     job->vtime += std::max(report.seconds, 1e-7) / job->weight;
     ++job->next_stage;
+    if (report.ok && journal_.is_open()) {
+      JournalEntry e;
+      e.kind = JournalEntry::Kind::kStage;
+      e.job = job->id;
+      e.index = job->next_stage - 1;
+      journal_.append(e);
+    }
 
     if (!report.ok) {
       finalize(job, "error",
@@ -367,13 +537,44 @@ void JobServer::runner_loop(std::size_t /*index*/) {
 }
 
 void JobServer::finalize(const std::shared_ptr<Job>& job,
-                         std::string_view status, const std::string& error) {
+                         std::string_view status_in,
+                         const std::string& error_in) {
+  // The result artifact is serialized before the job leaves the table:
+  // a failure here downgrades the status (the client asked for the
+  // netlist; "ok" without it would be a silent lie).
+  std::string status(status_in);
+  std::string error = error_in;
+  DoneExtras extras;
+  extras.retried = job->retried;
+  if (status == "ok" && job->emit == "aiger") {
+    try {
+      std::ostringstream os;
+      if (job->ctx.net.is_aig()) {
+        write_aiger(job->ctx.net, os, /*binary=*/false);
+      } else {
+        const Network aig = expand_to_aig(job->ctx.net);
+        write_aiger(aig, os, /*binary=*/false);
+      }
+      extras.artifact_format = "aiger";
+      extras.artifact_text = os.str();
+    } catch (const std::exception& e) {
+      status = "error";
+      error = std::string("artifact: ") + e.what();
+    }
+  }
+
+  const double total_seconds = seconds_since(job->accepted_at);
+  const std::string line =
+      done_line(job->id, status, error, job->ctx.history.size(),
+                total_seconds, job->queue_wait_seconds, job->ctx, extras);
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (job->finalized) return;
     job->finalized = true;
     job->running = false;
-    jobs_.erase(std::make_pair(job->client, job->id));
+    jobs_.erase(std::make_pair(job->client.load(std::memory_order_relaxed),
+                               job->id));
     if (status == "ok") {
       ++counters_.completed;
     } else if (status == "cancelled") {
@@ -384,9 +585,18 @@ void JobServer::finalize(const std::shared_ptr<Job>& job,
       ++counters_.failed;
     }
     update_gauges_locked();
+    // Retain the done line for late attach() calls, FIFO-bounded.
+    if (done_cache_.emplace(job->id, line).second) {
+      done_cache_order_.push_back(job->id);
+      if (done_cache_order_.size() > kDoneCacheMax) {
+        done_cache_.erase(done_cache_order_.front());
+        done_cache_order_.erase(done_cache_order_.begin());
+      }
+    } else {
+      done_cache_[job->id] = line;  // id reuse: newest outcome wins
+    }
   }
 
-  const double total_seconds = seconds_since(job->accepted_at);
   ServerMetrics& m = metrics();
   if (status == "ok") {
     m.jobs_completed.increment();
@@ -400,9 +610,19 @@ void JobServer::finalize(const std::shared_ptr<Job>& job,
   m.job_latency_us.observe(static_cast<std::uint64_t>(total_seconds * 1e6));
   job->span.reset();  // records server:job on this thread
 
-  emit(job->client,
-       done_line(job->id, status, error, job->ctx.history.size(),
-                 total_seconds, job->queue_wait_seconds, job->ctx));
+  if (journal_.is_open()) {
+    // Durability before acknowledgment: the entry is on disk before the
+    // client can see the done line.  A crash in between replays the job
+    // (at-least-once); a crash after never re-runs it.
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kDone;
+    e.job = job->id;
+    e.status = status;
+    e.payload = line;
+    journal_.append(e);
+  }
+
+  emit(job->client.load(std::memory_order_relaxed), line);
 
   cv_drained_.notify_all();
 }

@@ -42,6 +42,17 @@
 /// queue-wait and job-latency histograms and running/queued gauges -- see
 /// the README metric catalogue.
 ///
+/// **Robustness.**  With ServerOptions::journal_path set, every job
+/// transition lands in a durable fsync'd journal (journal.hpp) before the
+/// client hears about it; a restarted worker (see `mcs_server --supervise`)
+/// replays accepted-but-unfinished jobs (done lines marked "retried") and
+/// answers "attach" requests for completed ones from the retained done
+/// cache.  Degradation guards (max inline-input bytes, per-client job
+/// quota, memory high-water shedding) reject excess load with an "error"
+/// line instead of letting it take the process down, and the mcs::fail
+/// injection sites (server.line / server.emit / server.input) let tests
+/// and CI prove all of this under deterministic fire.
+///
 /// **Multi-tenant safety.**  Jobs share pool workers, so process-wide
 /// state must be either immutable, thread-local, or observation-only.
 /// The audit (PR 7): ThreadPool::global() is result-neutral by the
@@ -54,6 +65,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -68,6 +80,7 @@
 #include <vector>
 
 #include "mcs/flow/flow.hpp"
+#include "mcs/server/journal.hpp"
 #include "mcs/server/protocol.hpp"
 
 namespace mcs::server {
@@ -93,6 +106,32 @@ struct ServerOptions {
 
   /// Stream per-stage "stage" lines (on by default; "done" always sent).
   bool stream_stages = true;
+
+  // --- graceful degradation guards ------------------------------------------
+
+  /// Inline "input" text larger than this is rejected before parsing
+  /// (one malicious submit must not balloon the daemon).
+  std::size_t max_input_bytes = std::size_t{16} << 20;
+
+  /// Per-client in-flight job quota; submissions beyond it are rejected
+  /// (one chatty tenant cannot monopolize the job table).
+  std::size_t max_jobs_per_client = 1024;
+
+  /// Reject new submissions once the process's kernel-arena high-water
+  /// marks (obs gauges `strash.bytes_max` + `cut.arena_bytes_max`) exceed
+  /// this many MiB; 0 = off.  High-water marks only rise, so a tripped
+  /// guard stays tripped until the (supervised) worker is recycled --
+  /// shedding load beats being OOM-killed mid-job.
+  std::size_t max_memory_mb = 0;
+
+  // --- crash recovery -------------------------------------------------------
+
+  /// Path of the fsync'd NDJSON job journal (see journal.hpp); "" = no
+  /// journaling.  On construction the journal is replayed: jobs accepted
+  /// but unfinished by a previous life are re-queued (their done lines
+  /// carry "retried": true) and completed jobs' done lines are retained
+  /// to answer "attach" requests.
+  std::string journal_path{};
 };
 
 class JobServer {
@@ -152,9 +191,14 @@ class JobServer {
 
   struct Job {
     std::uint64_t seq = 0;  ///< accept order; vtime tiebreak
-    std::uint64_t client = 0;
+    /// Owning client.  Atomic because "attach" re-binds a replayed or
+    /// orphaned job to a new client while its stages may be streaming
+    /// (writers hold mutex_; the on_stage closure reads lock-free).
+    std::atomic<std::uint64_t> client{0};
     std::string id;
     double weight = 1.0;
+    bool retried = false;   ///< replayed from the journal after a crash
+    std::string emit;       ///< "aiger" = inline the result in "done"
     flow::Flow flow;
     flow::FlowContext ctx;
     std::shared_ptr<flow::CancelToken> token;
@@ -170,6 +214,10 @@ class JobServer {
 
   void handle_submit(std::uint64_t client, const Request& req);
   void handle_cancel(std::uint64_t client, const Request& req);
+  void handle_attach(std::uint64_t client, const Request& req);
+  /// Journal recovery (constructor, before runners start): compact the
+  /// old journal, seed the done cache, re-queue unfinished jobs.
+  void recover_from_journal();
   bool cancel_job_locked(const std::shared_ptr<Job>& job,
                          std::unique_lock<std::mutex>& lock);
   void runner_loop(std::size_t index);
@@ -198,6 +246,14 @@ class JobServer {
   std::map<std::pair<double, std::uint64_t>, std::shared_ptr<Job>> ready_;
   ServerCounters counters_;
   std::vector<std::thread> runners_;
+
+  /// Crash-recovery journal (inactive when options_.journal_path is "").
+  Journal journal_;
+  bool replaying_ = false;  ///< ctor-only: marks re-queued jobs retried
+  /// Done lines of recently finished jobs, the "attach" answer cache
+  /// (bounded FIFO; also rebuilt from the journal on recovery).
+  std::map<std::string, std::string> done_cache_;
+  std::vector<std::string> done_cache_order_;
 };
 
 }  // namespace mcs::server

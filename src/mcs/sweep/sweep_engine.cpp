@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "mcs/fail/fail.hpp"
 #include "mcs/network/network_utils.hpp"
 #include "mcs/obs/obs.hpp"
 #include "mcs/par/thread_pool.hpp"
@@ -175,6 +176,9 @@ std::vector<ProvenEquiv> sweep_equivalences(const Network& net,
         num_batches,
         [&](std::size_t b) {
           obs::Span batch_span("sweep:batch");
+          // Propagates via the pool's min-index exception capture: the
+          // whole fraig pass fails deterministically, never the process.
+          fail::point("sweep.batch");
           const std::size_t begin = b * kPairBatch;
           const std::size_t end = std::min(pairs.size(), begin + kPairBatch);
           sat::IncrementalMiter miter(net);

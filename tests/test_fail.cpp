@@ -1,0 +1,208 @@
+/// Tests for mcs::fail -- the deterministic fault-injection subsystem:
+/// spec-grammar validation, the firing schedule options (every / after /
+/// count / seeded probability), short-read clipping, the disabled fast
+/// path, obs accounting, and the `faults` flow pass that arms a spec from
+/// inside a flow (including a fault actually failing a stage).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "mcs/fail/fail.hpp"
+#include "mcs/flow/flow.hpp"
+#include "mcs/obs/obs.hpp"
+
+namespace mcs::fail {
+namespace {
+
+/// Every test leaves the process disarmed, whatever it armed.
+class FailTest : public ::testing::Test {
+ protected:
+  void TearDown() override { disable(); }
+};
+
+// --- arming / grammar -------------------------------------------------------
+
+TEST_F(FailTest, DisabledIsANoOp) {
+  disable();
+  EXPECT_FALSE(armed());
+  EXPECT_EQ(active_spec(), "");
+  EXPECT_NO_THROW(point("flow.stage"));
+  EXPECT_EQ(short_read("server.input", 4096u), 4096u);
+}
+
+TEST_F(FailTest, ConfigureArmsAndDisablesRoundTrip) {
+  configure("flow.stage=throw");
+  EXPECT_TRUE(armed());
+  EXPECT_EQ(active_spec(), "flow.stage=throw");
+  configure("");
+  EXPECT_FALSE(armed());
+  EXPECT_EQ(active_spec(), "");
+}
+
+TEST_F(FailTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(configure("nosite"), FaultSpecError);
+  EXPECT_THROW(configure("a.b=explode"), FaultSpecError);
+  EXPECT_THROW(configure("a.b=throw,every=0"), FaultSpecError);
+  EXPECT_THROW(configure("a.b=throw,every=abc"), FaultSpecError);
+  EXPECT_THROW(configure("a.b=throw,p=0"), FaultSpecError);
+  EXPECT_THROW(configure("a.b=throw,p=1.5"), FaultSpecError);
+  EXPECT_THROW(configure("a.b=throw,bogus=1"), FaultSpecError);
+  EXPECT_THROW(configure("=throw"), FaultSpecError);
+}
+
+TEST_F(FailTest, FailedConfigureKeepsPreviousSpec) {
+  configure("flow.stage=throw");
+  EXPECT_THROW(configure("a.b=explode"), FaultSpecError);
+  EXPECT_TRUE(armed());
+  EXPECT_EQ(active_spec(), "flow.stage=throw");
+}
+
+// --- firing schedule --------------------------------------------------------
+
+TEST_F(FailTest, ThrowFiresOnMatchingSiteOnly) {
+  configure("sat.solve=throw");
+  EXPECT_NO_THROW(point("flow.stage"));
+  EXPECT_THROW(point("sat.solve"), InjectedFault);
+  EXPECT_EQ(injected_total(), 1u);
+}
+
+TEST_F(FailTest, PrefixSitesMatchByPrefix) {
+  configure("io.read.*=throw");
+  EXPECT_THROW(point("io.read.aiger"), InjectedFault);
+  EXPECT_THROW(point("io.read.blif"), InjectedFault);
+  EXPECT_NO_THROW(point("io.write.aiger"));
+}
+
+TEST_F(FailTest, EveryAfterCountScheduleIsExact) {
+  // Skip the first 2 hits, then fire every 3rd hit, at most twice:
+  // hits 0 1 2 3 4 5 6 7 8 9 -> fires at 2 and 5 only.
+  configure("x=throw,after=2,every=3,count=2");
+  std::vector<int> fired;
+  for (int hit = 0; hit < 10; ++hit) {
+    try {
+      point("x");
+    } catch (const InjectedFault&) {
+      fired.push_back(hit);
+    }
+  }
+  EXPECT_EQ(fired, (std::vector<int>{2, 5}));
+  EXPECT_EQ(injected_total(), 2u);
+}
+
+TEST_F(FailTest, SeededProbabilityIsDeterministic) {
+  const auto run = [] {
+    configure("x=throw,p=0.5,seed=42");
+    std::string pattern;
+    for (int hit = 0; hit < 64; ++hit) {
+      try {
+        point("x");
+        pattern += '.';
+      } catch (const InjectedFault&) {
+        pattern += 'X';
+      }
+    }
+    return pattern;
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());  // same spec + same hits = same faults
+  EXPECT_NE(first.find('X'), std::string::npos);
+  EXPECT_NE(first.find('.'), std::string::npos);
+  // A different seed draws a different (still deterministic) pattern.
+  configure("x=throw,p=0.5,seed=43");
+  std::string other;
+  for (int hit = 0; hit < 64; ++hit) {
+    try {
+      point("x");
+      other += '.';
+    } catch (const InjectedFault&) {
+      other += 'X';
+    }
+  }
+  EXPECT_NE(first, other);
+}
+
+TEST_F(FailTest, FirstMatchingRuleWins) {
+  configure("x=delay,ms=0,count=1;x=throw");
+  EXPECT_NO_THROW(point("x"));            // delay rule fires (and retires)
+  EXPECT_THROW(point("x"), InjectedFault);  // throw rule takes over
+}
+
+TEST_F(FailTest, DelayActuallySleeps) {
+  configure("x=delay,ms=30");
+  const auto t0 = std::chrono::steady_clock::now();
+  point("x");
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            25);
+}
+
+TEST_F(FailTest, AllocThrowsBadAlloc) {
+  configure("x=alloc");
+  EXPECT_THROW(point("x"), std::bad_alloc);
+}
+
+// --- short reads ------------------------------------------------------------
+
+TEST_F(FailTest, ShortReadClipsButNeverToZero) {
+  configure("server.input=short");
+  EXPECT_EQ(short_read("server.input", 4096u), 2048u);  // (n + 1) / 2
+  EXPECT_EQ(short_read("server.input", 2u), 1u);
+  EXPECT_EQ(short_read("server.input", 1u), 1u);  // n <= 1 passes through
+  EXPECT_EQ(short_read("server.input", 0u), 0u);
+  EXPECT_EQ(short_read("other.site", 4096u), 4096u);
+}
+
+TEST_F(FailTest, ShortRulesIgnorePointAndViceVersa) {
+  configure("x=short");
+  EXPECT_NO_THROW(point("x"));  // short only acts through short_read()
+  configure("x=throw");
+  EXPECT_THROW(short_read("x", 8u), InjectedFault);  // point kinds act here
+}
+
+// --- accounting -------------------------------------------------------------
+
+TEST_F(FailTest, ObsCountersTrackFires) {
+  obs::Counter& c = obs::counter("fail.injected.throw");
+  const std::uint64_t before = c.value();
+  configure("x=throw,count=3");
+  for (int hit = 0; hit < 5; ++hit) {
+    try {
+      point("x");
+    } catch (const InjectedFault&) {
+    }
+  }
+  EXPECT_EQ(injected_total(), 3u);
+#ifndef MCS_OBS_DISABLE
+  EXPECT_EQ(c.value(), before + 3);
+#else
+  (void)before;
+#endif
+}
+
+// --- the faults flow pass ---------------------------------------------------
+
+TEST_F(FailTest, FaultsPassArmsFromAFlowSpec) {
+  flow::Flow flow = flow::Flow::parse("faults:spec=sat.solve=delay|ms=2");
+  flow::FlowContext ctx;
+  EXPECT_TRUE(flow.run(ctx).ok);
+  // The pass translates '|' to ',' so specs fit the flow mini-language.
+  EXPECT_TRUE(armed());
+  EXPECT_EQ(active_spec(), "sat.solve=delay,ms=2");
+}
+
+TEST_F(FailTest, InjectedStageFaultFailsTheFlowCleanly) {
+  configure("flow.stage=throw,after=1,count=1");
+  flow::Flow flow = flow::Flow::parse("gen:adder,bits=8; strash");
+  flow::FlowContext ctx;
+  const flow::FlowReport report = flow.run(ctx);
+  EXPECT_FALSE(report.ok);  // the fault fails the stage, not the process
+  EXPECT_NE(report.error.find("injected fault"), std::string::npos);
+  EXPECT_EQ(injected_total(), 1u);
+}
+
+}  // namespace
+}  // namespace mcs::fail

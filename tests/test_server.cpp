@@ -18,6 +18,9 @@
 #include <vector>
 
 #include "mcs/flow/flow.hpp"
+#include "mcs/io/aiger.hpp"
+#include "mcs/obs/obs.hpp"
+#include "mcs/server/journal.hpp"
 #include "mcs/server/json.hpp"
 #include "mcs/server/protocol.hpp"
 #include "mcs/server/server.hpp"
@@ -504,6 +507,304 @@ TEST(JobServer, ConcurrentMixedFlowsMatchSerialBitForBit) {
     EXPECT_EQ(slurp(dir + "srv_b" + std::to_string(i) + ".aig"), ref_b)
         << "job b" << i << " diverged from the serial run";
   }
+}
+
+// --- journal ----------------------------------------------------------------
+
+TEST(Journal, EntriesRoundTripThroughToLine) {
+  JournalEntry accepted;
+  accepted.kind = JournalEntry::Kind::kAccepted;
+  accepted.job = "weird \"job\"\n";
+  accepted.payload = submit("weird \"job\"\n", "gen:adder,bits=8");
+  JournalEntry started;
+  started.kind = JournalEntry::Kind::kStarted;
+  started.job = "j";
+  JournalEntry stage;
+  stage.kind = JournalEntry::Kind::kStage;
+  stage.job = "j";
+  stage.index = 3;
+  JournalEntry done;
+  done.kind = JournalEntry::Kind::kDone;
+  done.job = "j";
+  done.status = "ok";
+  done.payload = R"({"type": "done", "job": "j", "status": "ok"})";
+  JournalEntry shutdown;
+  shutdown.kind = JournalEntry::Kind::kShutdown;
+
+  for (const JournalEntry& e :
+       {accepted, started, stage, done, shutdown}) {
+    const JournalEntry back = JournalEntry::parse(e.to_line());
+    EXPECT_EQ(back.kind, e.kind);
+    EXPECT_EQ(back.job, e.job);
+    EXPECT_EQ(back.payload, e.payload);
+    EXPECT_EQ(back.index, e.index);
+    EXPECT_EQ(back.status, e.status);
+  }
+}
+
+TEST(Journal, LoadToleratesATornTailLine) {
+  const std::string path = ::testing::TempDir() + "mcs_journal_torn.ndjson";
+  {
+    Journal j;
+    j.open(path);
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kAccepted;
+    e.job = "j1";
+    e.payload = submit("j1", "gen:adder,bits=8");
+    j.append(e);
+    e.job = "j2";
+    e.payload = submit("j2", "gen:adder,bits=8");
+    j.append(e);
+  }
+  {
+    // Simulate a crash mid-append: a truncated, unterminated last line.
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << R"({"e": "done", "job": "j1", "sta)";
+  }
+  std::size_t skipped = 0;
+  const std::vector<JournalEntry> entries = Journal::load(path, &skipped);
+  EXPECT_EQ(entries.size(), 2u);
+  EXPECT_EQ(skipped, 1u);  // the torn tail, counted but not fatal
+  std::remove(path.c_str());
+}
+
+TEST(Journal, AnalyzeSeparatesPendingFromCompleted) {
+  const std::string sub1 = submit("j1", "gen:adder,bits=8");
+  const std::string sub2 = submit("j2", "gen:adder,bits=8");
+  std::vector<JournalEntry> entries;
+  JournalEntry e;
+  e.kind = JournalEntry::Kind::kAccepted;
+  e.job = "j1";
+  e.payload = sub1;
+  entries.push_back(e);
+  e.job = "j2";
+  e.payload = sub2;
+  entries.push_back(e);
+  e = {};
+  e.kind = JournalEntry::Kind::kStarted;
+  e.job = "j1";
+  entries.push_back(e);
+  e = {};
+  e.kind = JournalEntry::Kind::kDone;
+  e.job = "j1";
+  e.status = "ok";
+  e.payload = "done-line-j1";
+  entries.push_back(e);
+
+  Recovery rec = Journal::analyze(entries);
+  EXPECT_FALSE(rec.clean_shutdown);  // no trailing shutdown entry
+  ASSERT_EQ(rec.pending.size(), 1u);
+  EXPECT_EQ(rec.pending[0], sub2);  // j1 finished; only j2 needs replay
+  ASSERT_EQ(rec.completed.size(), 1u);
+  EXPECT_EQ(rec.completed[0].first, "j1");
+  EXPECT_EQ(rec.completed[0].second, "done-line-j1");
+
+  e = {};
+  e.kind = JournalEntry::Kind::kShutdown;
+  entries.push_back(e);
+  rec = Journal::analyze(entries);
+  EXPECT_TRUE(rec.clean_shutdown);
+
+  // Id reuse across lives: the newest done line wins, deduplicated.
+  e = {};
+  e.kind = JournalEntry::Kind::kAccepted;
+  e.job = "j1";
+  e.payload = sub1;
+  entries.push_back(e);
+  e = {};
+  e.kind = JournalEntry::Kind::kDone;
+  e.job = "j1";
+  e.status = "ok";
+  e.payload = "done-line-j1-second-life";
+  entries.push_back(e);
+  rec = Journal::analyze(entries);
+  ASSERT_EQ(rec.completed.size(), 1u);
+  EXPECT_EQ(rec.completed[0].second, "done-line-j1-second-life");
+}
+
+TEST(Journal, CompactKeepsOnlyRetainedDoneEntries) {
+  const std::string path = ::testing::TempDir() + "mcs_journal_compact.ndjson";
+  {
+    Journal j;
+    j.open(path);
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kAccepted;
+    e.job = "j1";
+    e.payload = submit("j1", "gen:adder,bits=8");
+    j.append(e);
+    e.kind = JournalEntry::Kind::kDone;
+    e.status = "ok";
+    e.payload = "done-line-j1";
+    j.append(e);
+    e.kind = JournalEntry::Kind::kAccepted;
+    e.job = "j2";
+    e.payload = submit("j2", "gen:adder,bits=8");
+    j.append(e);
+  }
+  const Recovery rec = Journal::analyze(Journal::load(path, nullptr));
+  Journal::compact(path, rec);
+
+  // The compacted journal replays to: nothing pending (pending jobs are
+  // re-journaled by the server on re-submission), j1's done line kept.
+  const Recovery after = Journal::analyze(Journal::load(path, nullptr));
+  EXPECT_TRUE(after.pending.empty());
+  ASSERT_EQ(after.completed.size(), 1u);
+  EXPECT_EQ(after.completed[0].first, "j1");
+  EXPECT_EQ(after.completed[0].second, "done-line-j1");
+  std::remove(path.c_str());
+}
+
+// --- server: crash recovery -------------------------------------------------
+
+TEST(JobServer, ReplaysUnfinishedJournalJobsAsRetried) {
+  const std::string path = ::testing::TempDir() + "mcs_journal_replay.ndjson";
+  std::remove(path.c_str());
+  {
+    // A journal left behind by a worker that died mid-job: the accept is
+    // on the books, no done line, no shutdown marker.
+    Journal j;
+    j.open(path);
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kAccepted;
+    e.job = "crashjob";
+    e.payload = submit("crashjob", "gen:adder,bits=8; compress2rs");
+    j.append(e);
+  }
+
+  JobServer server(ServerOptions{.job_slots = 1, .journal_path = path});
+  EXPECT_EQ(server.counters().retried, 1u);
+
+  // The replayed job runs unobserved (internal client 0) until its owner
+  // re-binds by id; from then on its lines -- or its cached done line,
+  // if it already finished -- reach this client.
+  TestClient client(server);
+  client.send(attach_line("crashjob"));
+  EXPECT_EQ(client.wait_outcome("crashjob"), "ok");
+
+  bool saw_done = false;
+  for (const std::string& line : client.lines()) {
+    const Json msg = Json::parse(line);
+    const Json* t = msg.find("type");
+    if (t == nullptr || t->as_string() != "done") continue;
+    saw_done = true;
+    const Json* retried = msg.find("retried");
+    ASSERT_NE(retried, nullptr) << line;
+    EXPECT_TRUE(retried->as_bool());
+  }
+  EXPECT_TRUE(saw_done);
+
+  // Attaching to a job the journal never heard of is an error, not a hang.
+  client.send(attach_line("never-existed"));
+  EXPECT_EQ(client.wait_outcome("never-existed"), "rejected");
+  std::remove(path.c_str());
+}
+
+TEST(JobServer, CleanShutdownReplaysNothingAndAnswersAttachFromCache) {
+  const std::string path = ::testing::TempDir() + "mcs_journal_clean.ndjson";
+  std::remove(path.c_str());
+  {
+    JobServer server(ServerOptions{.job_slots = 1, .journal_path = path});
+    TestClient client(server);
+    client.send(submit("j1", "gen:adder,bits=8"));
+    EXPECT_EQ(client.wait_outcome("j1"), "ok");
+  }  // destructor journals the shutdown marker
+
+  JobServer server(ServerOptions{.job_slots = 1, .journal_path = path});
+  EXPECT_EQ(server.counters().retried, 0u);
+  EXPECT_EQ(server.jobs_in_flight(), 0u);
+
+  // The retained done line still answers a late re-attach.
+  TestClient client(server);
+  client.send(attach_line("j1"));
+  EXPECT_EQ(client.wait_outcome("j1"), "ok");
+  std::remove(path.c_str());
+}
+
+// --- server: degradation guards ---------------------------------------------
+
+TEST(JobServer, RejectsOversizeInlineInput) {
+  JobServer server(
+      ServerOptions{.job_slots = 1, .max_input_bytes = 16});
+  TestClient client(server);
+  Request req;
+  req.kind = Request::Kind::kSubmit;
+  req.id = "big";
+  req.flow_spec = "strash";
+  req.input_format = "aiger";
+  req.input_text = std::string(64, 'x');  // rejected before parsing
+  client.send(submit_line(req));
+  EXPECT_EQ(client.wait_outcome("big"), "rejected");
+  EXPECT_EQ(server.counters().rejected, 1u);
+
+  // Under the limit still works.
+  client.send(submit("small", "gen:adder,bits=8"));
+  EXPECT_EQ(client.wait_outcome("small"), "ok");
+}
+
+TEST(JobServer, EnforcesPerClientJobQuota) {
+  JobServer server(
+      ServerOptions{.job_slots = 1, .max_jobs_per_client = 1});
+  TestClient client(server);
+  client.send(submit("hog", "gen:multiplier,bits=32; compress2rs"));
+  client.send(submit("over", "gen:adder,bits=8"));  // hog still in flight
+  EXPECT_EQ(client.wait_outcome("over"), "rejected");
+  EXPECT_EQ(client.wait_outcome("hog"), "ok");
+
+  // The quota frees with the job.
+  client.send(submit("after", "gen:adder,bits=8"));
+  EXPECT_EQ(client.wait_outcome("after"), "ok");
+}
+
+#ifndef MCS_OBS_DISABLE
+TEST(JobServer, ShedsLoadPastTheMemoryHighWater) {
+  // The guard reads the obs high-water gauges; crank one past the limit.
+  // High-water marks only rise, so this test pins it back down afterwards
+  // via set_max being a no-op -- use a dedicated large value and accept
+  // that later tests see it too (the guard is off for them: default 0).
+  obs::gauge("strash.bytes_max").set_max(std::int64_t{2} << 20);
+  JobServer server(
+      ServerOptions{.job_slots = 1, .max_memory_mb = 1});
+  TestClient client(server);
+  client.send(submit("shed", "gen:adder,bits=8"));
+  EXPECT_EQ(client.wait_outcome("shed"), "rejected");
+  EXPECT_EQ(server.counters().rejected, 1u);
+}
+#endif
+
+// --- server: inline result artifacts ----------------------------------------
+
+TEST(JobServer, EmitAigerInlinesTheResultNetlist) {
+  JobServer server(ServerOptions{.job_slots = 1});
+  TestClient client(server);
+  Request req;
+  req.kind = Request::Kind::kSubmit;
+  req.id = "art";
+  req.flow_spec = "gen:adder,bits=8; compress2rs";
+  req.emit = "aiger";
+  client.send(submit_line(req));
+  EXPECT_EQ(client.wait_outcome("art"), "ok");
+
+  const Json* artifact = nullptr;
+  Json done = Json::null();
+  for (const std::string& line : client.lines()) {
+    Json msg = Json::parse(line);
+    const Json* t = msg.find("type");
+    if (t && t->as_string() == "done") {
+      done = std::move(msg);
+      artifact = done.find("artifact");
+    }
+  }
+  ASSERT_NE(artifact, nullptr) << "done line carries no artifact";
+  EXPECT_EQ(artifact->find("format")->as_string(), "aiger");
+
+  // The inline text is a complete, loadable ASCII AIGER of the result.
+  // (Gate counts need not match the "gates" field: a non-AIG working
+  // network is expanded to AND gates for the AIGER serialization.)
+  std::istringstream is(artifact->find("text")->as_string());
+  const Network net = read_aiger(is);
+  EXPECT_GT(net.num_gates(), 0u);
+  EXPECT_GE(static_cast<std::int64_t>(net.num_gates()),
+            done.find("gates")->as_int());
 }
 
 }  // namespace

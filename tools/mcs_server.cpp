@@ -15,6 +15,14 @@
 /// way.  In pipe mode EOF on stdin is an implicit shutdown, so
 /// `mcs_submit --script jobs.ndjson` against a FIFO pair is a complete
 /// smoke test with no networking at all.
+///
+/// With `--supervise` the process becomes a parent watchdog: it forks the
+/// actual serving worker, restarts it (exponential backoff, bounded by
+/// `--max-restarts`) whenever it dies without exiting 0, and forwards
+/// SIGTERM/SIGINT so a drain still reaches the worker.  Paired with
+/// `--journal PATH` the restarted worker replays accepted-but-unfinished
+/// jobs from the durable journal, so a `kill -9` mid-job still ends in a
+/// "done" line for every accepted job (marked "retried": true).
 
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -22,8 +30,10 @@
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +46,7 @@
 #include <utility>
 #include <vector>
 
+#include "mcs/fail/fail.hpp"
 #include "mcs/server/protocol.hpp"
 #include "mcs/server/server.hpp"
 
@@ -78,6 +89,27 @@ bool write_all(int fd, const std::string& data) {
   return true;
 }
 
+/// Socket variant of write_all: MSG_NOSIGNAL so a vanished peer yields
+/// EPIPE instead of SIGPIPE even if the handler were ever reset, and a
+/// failed write half-closes the socket -- that pops the connection's
+/// blocked read loop, which detaches the client and cancels its jobs.
+/// A dead sink therefore disconnects cleanly instead of wedging runners
+/// behind an unwritable fd.
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      shutdown(fd, SHUT_RDWR);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
 void usage() {
   std::fputs(
       "usage: mcs_server (--pipe | --unix PATH | --tcp PORT) [options]\n"
@@ -93,6 +125,17 @@ void usage() {
       "  --timeout-ms N      default per-job wall-clock budget (default none)\n"
       "  --max-jobs N        in-flight job cap before rejecting (default 4096)\n"
       "  --no-stream         suppress per-stage \"stage\" lines\n"
+      "\n"
+      "robustness\n"
+      "  --journal PATH      durable fsync'd job journal; replayed on restart\n"
+      "  --supervise         watchdog parent: forks the worker, restarts it on\n"
+      "                      crash (needs --unix/--tcp; pair with --journal)\n"
+      "  --pidfile PATH      write the worker pid here (rewritten per restart)\n"
+      "  --max-restarts N    supervisor restart budget (default 10)\n"
+      "  --backoff-ms N      first restart delay, doubling to 5s (default 100)\n"
+      "  --max-input-bytes N     reject larger inline inputs (default 16 MiB)\n"
+      "  --max-jobs-per-client N per-client in-flight quota (default 1024)\n"
+      "  --max-memory-mb N   shed new jobs past this arena high-water (0 = off)\n"
       "\n"
       "SIGTERM/SIGINT drain gracefully: accepted jobs finish, then exit 0.\n",
       stderr);
@@ -175,7 +218,7 @@ struct ConnectionSet {
     }
     for (const auto& [fd, write_mutex] : snapshot) {
       std::lock_guard<std::mutex> lock(*write_mutex);
-      write_all(fd, line + "\n");
+      send_all(fd, line + "\n");
     }
   }
   /// Wakes every blocked connection reader (used at drain time).
@@ -191,7 +234,7 @@ void serve_connection(mcs::server::JobServer& server, int fd,
   const std::uint64_t client =
       server.attach([fd, out_mutex](const std::string& line) {
         std::lock_guard<std::mutex> lock(*out_mutex);
-        write_all(fd, line + "\n");
+        send_all(fd, line + "\n");
       });
 
   std::string buffer;
@@ -278,6 +321,100 @@ int listen_unix(const std::string& path) {
   return fd;
 }
 
+// --- supervisor mode --------------------------------------------------------
+
+volatile sig_atomic_t g_supervisor_stop = 0;
+volatile pid_t g_worker_pid = -1;
+
+void on_supervisor_signal(int sig) {
+  g_supervisor_stop = 1;
+  const pid_t pid = g_worker_pid;
+  if (pid > 0) kill(pid, sig);  // forward: the worker drains gracefully
+}
+
+struct SupervisorOptions {
+  std::string pidfile;    ///< worker pid, rewritten on every (re)start
+  int max_restarts = 10;  ///< crash-restart budget before giving up
+  long backoff_ms = 100;  ///< first restart delay; doubles, capped at 5s
+};
+
+void write_pidfile(const std::string& path, pid_t pid) {
+  if (path.empty()) return;
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror("mcs_server: pidfile");
+    return;
+  }
+  std::fprintf(f, "%d\n", static_cast<int>(pid));
+  std::fclose(f);
+}
+
+/// The parent watchdog: forks the serving worker and restarts it, with
+/// exponential backoff and within the restart budget, whenever it dies
+/// without exiting 0.  All protocol state a restart must preserve lives
+/// in the worker's journal (the worker replays it and re-binds its own
+/// listening socket), so the supervisor stays trivially crash-free: it
+/// holds a pid and a counter, nothing else.  Returns the parent's exit
+/// code, or -1 in the forked child -- the caller then falls through
+/// into the normal worker path.
+int supervise_loop(const SupervisorOptions& sup) {
+  struct sigaction sa = {};
+  sa.sa_handler = on_supervisor_signal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  int restarts = 0;
+  long backoff_ms = std::max(sup.backoff_ms, 1L);
+  for (;;) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("mcs_server: fork");
+      return 1;
+    }
+    if (pid == 0) return -1;  // child: become the worker
+    g_worker_pid = pid;
+    write_pidfile(sup.pidfile, pid);
+
+    int status = 0;
+    while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    g_worker_pid = -1;
+
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (clean || g_supervisor_stop) {
+      if (!sup.pidfile.empty()) unlink(sup.pidfile.c_str());
+      return clean ? 0 : 1;
+    }
+    if (restarts >= sup.max_restarts) {
+      std::fprintf(stderr,
+                   "mcs_server: restart budget (%d) exhausted, giving up\n",
+                   sup.max_restarts);
+      if (!sup.pidfile.empty()) unlink(sup.pidfile.c_str());
+      return 1;
+    }
+    ++restarts;
+    if (WIFSIGNALED(status)) {
+      std::fprintf(stderr,
+                   "mcs_server: worker killed by signal %d; restart %d/%d "
+                   "in %ld ms\n",
+                   WTERMSIG(status), restarts, sup.max_restarts, backoff_ms);
+    } else {
+      std::fprintf(stderr,
+                   "mcs_server: worker exited %d; restart %d/%d in %ld ms\n",
+                   WIFEXITED(status) ? WEXITSTATUS(status) : -1, restarts,
+                   sup.max_restarts, backoff_ms);
+    }
+    usleep(static_cast<useconds_t>(backoff_ms) * 1000);
+    backoff_ms = std::min(backoff_ms * 2, 5000L);
+    if (g_supervisor_stop) {
+      // Stop requested during the backoff window; nothing left to kill.
+      if (!sup.pidfile.empty()) unlink(sup.pidfile.c_str());
+      return 0;
+    }
+  }
+}
+
 int listen_tcp(int port) {
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -307,6 +444,8 @@ int main(int argc, char** argv) {
   std::string unix_path;
   int tcp_port = 0;
   mcs::server::ServerOptions options;
+  bool supervise = false;
+  SupervisorOptions sup;
 
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -337,6 +476,25 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(need_value(i)));
     } else if (arg == "--no-stream") {
       options.stream_stages = false;
+    } else if (arg == "--journal") {
+      options.journal_path = need_value(i);
+    } else if (arg == "--supervise") {
+      supervise = true;
+    } else if (arg == "--pidfile") {
+      sup.pidfile = need_value(i);
+    } else if (arg == "--max-restarts") {
+      sup.max_restarts = std::atoi(need_value(i));
+    } else if (arg == "--backoff-ms") {
+      sup.backoff_ms = std::atol(need_value(i));
+    } else if (arg == "--max-input-bytes") {
+      options.max_input_bytes =
+          static_cast<std::size_t>(std::atoll(need_value(i)));
+    } else if (arg == "--max-jobs-per-client") {
+      options.max_jobs_per_client =
+          static_cast<std::size_t>(std::atoll(need_value(i)));
+    } else if (arg == "--max-memory-mb") {
+      options.max_memory_mb =
+          static_cast<std::size_t>(std::atoll(need_value(i)));
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -355,7 +513,30 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (supervise) {
+    if (mode == Mode::kPipe) {
+      std::fprintf(stderr,
+                   "mcs_server: --supervise needs --unix or --tcp (a "
+                   "restarted worker cannot resume a half-consumed stdin)\n");
+      return 1;
+    }
+    if (options.journal_path.empty()) {
+      std::fprintf(stderr,
+                   "mcs_server: warning: --supervise without --journal; "
+                   "in-flight jobs are lost on a worker crash\n");
+    }
+    const int rc = supervise_loop(sup);
+    if (rc >= 0) return rc;  // parent watchdog is done
+    // Forked child: fall through and serve.  The worker re-binds the
+    // listening socket and replays the journal itself, so nothing needs
+    // to survive in the supervisor across restarts.
+  }
+
   install_signal_handlers();
+  // Arm MCS_FAULTS for the transport-level sites (server.line/server.emit)
+  // -- flow::run would arm them too, but only once a job reaches a stage.
+  mcs::fail::init_from_env();
+  if (!supervise) write_pidfile(sup.pidfile, getpid());
 
   mcs::server::JobServer server(options);
   if (mode == Mode::kPipe) return run_pipe(server);

@@ -7,6 +7,13 @@
 ///              --flow "gen:adder,bits=32; compress2rs; map_lut:k=6"
 ///              [--id j1] [--input design.aig] [--timeout-ms 60000]
 ///              [--threads 2] [--weight 2.0] [--cancel-after-ms 500]
+///              [--retry 5] [--emit aiger] [--artifact-out out.aag]
+///
+/// `--retry N` makes the client crash-tolerant: the initial connect is
+/// retried with backoff, and a mid-job disconnect (supervised worker
+/// crash) reconnects and re-binds to the job with an "attach" request --
+/// the journal replay on the server side finishes the job, so the done
+/// line still arrives (carrying "retried": true).
 ///
 ///   exit code: 0 = done ok, 2 = done error, 3 = cancelled, 4 = timeout,
 ///              5 = rejected, 1 = transport/protocol trouble.
@@ -34,6 +41,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -99,6 +107,15 @@ struct Connection {
     if (out_fd >= 0 && out_fd != in_fd) close(out_fd);
     if (out_fd >= 0 && out_fd == in_fd) shutdown(out_fd, SHUT_WR);
     out_fd = -1;
+  }
+
+  /// Tears the whole connection down so the object can be reconnected
+  /// (the --retry reconnect path after a server crash).
+  void close_all() {
+    if (out_fd >= 0 && out_fd != in_fd) close(out_fd);
+    if (in_fd >= 0) close(in_fd);
+    in_fd = out_fd = -1;
+    read_buffer.clear();
   }
 
   ~Connection() {
@@ -175,6 +192,22 @@ bool connect_spec(const std::string& spec, Connection& conn) {
   return false;
 }
 
+/// connect_spec with up to \p retries re-attempts, exponential backoff
+/// doubling from \p backoff_ms (capped at 5s).  Covers both a server that
+/// has not bound its socket yet and the window while a supervisor is
+/// restarting a crashed worker.
+bool connect_with_retry(const std::string& spec, Connection& conn,
+                        int retries, long backoff_ms) {
+  backoff_ms = std::max(backoff_ms, 1L);
+  for (int attempt = 0;; ++attempt) {
+    if (connect_spec(spec, conn)) return true;
+    conn.close_all();
+    if (attempt >= retries) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, 5000L);
+  }
+}
+
 // --- response inspection ----------------------------------------------------
 
 struct Response {
@@ -209,8 +242,27 @@ int status_to_exit(const std::string& status) {
   return 1;
 }
 
-int run_single(Connection& conn, const mcs::server::Request& req,
-               long long cancel_after_ms, bool quiet) {
+/// Extracts the inline {"artifact": {"text": ...}} of a done line into
+/// \p path; false when the line carries no artifact or the write fails.
+bool save_artifact(const std::string& done_json, const std::string& path) {
+  try {
+    const Json msg = Json::parse(done_json);
+    const Json* artifact = msg.find("artifact");
+    if (artifact == nullptr || !artifact->is_object()) return false;
+    const Json* text = artifact->find("text");
+    if (text == nullptr || !text->is_string()) return false;
+    std::ofstream out(path, std::ios::binary);
+    out << text->as_string();
+    return out.good();
+  } catch (const mcs::server::JsonError&) {
+    return false;
+  }
+}
+
+int run_single(const std::string& connect_to, Connection& conn,
+               const mcs::server::Request& req, long long cancel_after_ms,
+               bool quiet, int retries, long retry_backoff_ms,
+               const std::string& artifact_out) {
   if (!conn.send_line(mcs::server::submit_line(req))) {
     std::fprintf(stderr, "mcs_submit: send failed\n");
     return 1;
@@ -225,16 +277,60 @@ int run_single(Connection& conn, const mcs::server::Request& req,
   }
 
   int exit_code = 1;
+  int reconnects_left = retries;
+  bool awaiting_attach = false;  // an "error" now means "job unknown here"
+  bool finished = false;
   std::string line;
-  while (conn.read_line(line)) {
-    if (!quiet) std::cout << line << "\n" << std::flush;
-    const Response r = inspect(line);
-    if (r.type == "done" && r.job == req.id) {
-      exit_code = status_to_exit(r.status);
+  while (!finished) {
+    while (conn.read_line(line)) {
+      if (!quiet) std::cout << line << "\n" << std::flush;
+      const Response r = inspect(line);
+      if (r.type == "attached" && r.job == req.id) {
+        awaiting_attach = false;  // re-bound; stage/done lines resume
+        continue;
+      }
+      if (r.type == "done" && r.job == req.id) {
+        exit_code = status_to_exit(r.status);
+        if (!artifact_out.empty() && !save_artifact(line, artifact_out)) {
+          std::fprintf(stderr, "mcs_submit: no artifact in done line\n");
+          if (exit_code == 0) exit_code = 1;
+        }
+        finished = true;
+        break;
+      }
+      if (r.type == "error" && (r.job == req.id || r.job.empty())) {
+        if (awaiting_attach) {
+          // The crash beat the journal's accept record: the restarted
+          // server never heard of the job.  Submit it again from here.
+          awaiting_attach = false;
+          if (!conn.send_line(mcs::server::submit_line(req))) break;
+          continue;
+        }
+        exit_code = 5;  // rejected before becoming a job
+        finished = true;
+        break;
+      }
+    }
+    if (finished) break;
+    // EOF before "done": the server (or its supervised worker) died
+    // mid-job.  Reconnect and re-bind via "attach" -- the journal replay
+    // finishes the job and its done line reaches us here.
+    if (reconnects_left <= 0) {
+      std::fprintf(stderr,
+                   "mcs_submit: connection lost before \"done\"%s\n",
+                   retries > 0 ? " (retries exhausted)" : "");
       break;
     }
-    if (r.type == "error" && (r.job == req.id || r.job.empty())) {
-      exit_code = 5;  // rejected before becoming a job
+    --reconnects_left;
+    conn.close_all();
+    if (!connect_with_retry(connect_to, conn, retries, retry_backoff_ms)) {
+      std::fprintf(stderr, "mcs_submit: reconnect to %s failed\n",
+                   connect_to.c_str());
+      break;
+    }
+    awaiting_attach = true;
+    if (!conn.send_line(mcs::server::attach_line(req.id))) {
+      std::fprintf(stderr, "mcs_submit: attach send failed\n");
       break;
     }
   }
@@ -269,6 +365,10 @@ int run_script(Connection& conn, std::istream& script) {
       // smoke test sends them); the server answers with an "error" line.
     }
     if (!conn.send_line(line)) {
+      // After a shutdown request the server may legitimately drain and
+      // leave before later script lines go out (EPIPE here); the session
+      // is over, so stop sending and collect the buffered responses.
+      if (sent_shutdown) break;
       std::fprintf(stderr, "mcs_submit: send failed\n");
       return 1;
     }
@@ -314,6 +414,13 @@ void usage() {
       "  --threads N          worker threads for this job's stages\n"
       "  --weight W           fair-share weight (> 0)\n"
       "  --cancel-after-ms N  send a cancel N ms after submitting\n"
+      "  --emit aiger         ask for the result netlist inline in \"done\"\n"
+      "  --artifact-out FILE  write that inline artifact here (implies\n"
+      "                       --emit aiger)\n"
+      "  --retry N            reconnect budget: retries the initial connect\n"
+      "                       and, after a mid-job disconnect, re-binds via\n"
+      "                       \"attach\" (resubmitting if the job is unknown)\n"
+      "  --retry-backoff-ms N first retry delay, doubling to 5s (default 200)\n"
       "  --quiet              suppress response echo; exit code only\n"
       "\n"
       "session script\n"
@@ -332,6 +439,9 @@ int main(int argc, char** argv) {
   bool shutdown_only = false;
   bool quiet = false;
   long long cancel_after_ms = 0;
+  int retries = 0;
+  long retry_backoff_ms = 200;
+  std::string artifact_out;
   mcs::server::Request req;
   req.kind = mcs::server::Request::Kind::kSubmit;
   req.id = "job1";
@@ -364,6 +474,14 @@ int main(int argc, char** argv) {
       req.weight = std::atof(need_value(i));
     } else if (arg == "--cancel-after-ms") {
       cancel_after_ms = std::atoll(need_value(i));
+    } else if (arg == "--emit") {
+      req.emit = need_value(i);
+    } else if (arg == "--artifact-out") {
+      artifact_out = need_value(i);
+    } else if (arg == "--retry") {
+      retries = std::atoi(need_value(i));
+    } else if (arg == "--retry-backoff-ms") {
+      retry_backoff_ms = std::atol(need_value(i));
     } else if (arg == "--script") {
       script_path = need_value(i);
     } else if (arg == "--cancel") {
@@ -389,9 +507,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   signal(SIGPIPE, SIG_IGN);
+  if (!artifact_out.empty() && req.emit.empty()) req.emit = "aiger";
 
   Connection conn;
-  if (!connect_spec(connect_to, conn)) {
+  if (!connect_with_retry(connect_to, conn, retries, retry_backoff_ms)) {
     std::fprintf(stderr, "mcs_submit: cannot connect to %s\n",
                  connect_to.c_str());
     return 1;
@@ -453,5 +572,6 @@ int main(int argc, char** argv) {
               : "aiger";
     }
   }
-  return run_single(conn, req, cancel_after_ms, quiet);
+  return run_single(connect_to, conn, req, cancel_after_ms, quiet, retries,
+                    retry_backoff_ms, artifact_out);
 }
