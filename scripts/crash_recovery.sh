@@ -52,13 +52,16 @@ done
           --retry 10 --retry-backoff-ms 100 > "$work/client.out" &
 client_pid=$!
 
-# The "started" journal entry is fsync'd before the first stage runs, so
-# its appearance proves the job is demonstrably in flight.
+# Wait past the first *stage checkpoint*, not just the "started" marker:
+# the kill must land after a snapshot is durably on disk, so the restarted
+# worker demonstrably resumes mid-flow instead of replaying from stage 0.
 for _ in $(seq 1 200); do
-  grep -q '"e": "started"' "$journal" 2>/dev/null && break
+  grep -q '"e": "stage_ckpt"' "$journal" 2>/dev/null && break
   sleep 0.05
 done
 grep -q '"e": "started"' "$journal" || fail "crashjob never started"
+grep -q '"e": "stage_ckpt"' "$journal" \
+  || fail "no stage checkpoint landed before the kill window"
 
 worker1=$(cat "$work/worker.pid")
 kill -9 "$worker1"
@@ -93,8 +96,21 @@ check(done is not None, "client never received a done line for crashjob")
 check(done["status"] == "ok", f"crashjob status {done['status']}, wanted ok")
 check(done.get("retried") is True,
       "the replayed job's done line should carry \"retried\": true")
-print("crash_recovery: crashjob completed after replay, retried=true")
+check(done.get("resumed_stage", -1) >= 1,
+      "the replayed job should resume from a stage checkpoint "
+      f"(resumed_stage={done.get('resumed_stage')}, wanted >= 1)")
+print("crash_recovery: crashjob completed after replay, "
+      f"retried=true, resumed_stage={done['resumed_stage']}")
 EOF
+
+# The restarted worker compacts the journal on replay, so every surviving
+# "stage" entry postdates the crash: a stage-0 entry would mean the
+# checkpoint was ignored and the flow re-ran from scratch.
+grep -q '"e": "stage_ckpt"' "$journal" \
+  || fail "restarted worker journaled no stage checkpoints"
+if grep -q '"e": "stage", "job": "crashjob", "index": 0' "$journal"; then
+  fail "restarted worker re-ran stage 0 despite a stage checkpoint"
+fi
 
 # Graceful end: drain via protocol shutdown; the worker exits 0 and the
 # supervisor follows with exit 0 (no restart on a clean exit).
@@ -123,6 +139,8 @@ check(drained is not None, "no drained line after shutdown")
 check(drained["jobs"] == 0, "drained should report zero jobs in flight")
 check(drained["retried"] >= 1,
       "the restarted worker should count >= 1 retried job")
+check(drained.get("resumed", 0) >= 1,
+      "the restarted worker should count >= 1 checkpoint-resumed job")
 EOF
 
 echo "crash_recovery: OK -- worker $worker1 killed, $worker2 replayed the job"

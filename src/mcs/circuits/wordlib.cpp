@@ -17,8 +17,11 @@ Word make_pi_word(Network& net, int bits, const std::string& prefix) {
 Word const_word(Network& net, std::uint64_t value, int bits) {
   Word w;
   w.reserve(bits);
+  // Words can be wider than the 64-bit seed value (a 2n-bit product row
+  // seeded with 0); bits past the value are 0, not a UB-wide shift.
   for (int i = 0; i < bits; ++i) {
-    w.push_back(net.constant((value >> i) & 1ull));
+    const bool bit = i < 64 && ((value >> i) & 1ull) != 0;
+    w.push_back(net.constant(bit));
   }
   return w;
 }

@@ -1,0 +1,348 @@
+#include "mcs/ckpt/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "mcs/fail/fail.hpp"
+#include "mcs/obs/obs.hpp"
+
+namespace mcs::ckpt {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'C', 'S', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+struct CkptMetrics {
+  obs::Counter& snapshots = obs::counter("ckpt.snapshots");
+  obs::Counter& snapshot_bytes = obs::counter("ckpt.snapshot_bytes");
+  obs::Counter& restores = obs::counter("ckpt.restores");
+};
+
+CkptMetrics& metrics() {
+  static CkptMetrics m;
+  return m;
+}
+
+// FNV-1a, good enough to catch torn writes and bit rot; this is a
+// corruption check, not an authenticity check.
+std::uint64_t checksum(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounds-checked little-endian cursor over a snapshot blob.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    const std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) |
+                            static_cast<std::uint32_t>(data_[pos_ + 1]) << 8 |
+                            static_cast<std::uint32_t>(data_[pos_ + 2]) << 16 |
+                            static_cast<std::uint32_t>(data_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    return lo | static_cast<std::uint64_t>(u32()) << 32;
+  }
+
+  std::string string() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) throw SnapshotError("snapshot: truncated blob");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> snapshot(const Network& net) {
+  std::vector<std::uint8_t> out;
+  // Node records dominate: ~5 bytes per 2-input gate, 9 per 3-input.
+  out.reserve(64 + net.size() * 10 + (net.num_pis() + net.num_pos()) * 12);
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  put_u32(out, kVersion);
+  put_u64(out, net.size());
+  put_u64(out, net.num_pis());
+  put_u64(out, net.num_pos());
+  put_u64(out, net.num_choices());
+
+  for (NodeId id = 1; id < net.size(); ++id) {
+    const Node& nd = net.node(id);
+    out.push_back(static_cast<std::uint8_t>(nd.type));
+    for (int i = 0; i < gate_arity(nd.type); ++i) {
+      put_u32(out, nd.fanin[static_cast<std::size_t>(i)].raw());
+    }
+  }
+  for (std::size_t i = 0; i < net.num_pos(); ++i) {
+    put_u32(out, net.po_at(i).raw());
+  }
+  // Choice classes: per representative, the member chain head-first.
+  for (NodeId id = 1; id < net.size(); ++id) {
+    if (!net.has_choice(id)) continue;
+    std::vector<NodeId> members;
+    for (NodeId m = net.node(id).next_choice; m != kNullNode;
+         m = net.node(m).next_choice) {
+      members.push_back(m);
+    }
+    put_u32(out, id);
+    put_u32(out, static_cast<std::uint32_t>(members.size()));
+    for (const NodeId m : members) {
+      put_u32(out, m);
+      out.push_back(net.node(m).choice_phase ? 1 : 0);
+    }
+  }
+  for (std::size_t i = 0; i < net.num_pis(); ++i) {
+    put_string(out, net.pi_name(i));
+  }
+  for (std::size_t i = 0; i < net.num_pos(); ++i) {
+    put_string(out, net.po_name(i));
+  }
+  put_u64(out, checksum(out.data(), out.size()));
+
+  metrics().snapshots.increment();
+  metrics().snapshot_bytes.add(out.size());
+  return out;
+}
+
+Network restore(const std::vector<std::uint8_t>& blob) {
+  if (blob.size() < 4 + 4 + 4 * 8 + 8) {
+    throw SnapshotError("snapshot: blob too small");
+  }
+  if (std::memcmp(blob.data(), kMagic, 4) != 0) {
+    throw SnapshotError("snapshot: bad magic");
+  }
+  const std::uint64_t stored_sum =
+      [&] {
+        Reader tail(blob.data() + blob.size() - 8, 8);
+        return tail.u64();
+      }();
+  if (checksum(blob.data(), blob.size() - 8) != stored_sum) {
+    throw SnapshotError("snapshot: checksum mismatch");
+  }
+
+  Reader r(blob.data() + 4, blob.size() - 4 - 8);
+  const std::uint32_t version = r.u32();
+  if (version != kVersion) {
+    throw SnapshotError("snapshot: unsupported version " +
+                        std::to_string(version));
+  }
+  const std::uint64_t num_nodes = r.u64();
+  const std::uint64_t num_pis = r.u64();
+  const std::uint64_t num_pos = r.u64();
+  const std::uint64_t num_choices = r.u64();
+  if (num_nodes == 0 || num_nodes > (std::uint64_t{1} << 31) ||
+      num_pis >= num_nodes) {
+    throw SnapshotError("snapshot: implausible node counts");
+  }
+
+  // Decode everything into staging vectors before touching a Network: PI
+  // names live after the node records but are needed at create_pi time,
+  // and a decode error must not leave a half-built network behind.
+  struct StagedNode {
+    GateType type;
+    std::array<Signal, 3> fanin;
+  };
+  std::vector<StagedNode> staged;
+  staged.reserve(num_nodes - 1);
+  for (std::uint64_t id = 1; id < num_nodes; ++id) {
+    StagedNode sn;
+    const std::uint8_t t = r.u8();
+    if (t < static_cast<std::uint8_t>(GateType::kPi) ||
+        t > static_cast<std::uint8_t>(GateType::kXor3)) {
+      throw SnapshotError("snapshot: bad node type");
+    }
+    sn.type = static_cast<GateType>(t);
+    for (int i = 0; i < gate_arity(sn.type); ++i) {
+      const Signal f = Signal::from_raw(r.u32());
+      if (f.node() >= id) {
+        throw SnapshotError("snapshot: fanin breaks topological order");
+      }
+      sn.fanin[static_cast<std::size_t>(i)] = f;
+    }
+    staged.push_back(sn);
+  }
+  std::vector<Signal> pos;
+  pos.reserve(num_pos);
+  for (std::uint64_t i = 0; i < num_pos; ++i) {
+    const Signal s = Signal::from_raw(r.u32());
+    if (s.node() >= num_nodes) throw SnapshotError("snapshot: PO out of range");
+    pos.push_back(s);
+  }
+  struct StagedChoice {
+    NodeId repr;
+    NodeId member;
+    bool phase;
+  };
+  std::vector<StagedChoice> choices;
+  choices.reserve(num_choices);
+  while (choices.size() < num_choices) {
+    const NodeId repr = r.u32();
+    const std::uint32_t count = r.u32();
+    if (repr >= num_nodes || count == 0 ||
+        choices.size() + count > num_choices) {
+      throw SnapshotError("snapshot: malformed choice class");
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const NodeId member = r.u32();
+      const bool phase = r.u8() != 0;
+      if (member >= num_nodes || member == repr) {
+        throw SnapshotError("snapshot: choice member out of range");
+      }
+      choices.push_back({repr, member, phase});
+    }
+  }
+  std::vector<std::string> pi_names;
+  pi_names.reserve(num_pis);
+  for (std::uint64_t i = 0; i < num_pis; ++i) pi_names.push_back(r.string());
+  std::vector<std::string> po_names;
+  po_names.reserve(num_pos);
+  for (std::uint64_t i = 0; i < num_pos; ++i) po_names.push_back(r.string());
+
+  Network net;
+  net.reserve(num_nodes);
+  std::size_t next_pi = 0;
+  for (std::uint64_t id = 1; id < num_nodes; ++id) {
+    const StagedNode& sn = staged[id - 1];
+    NodeId created;
+    if (sn.type == GateType::kPi) {
+      if (next_pi >= pi_names.size()) {
+        throw SnapshotError("snapshot: more PI nodes than PI names");
+      }
+      created = net.create_pi(pi_names[next_pi++]).node();
+    } else {
+      created = net.restore_gate(sn.type, sn.fanin);
+    }
+    // Ids drifting from the record order means the source fanins were not
+    // normalized/strashed -- i.e. the blob lies about its own structure.
+    if (created != id) {
+      throw SnapshotError("snapshot: node id drift during restore");
+    }
+  }
+  if (next_pi != num_pis) {
+    throw SnapshotError("snapshot: PI count mismatch");
+  }
+  for (std::uint64_t i = 0; i < num_pos; ++i) {
+    net.create_po(pos[i], po_names[i]);
+  }
+  // add_choice inserts at the head of the representative's list, so the
+  // serialized chain order (head first) is rebuilt tail-first.
+  for (auto it = choices.rbegin(); it != choices.rend(); ++it) {
+    if (!net.is_repr(it->repr) || !net.is_repr(it->member) ||
+        net.node(it->member).next_choice != kNullNode) {
+      throw SnapshotError("snapshot: inconsistent choice chain");
+    }
+    net.add_choice(it->repr, it->member, it->phase);
+  }
+
+  metrics().restores.increment();
+  return net;
+}
+
+void write_snapshot_file(const Network& net, const std::string& path) {
+  fail::point("ckpt.write");
+  const std::vector<std::uint8_t> blob = snapshot(net);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw SnapshotError("ckpt: cannot write " + tmp + ": " +
+                        std::strerror(errno));
+  }
+  std::size_t off = 0;
+  while (off < blob.size()) {
+    const ssize_t n = ::write(fd, blob.data() + off, blob.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw SnapshotError("ckpt: write failed: " + std::string(std::strerror(err)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // The checkpoint contract: after rename, either the previous checkpoint
+  // or this one is on disk in full -- never a torn mix.
+  ::fsync(fd);
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw SnapshotError("ckpt: rename failed: " +
+                        std::string(std::strerror(err)));
+  }
+}
+
+Network read_snapshot_file(const std::string& path) {
+  fail::point("ckpt.load");
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw SnapshotError("ckpt: cannot read " + path + ": " +
+                        std::strerror(errno));
+  }
+  std::vector<std::uint8_t> blob;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw SnapshotError("ckpt: read failed: " +
+                          std::string(std::strerror(err)));
+    }
+    if (n == 0) break;
+    blob.insert(blob.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return restore(blob);
+}
+
+}  // namespace mcs::ckpt

@@ -8,8 +8,10 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "mcs/ckpt/snapshot.hpp"
 #include "mcs/fail/fail.hpp"
 #include "mcs/flow/registration.hpp"
+#include "mcs/sim/simulator.hpp"
 
 namespace mcs::flow {
 
@@ -262,6 +264,7 @@ PassRegistry::PassRegistry() {
   register_par_passes(*this);
   register_obs_passes(*this);
   register_fail_passes(*this);
+  register_ckpt_passes(*this);
 }
 
 void PassRegistry::add(PassInfo info) {
@@ -333,6 +336,45 @@ std::string PassRegistry::help() const {
 
 // --- stage / flow execution -------------------------------------------------
 
+namespace {
+
+/// Stage-validation metric handles (catalogued in the README).
+struct TxnMetrics {
+  obs::Counter& validation_failures = obs::counter("ckpt.validation_failures");
+  obs::Counter& rollbacks = obs::counter("ckpt.rollbacks");
+  obs::Counter& retries = obs::counter("ckpt.retries");
+  obs::Counter& skips = obs::counter("ckpt.skips");
+};
+
+TxnMetrics& txn_metrics() {
+  static TxnMetrics m;
+  return m;
+}
+
+/// True for pass kinds that mutate the working network (the kinds the
+/// transactional runner snapshots, and whose PO functions the sim spot
+/// check must see preserved -- sources excepted, they replace the network).
+bool mutates_network(PassKind kind) {
+  return kind == PassKind::kSource || kind == PassKind::kTransform ||
+         kind == PassKind::kChoice;
+}
+
+/// PO signatures under ctx.txn.sim_words words of seeded random stimulus.
+/// Equality is a necessary condition of PO-function equality: signature()
+/// respects complement edges and the stimulus is a pure function of
+/// (seed, PI index), so it survives any structural rewrite.
+std::vector<std::uint64_t> po_signatures(const FlowContext& ctx) {
+  const RandomSimulation sim(ctx.net, ctx.txn.sim_words, ctx.txn.sim_seed);
+  std::vector<std::uint64_t> sigs;
+  sigs.reserve(ctx.net.num_pos());
+  for (std::size_t i = 0; i < ctx.net.num_pos(); ++i) {
+    sigs.push_back(sim.signature(ctx.net.po_at(i)));
+  }
+  return sigs;
+}
+
+}  // namespace
+
 StageReport run_stage(FlowContext& ctx, const PassInfo& pass,
                       const PassArgs& args) {
   StageReport report;
@@ -346,8 +388,16 @@ StageReport run_stage(FlowContext& ctx, const PassInfo& pass,
   const obs::MetricsSnapshot metrics_before = obs::snapshot();
   const std::uint64_t span_window_start = obs::now_us();
   const auto t0 = std::chrono::steady_clock::now();
+  // Sim spot check only guards function-preserving rewrites: transforms and
+  // choice builders.  Sources replace the function; mappings/analyses do
+  // not touch the network.
+  const bool sim_check =
+      ctx.txn.sim_words > 0 && (pass.kind == PassKind::kTransform ||
+                                pass.kind == PassKind::kChoice);
   try {
     obs::Span span([&] { return "pass:" + pass.name; });
+    std::vector<std::uint64_t> sigs_before;
+    if (sim_check) sigs_before = po_signatures(ctx);
     // Inside the try block: an injected fault becomes a failed stage, the
     // same containment real pass errors get.
     fail::point("flow.stage");
@@ -358,9 +408,35 @@ StageReport run_stage(FlowContext& ctx, const PassInfo& pass,
       ctx.luts.reset();
       ctx.cells.reset();
     }
+    if (ctx.txn.validate) {
+      // A validation fault injects here so tests can drill the rollback
+      // path without first corrupting a network for real.
+      fail::point("flow.validate");
+      std::string why;
+      if (!ctx.net.check(&why)) {
+        throw FlowError("validate: " + why);
+      }
+    }
+    if (sim_check) {
+      const std::vector<std::uint64_t> sigs_after = po_signatures(ctx);
+      if (sigs_after.size() != sigs_before.size()) {
+        throw FlowError("validate: stage changed the PO count (" +
+                        std::to_string(sigs_before.size()) + " -> " +
+                        std::to_string(sigs_after.size()) + ")");
+      }
+      for (std::size_t i = 0; i < sigs_after.size(); ++i) {
+        if (sigs_after[i] != sigs_before[i]) {
+          throw FlowError("validate: simulation signature changed at PO " +
+                          std::to_string(i) + " (functional bug)");
+        }
+      }
+    }
   } catch (const std::exception& e) {
     report.ok = false;
     ctx.note = e.what();
+    if (ctx.note.rfind("validate:", 0) == 0) {
+      txn_metrics().validation_failures.increment();
+    }
   }
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -427,6 +503,69 @@ std::optional<StageReport> check_interrupted(FlowContext& ctx,
   return report;
 }
 
+StageReport run_stage_txn(FlowContext& ctx, const PassInfo& pass,
+                          const PassArgs& args) {
+  // Disabled (the default) or non-mutating: exactly run_stage, one branch.
+  if (!ctx.txn.snapshot || !mutates_network(pass.kind)) {
+    return run_stage(ctx, pass, args);
+  }
+
+  const std::vector<std::uint8_t> blob = ckpt::snapshot(ctx.net);
+  // A source stage overwrites the `cec`/`sim` reference network as well;
+  // sources are cheap enough that a plain copy beats a second blob here.
+  std::optional<Network> original_before;
+  if (pass.kind == PassKind::kSource) original_before = ctx.original;
+
+  int attempts = 0;
+  for (;;) {
+    StageReport report = run_stage(ctx, pass, args);
+    if (report.ok) return report;
+
+    if (ctx.txn.on_failure == TxnPolicy::OnFailure::kFail) return report;
+
+    // Roll back: the pass may have torn the working network arbitrarily
+    // before failing; the snapshot restores the exact pre-stage structure
+    // (ids, levels, choices and all -- see snapshot.hpp).
+    ctx.net = ckpt::restore(blob);
+    if (pass.kind == PassKind::kSource) ctx.original = original_before;
+    txn_metrics().rollbacks.increment();
+
+    if (ctx.txn.on_failure == TxnPolicy::OnFailure::kRetry &&
+        attempts < ctx.txn.max_retries) {
+      ++attempts;
+      txn_metrics().retries.increment();
+      if (ctx.verbose) {
+        std::printf("%s: rolled back, retry %d/%d\n", pass.name.c_str(),
+                    attempts, ctx.txn.max_retries);
+      }
+      continue;  // the failed attempt is already in ctx.history / streamed
+    }
+
+    // kSkip, or a kRetry budget exhausted under kSkip-free semantics: under
+    // kRetry the last failed report stands and the flow stops.
+    if (ctx.txn.on_failure == TxnPolicy::OnFailure::kRetry) return report;
+
+    // kSkip: the stage is dropped, surfaced as a synthetic ok report (the
+    // rollback makes "dropped" true -- the network is as if it never ran).
+    txn_metrics().skips.increment();
+    StageReport skipped;
+    skipped.pass = pass.name;
+    skipped.args = report.args;
+    skipped.note = "skipped after rollback: " + report.note;
+    skipped.gates = ctx.net.num_gates();
+    skipped.depth = ctx.net.depth();
+    skipped.choices = ctx.net.num_choices();
+    ctx.history.push_back(skipped);
+    if (ctx.on_stage) {
+      ctx.on_stage(ctx.history.back(), ctx.history.size() - 1);
+    }
+    if (ctx.verbose) {
+      std::printf("%s: %s\n", skipped.pass.c_str(), skipped.note.c_str());
+    }
+    return skipped;
+  }
+}
+
 Flow Flow::parse(const std::string& spec) {
   Flow flow;
   for (const std::string& stage_text : split(spec, ';')) {
@@ -480,7 +619,7 @@ FlowReport Flow::run(FlowContext& ctx) const {
           report.stages.back().pass + ": " + report.stages.back().note;
       break;
     }
-    report.stages.push_back(run_stage(ctx, *stage.pass, stage.args));
+    report.stages.push_back(run_stage_txn(ctx, *stage.pass, stage.args));
     if (!report.stages.back().ok) {
       report.ok = false;
       report.error =

@@ -246,6 +246,45 @@ class CancelToken {
   std::atomic<std::int64_t> deadline_ns_{0};  ///< steady_clock since-epoch
 };
 
+// --- transactional stage execution ------------------------------------------
+
+/// Policy of the checkpoint/rollback layer (mcs::ckpt) woven into stage
+/// execution.  All-off by default: the disabled path costs one branch per
+/// stage (<2% on the mult64 reference flow -- see scripts/bench guard in
+/// tests).  Armed via the `ckpt` settings pass
+/// (`ckpt:mode=retry,retries=2,validate=on,sim_words=8`) or directly on
+/// FlowContext::txn.
+struct TxnPolicy {
+  /// What to do after a stage throws, trips an injected fault or fails
+  /// validation, once the network is rolled back to the pre-stage
+  /// snapshot.
+  enum class OnFailure {
+    kFail,   ///< report the failed stage; the flow stops (default)
+    kRetry,  ///< re-run the stage, up to max_retries times, then fail
+    kSkip,   ///< skip the stage: synthetic ok report, the flow continues
+  };
+
+  /// Snapshot the working network before every mutating stage (source /
+  /// transform / choice kinds) so it can be rolled back.  The on_failure
+  /// policies require it; validate/sim_words also work standalone (a
+  /// violation then simply fails the stage, with nothing to roll back to).
+  bool snapshot = false;
+
+  /// Run Network::check() after every stage; a violation fails the stage
+  /// (and rolls back like a throw when snapshotting is on).
+  bool validate = false;
+
+  /// > 0: sim-signature equivalence spot check over transform/choice
+  /// stages -- PO signatures from this many 64-bit random-simulation
+  /// words must be unchanged by the stage (necessary condition of
+  /// functional equivalence; a mismatch is a proven bug).
+  int sim_words = 0;
+  std::uint64_t sim_seed = 0x5eedc0deULL;  ///< PI stimulus seed
+
+  OnFailure on_failure = OnFailure::kFail;
+  int max_retries = 1;  ///< retry budget per stage under kRetry
+};
+
 // --- flow state and reports -------------------------------------------------
 
 /// Timing and result snapshot of one executed stage.
@@ -317,6 +356,9 @@ struct FlowContext {
   /// index, before the next stage starts.  The job server streams per-stage
   /// JSON to its clients from here.  Must not throw.
   std::function<void(const StageReport&, std::size_t)> on_stage;
+
+  /// Checkpoint/rollback policy (see TxnPolicy); disabled by default.
+  TxnPolicy txn;
 };
 
 /// Executes one bound pass on \p ctx: times it, captures errors (returned
@@ -334,6 +376,18 @@ StageReport run_stage(FlowContext& ctx, const PassInfo& pass,
 /// when no token is set).
 std::optional<StageReport> check_interrupted(FlowContext& ctx,
                                              const PassInfo& next_pass);
+
+/// Transactional wrapper over run_stage: with ctx.txn.snapshot on and a
+/// mutating pass (source/transform/choice kind), captures a binary network
+/// snapshot first; when the stage fails -- a throw, an injected fault or a
+/// ctx.txn validation failure -- restores the pre-stage network and applies
+/// ctx.txn.on_failure (budgeted retry / skip with a synthetic ok report /
+/// fail).  Every failed attempt is appended to ctx.history and streamed
+/// like a normal stage.  With the policy disabled (or a non-mutating pass)
+/// this is exactly run_stage.  Flow::run and the job server's per-stage
+/// scheduler share this.
+StageReport run_stage_txn(FlowContext& ctx, const PassInfo& pass,
+                          const PassArgs& args);
 
 /// A validated pipeline of bound passes.
 class Flow {

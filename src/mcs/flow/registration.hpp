@@ -22,5 +22,6 @@ void register_map_passes(PassRegistry& registry);     // map/map_passes.cpp
 void register_par_passes(PassRegistry& registry);     // par/par_passes.cpp
 void register_obs_passes(PassRegistry& registry);     // obs/obs_passes.cpp
 void register_fail_passes(PassRegistry& registry);    // fail/fail_passes.cpp
+void register_ckpt_passes(PassRegistry& registry);    // ckpt/ckpt_passes.cpp
 
 }  // namespace mcs::flow

@@ -108,6 +108,17 @@ Network read_aiger(std::istream& is) {
     throw std::runtime_error("aiger: unknown format '" + format + "'");
   }
   if (L != 0) throw std::runtime_error("aiger: latches are not supported");
+  // Plausibility before allocation: the header sizes drive reserves, and
+  // this reader also sees attacker-chosen inline text through the job
+  // server -- a 20-byte line claiming 4 billion variables must be
+  // rejected here, not by the OOM killer.  The spec requires M >= I+L+A.
+  constexpr std::size_t kMaxHeaderCount = std::size_t{1} << 28;
+  if (M > kMaxHeaderCount || O > kMaxHeaderCount || I + A > M) {
+    throw std::runtime_error("aiger: implausible header (M=" +
+                             std::to_string(M) + " I=" + std::to_string(I) +
+                             " O=" + std::to_string(O) +
+                             " A=" + std::to_string(A) + ")");
+  }
   const bool binary = format == "aig";
 
   Network net;

@@ -185,6 +185,12 @@ Signal Network::create_gate(GateType t, const std::array<Signal, 3>& fanins) {
   }
 }
 
+NodeId Network::restore_gate(GateType t,
+                             const std::array<Signal, 3>& fanins) {
+  assert(t >= GateType::kAnd2 && "restore_gate: not a gate type");
+  return create_node(t, fanins, gate_arity(t));
+}
+
 std::uint32_t Network::depth() const noexcept {
   if (!depth_cache_valid_) {
     std::uint32_t d = 0;
@@ -234,6 +240,124 @@ void Network::clear_choices() noexcept {
     nd.choice_phase = false;
   }
   num_choices_ = 0;
+}
+
+bool Network::check(std::string* error) const {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  const auto at = [](const char* what, NodeId n) {
+    return std::string(what) + " at node " + std::to_string(n);
+  };
+
+  if (nodes_.empty() || nodes_[0].type != GateType::kConst0 ||
+      nodes_[0].num_fanins != 0 || nodes_[0].level != 0) {
+    return fail("node 0 is not the constant-zero node");
+  }
+  if (pis_.size() != pi_names_.size() || pos_.size() != po_names_.size()) {
+    return fail("PI/PO name arrays out of sync");
+  }
+
+  // Per-node structure: valid type, matching arity, in-range fanins that
+  // precede the node (append-only construction makes ids a topo order),
+  // and the level recurrence create_node maintains.
+  std::array<std::size_t, 6> counts{};
+  std::vector<std::uint32_t> fanouts(nodes_.size(), 0);
+  std::size_t gates = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& nd = nodes_[id];
+    if (static_cast<std::uint8_t>(nd.type) > 5) {
+      return fail(at("unknown gate type", id));
+    }
+    if (nd.type == GateType::kConst0 && id != 0) {
+      return fail(at("second constant node", id));
+    }
+    const int arity = gate_arity(nd.type);
+    if (nd.num_fanins != arity) return fail(at("arity/type mismatch", id));
+    std::uint32_t lvl = 0;
+    for (int i = 0; i < arity; ++i) {
+      const NodeId f = nd.fanin[static_cast<std::size_t>(i)].node();
+      if (f >= id) return fail(at("fanin breaks topological order", id));
+      lvl = std::max(lvl, nodes_[f].level);
+      ++fanouts[f];
+    }
+    const std::uint32_t expect = arity > 0 ? lvl + 1 : 0;
+    if (nd.level != expect) return fail(at("stale level", id));
+    ++counts[static_cast<std::size_t>(nd.type)];
+    if (is_gate(id)) ++gates;
+  }
+  if (counts != type_counts_) return fail("type counters out of date");
+  if (gates != num_gates_) return fail("gate counter out of date");
+
+  // PI/PO consistency.  pis_ is strictly ascending (create_pi appends), so
+  // equal counts + all-kPi entries pin an exact bijection with PI nodes.
+  for (std::size_t i = 0; i < pis_.size(); ++i) {
+    if (pis_[i] >= nodes_.size() || !is_pi(pis_[i])) {
+      return fail("pis_ entry " + std::to_string(i) + " is not a PI node");
+    }
+    if (i > 0 && pis_[i] <= pis_[i - 1]) return fail("pis_ not ascending");
+  }
+  if (pis_.size() != counts[static_cast<std::size_t>(GateType::kPi)]) {
+    return fail("pis_ misses PI nodes");
+  }
+  std::uint32_t max_po_level = 0;
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    if (pos_[i].node() >= nodes_.size()) {
+      return fail("PO " + std::to_string(i) + " out of range");
+    }
+    ++fanouts[pos_[i].node()];
+    max_po_level = std::max(max_po_level, nodes_[pos_[i].node()].level);
+  }
+  if (depth_cache_valid_ && depth_cache_ != max_po_level) {
+    return fail("stale depth cache");
+  }
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].fanout_size != fanouts[id]) {
+      return fail(at("stale fanout count", id));
+    }
+  }
+
+  // Choice classes: members point at true representatives, chains are
+  // null-terminated without cycles, no node sits in two chains, and the
+  // aggregate member count matches the cached counter.
+  std::size_t members = 0;
+  std::vector<bool> chained(nodes_.size(), false);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& nd = nodes_[id];
+    if (nd.repr != kNullNode) {
+      ++members;
+      if (nd.repr >= nodes_.size() || nd.repr == id ||
+          nodes_[nd.repr].repr != kNullNode) {
+        return fail(at("choice member without a representative", id));
+      }
+    }
+    if (!is_repr(id)) continue;
+    std::size_t len = 0;
+    for (NodeId m = nd.next_choice; m != kNullNode; m = nodes_[m].next_choice) {
+      if (m >= nodes_.size() || nodes_[m].repr != id || chained[m] ||
+          ++len > nodes_.size()) {
+        return fail(at("broken choice chain", id));
+      }
+      chained[m] = true;
+    }
+  }
+  if (members != num_choices_) return fail("choice counter out of date");
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].repr != kNullNode && !chained[id]) {
+      return fail(at("choice member missing from its chain", id));
+    }
+  }
+
+  // Strash coverage: every gate must be findable under its own key, or
+  // future create_* calls would silently duplicate structure.
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!is_gate(id)) continue;
+    if (lookup_gate(nodes_[id].type, nodes_[id].fanin) != id) {
+      return fail(at("gate missing from the strash table", id));
+    }
+  }
+  return true;
 }
 
 }  // namespace mcs

@@ -277,6 +277,13 @@ class Network {
   /// Returns kNullNode if absent (fanins must already be normalized).
   NodeId lookup_gate(GateType t, const std::array<Signal, 3>& fanins) const;
 
+  /// Recreates a gate from already-normalized fanins, bypassing the
+  /// create_and/xor/maj rewrite rules (snapshot restore, mcs::ckpt).
+  /// \pre \p fanins obey \p t's strash normalization, as produced by an
+  /// existing Network.  Returns the existing node's id when the gate is
+  /// already present (callers treat that as id drift and reject the blob).
+  NodeId restore_gate(GateType t, const std::array<Signal, 3>& fanins);
+
   /// @}
   /// \name Access
   /// @{
@@ -364,6 +371,22 @@ class Network {
 
   /// Drops all choice information (links and phases).
   void clear_choices() noexcept;
+
+  /// @}
+  /// \name Invariant audit
+  /// @{
+
+  /// Full structural self-check: node 0 is the constant, every fanin
+  /// precedes its node (ids are a topological order) and is in range,
+  /// arities match types, levels obey level = max(fanin levels) + 1, the
+  /// cached type/gate/choice counters and depth cache match recounts,
+  /// pis_/pos_ are consistent, fanout counts re-derive, choice chains are
+  /// acyclic with members pointing at true representatives, and every
+  /// gate is findable in the strash table under its own key.  O(n); the
+  /// transactional stage runner calls this after every stage when
+  /// validation is on.  Returns false and fills \p error (when given)
+  /// with the first violation.
+  bool check(std::string* error = nullptr) const;
 
   /// @}
   /// \name Traversal support

@@ -1,6 +1,7 @@
 #include "mcs/server/journal.hpp"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -23,6 +24,7 @@ const char* kind_tag(JournalEntry::Kind k) {
     case JournalEntry::Kind::kAccepted: return "accepted";
     case JournalEntry::Kind::kStarted: return "started";
     case JournalEntry::Kind::kStage: return "stage";
+    case JournalEntry::Kind::kStageCkpt: return "stage_ckpt";
     case JournalEntry::Kind::kDone: return "done";
     case JournalEntry::Kind::kShutdown: return "shutdown";
   }
@@ -52,6 +54,7 @@ std::string JournalEntry::to_line() const {
       out += ", \"request\": " + json_quote(payload);
       break;
     case Kind::kStage:
+    case Kind::kStageCkpt:
       out += ", \"index\": " + std::to_string(index);
       break;
     case Kind::kDone:
@@ -82,8 +85,8 @@ JournalEntry JournalEntry::parse(const std::string& line) {
     entry.payload = require_string(obj, "request");
   } else if (e == "started") {
     entry.kind = Kind::kStarted;
-  } else if (e == "stage") {
-    entry.kind = Kind::kStage;
+  } else if (e == "stage" || e == "stage_ckpt") {
+    entry.kind = e == "stage" ? Kind::kStage : Kind::kStageCkpt;
     const Json* idx = obj.find("index");
     if (idx == nullptr || !idx->is_number()) {
       throw std::runtime_error("journal: stage entry without index");
@@ -105,12 +108,20 @@ Journal::~Journal() {
 
 void Journal::open(const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
+  open_locked(path);
+}
+
+void Journal::open_locked(const std::string& path) {
   if (fd_ >= 0) ::close(fd_);
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0) {
     throw std::runtime_error("journal: cannot open " + path + ": " +
                              std::strerror(errno));
   }
+  struct stat st {};
+  bytes_.store(::fstat(fd_, &st) == 0 ? static_cast<std::size_t>(st.st_size)
+                                      : 0,
+               std::memory_order_relaxed);
 }
 
 void Journal::append(const JournalEntry& entry) {
@@ -134,6 +145,7 @@ void Journal::append(const JournalEntry& entry) {
   // The durability point: an entry we acted on (told a client about)
   // must survive a crash of this process *and* the machine.
   ::fdatasync(fd_);
+  bytes_.fetch_add(line.size(), std::memory_order_relaxed);
 }
 
 std::vector<JournalEntry> Journal::load(const std::string& path,
@@ -160,19 +172,29 @@ Recovery Journal::analyze(const std::vector<JournalEntry>& entries,
                           std::size_t keep_done) {
   Recovery rec;
   rec.entries = entries.size();
-  // job id -> submit request line, insertion-ordered via the keys vector.
-  std::unordered_map<std::string, std::string> open_jobs;
+  // job id -> pending record, insertion-ordered via the keys vector.
+  std::unordered_map<std::string, PendingJob> open_jobs;
   std::vector<std::string> accept_order;
   for (const JournalEntry& e : entries) {
     rec.clean_shutdown = false;
     switch (e.kind) {
-      case JournalEntry::Kind::kAccepted:
-        if (open_jobs.emplace(e.job, e.payload).second) {
-          accept_order.push_back(e.job);
-        } else {
-          open_jobs[e.job] = e.payload;  // replayed accept; newest request
+      case JournalEntry::Kind::kAccepted: {
+        auto [it, inserted] = open_jobs.try_emplace(e.job);
+        if (inserted) accept_order.push_back(e.job);
+        it->second.id = e.job;
+        it->second.request = e.payload;  // replayed accept: newest request
+        break;
+      }
+      case JournalEntry::Kind::kStageCkpt: {
+        // Only meaningful for a job still on the books; checkpoints only
+        // move forward, but "last entry wins" also tolerates a compacted
+        // journal that kept a single entry.
+        auto it = open_jobs.find(e.job);
+        if (it != open_jobs.end()) {
+          it->second.ckpt_index = static_cast<std::ptrdiff_t>(e.index);
         }
         break;
+      }
       case JournalEntry::Kind::kDone:
         open_jobs.erase(e.job);
         rec.completed.emplace_back(e.job, e.payload);
@@ -187,7 +209,7 @@ Recovery Journal::analyze(const std::vector<JournalEntry>& entries,
   }
   for (const std::string& job : accept_order) {
     auto it = open_jobs.find(job);
-    if (it != open_jobs.end()) rec.pending.push_back(it->second);
+    if (it != open_jobs.end()) rec.pending.push_back(std::move(it->second));
   }
   // Dedup retained done entries by job id (newest wins), then keep only
   // the most recent keep_done of them.
@@ -205,24 +227,17 @@ Recovery Journal::analyze(const std::vector<JournalEntry>& entries,
   return rec;
 }
 
-void Journal::compact(const std::string& path, const Recovery& recovery) {
+namespace {
+
+/// Writes \p body to \p path via temp file + fsync + atomic rename: a
+/// crash mid-write leaves the previous file intact.  Throws on I/O errors.
+void write_atomic(const std::string& path, const std::string& body) {
   const std::string tmp = path + ".tmp";
   {
     const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0) {
       throw std::runtime_error("journal: cannot write " + tmp + ": " +
                                std::strerror(errno));
-    }
-    std::string body;
-    for (const auto& [job, line] : recovery.completed) {
-      JournalEntry e;
-      e.kind = JournalEntry::Kind::kDone;
-      e.job = job;
-      e.payload = line;
-      // Status is recoverable from the done line itself; "kept" marks the
-      // entry as a compaction survivor rather than a live transition.
-      e.status = "kept";
-      body += e.to_line() + "\n";
     }
     std::size_t off = 0;
     while (off < body.size()) {
@@ -243,6 +258,44 @@ void Journal::compact(const std::string& path, const Recovery& recovery) {
     throw std::runtime_error("journal: rename failed: " +
                              std::string(std::strerror(errno)));
   }
+}
+
+}  // namespace
+
+void Journal::compact(const std::string& path, const Recovery& recovery) {
+  std::string body;
+  for (const auto& [job, line] : recovery.completed) {
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kDone;
+    e.job = job;
+    e.payload = line;
+    // Status is recoverable from the done line itself; "kept" marks the
+    // entry as a compaction survivor rather than a live transition.
+    e.status = "kept";
+    body += e.to_line() + "\n";
+  }
+  write_atomic(path, body);
+}
+
+void Journal::rewrite_and_reopen(const std::string& path,
+                                 const std::vector<JournalEntry>& entries) {
+  std::string body;
+  for (const JournalEntry& e : entries) body += e.to_line() + "\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  try {
+    write_atomic(path, body);
+  } catch (const std::exception& e) {
+    // Same degradation contract as a failed append: keep serving without
+    // durability rather than dying over a disk problem.
+    std::fprintf(stderr,
+                 "mcs_server: journal compaction failed (%s); journaling "
+                 "off\n",
+                 e.what());
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  open_locked(path);
 }
 
 }  // namespace mcs::server

@@ -9,13 +9,18 @@
 /// reached its "done" entry, and answers re-attaching clients from the
 /// retained done entries of jobs that *did* finish.
 ///
-/// **Format.**  One JSON object per line, five entry kinds:
+/// **Format.**  One JSON object per line, six entry kinds:
 ///
-///   {"e":"accepted", "job":"j1", "request":"<the full submit line>"}
-///   {"e":"started",  "job":"j1"}
-///   {"e":"stage",    "job":"j1", "index":0}
-///   {"e":"done",     "job":"j1", "status":"ok", "line":"<the done line>"}
+///   {"e":"accepted",   "job":"j1", "request":"<the full submit line>"}
+///   {"e":"started",    "job":"j1"}
+///   {"e":"stage",      "job":"j1", "index":0}
+///   {"e":"stage_ckpt", "job":"j1", "index":0}
+///   {"e":"done",       "job":"j1", "status":"ok", "line":"<the done line>"}
 ///   {"e":"shutdown"}
+///
+/// "stage_ckpt" records that a network snapshot of the job as of the
+/// completed stage `index` is on disk (mcs::ckpt, see server.hpp): a
+/// replayed job with one resumes at stage index+1 instead of stage 0.
 ///
 /// "accepted" stores the *verbatim submit request line* -- replay is
 /// re-submission, so recovery automatically benefits from every
@@ -35,10 +40,15 @@
 /// (the attach answer cache); pending jobs re-journal their own accepted
 /// entries when re-submitted.  The rewrite goes through a temp file +
 /// fsync + atomic rename, so a crash during compaction leaves either the
-/// old journal or the new one, never a mix.
+/// old journal or the new one, never a mix.  The same rewrite backs
+/// *runtime* auto-compaction: JobServer watches bytes() against
+/// --journal-max-bytes and rewrites the journal down to the live state
+/// (in-flight accepts + their latest checkpoints + the done cache)
+/// through rewrite_and_reopen() when it grows past the threshold.
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <mutex>
 #include <string>
@@ -48,12 +58,12 @@
 namespace mcs::server {
 
 struct JournalEntry {
-  enum class Kind { kAccepted, kStarted, kStage, kDone, kShutdown };
+  enum class Kind { kAccepted, kStarted, kStage, kStageCkpt, kDone, kShutdown };
 
   Kind kind = Kind::kShutdown;
   std::string job;      ///< job id (empty for shutdown)
   std::string payload;  ///< accepted: submit request line; done: done line
-  std::size_t index = 0;   ///< stage: completed stage index
+  std::size_t index = 0;   ///< stage/stage_ckpt: completed stage index
   std::string status;      ///< done: ok|error|cancelled|timeout
 
   /// The entry as one JSON line (no trailing newline).
@@ -64,12 +74,21 @@ struct JournalEntry {
   static JournalEntry parse(const std::string& line);
 };
 
+/// One job a previous server life accepted but never finished.
+struct PendingJob {
+  std::string id;       ///< journal job id
+  std::string request;  ///< verbatim submit line (replay re-submits it)
+  /// Index of the last stage whose "stage_ckpt" entry landed on disk;
+  /// -1 when the job has no checkpoint (it replays from stage 0).
+  std::ptrdiff_t ckpt_index = -1;
+};
+
 /// What a journal says about the previous life of the server.
 struct Recovery {
-  /// Submit request lines of jobs accepted but never finished, in accept
-  /// order, deduplicated by job id (a replayed job re-journals a second
-  /// accepted entry; the last one wins so its request text is current).
-  std::vector<std::string> pending;
+  /// Jobs accepted but never finished, in accept order, deduplicated by
+  /// job id (a replayed job re-journals a second accepted entry; the last
+  /// one wins so its request text is current).
+  std::vector<PendingJob> pending;
 
   /// (job id, done line) of retained completed jobs, oldest first -- the
   /// attach answer cache.
@@ -99,6 +118,22 @@ class Journal {
   /// (the server keeps serving -- degraded durability beats an outage).
   void append(const JournalEntry& entry);
 
+  /// Bytes in the journal file: the size at open() plus every appended
+  /// line since.  Lock-free read (the auto-compaction watermark check
+  /// runs after every stage append).
+  std::size_t bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Atomically replaces the journal on disk with \p entries (temp file +
+  /// fsync + rename) and reopens it for appending -- the runtime
+  /// auto-compaction step.  Holds the internal append lock throughout, so
+  /// concurrent append() calls land either in the old file (discarded) or
+  /// the new one, never a torn mix.  On failure the journal degrades to
+  /// closed, exactly like a failed append.
+  void rewrite_and_reopen(const std::string& path,
+                          const std::vector<JournalEntry>& entries);
+
   /// Reads and parses \p path ({} when the file does not exist).
   /// Malformed lines -- including a torn tail -- are skipped, counted in
   /// \p skipped when given.
@@ -115,8 +150,11 @@ class Journal {
   static void compact(const std::string& path, const Recovery& recovery);
 
  private:
+  void open_locked(const std::string& path);
+
   std::mutex mutex_;
   int fd_ = -1;
+  std::atomic<std::size_t> bytes_{0};
 };
 
 }  // namespace mcs::server

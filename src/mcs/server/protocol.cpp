@@ -162,6 +162,9 @@ std::string done_line(std::string_view job, std::string_view status,
   out += ", \"cells\": " +
          std::to_string(ctx.cells ? ctx.cells->size() : std::size_t{0});
   if (extras.retried) out += ", \"retried\": true";
+  if (extras.resumed_stage >= 0) {
+    out += ", \"resumed_stage\": " + std::to_string(extras.resumed_stage);
+  }
   if (!extras.artifact_format.empty()) {
     out += ", \"artifact\": {\"format\": ";
     out += json_quote(extras.artifact_format);
@@ -206,6 +209,7 @@ std::string counters_body(const ServerCounters& c) {
   out += ", \"rejected\": " + std::to_string(c.rejected);
   out += ", \"protocol_errors\": " + std::to_string(c.protocol_errors);
   out += ", \"retried\": " + std::to_string(c.retried);
+  out += ", \"resumed\": " + std::to_string(c.resumed);
   out += ", \"running\": " + std::to_string(c.running);
   out += ", \"queued\": " + std::to_string(c.queued);
   out += ", \"draining\": ";

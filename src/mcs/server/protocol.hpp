@@ -20,8 +20,9 @@
 ///    "error":"", "stages":4, "seconds":1.25, "queue_wait_seconds":0.01,
 ///    "gates":812, "depth":14, "luts":0, "cells":0}
 ///     ... plus "retried": true when the job was replayed from the crash
-///     journal, and "artifact": {"format":"aiger","text":"aag ..."} when
-///     the submit asked for "emit":"aiger"
+///     journal ("resumed_stage": N when a stage checkpoint let the replay
+///     skip stages 0..N-1), and "artifact": {"format":"aiger","text":...}
+///     when the submit asked for "emit":"aiger"
 ///   {"type":"attached", "job":"j1", "state":"running|queued|done"}
 ///   {"type":"error", "job":"j1"?, "error":"..."}   // rejected / protocol
 ///   {"type":"pong", ...counters...}
@@ -40,6 +41,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -91,6 +93,8 @@ struct ServerCounters {
   std::uint64_t rejected = 0;    ///< submits that never became jobs
   std::uint64_t protocol_errors = 0;
   std::uint64_t retried = 0;     ///< jobs re-queued from the journal
+  std::uint64_t resumed = 0;     ///< retried jobs resumed past stage 0
+                                 ///  from an on-disk checkpoint (mcs::ckpt)
   std::size_t running = 0;       ///< jobs currently executing a stage
   std::size_t queued = 0;        ///< jobs waiting for a runner slot
   bool draining = false;
@@ -102,10 +106,15 @@ std::string accepted_line(std::string_view job, std::size_t queued);
 std::string stage_line(std::string_view job, std::size_t index,
                        const flow::StageReport& report);
 /// Optional extras of a "done" line: jobs replayed from the journal carry
-/// "retried": true; jobs submitted with "emit":"aiger" carry their result
-/// netlist inline as {"artifact": {"format":"aiger","text":"aag ..."}}.
+/// "retried": true (plus "resumed_stage": N when a stage checkpoint let
+/// the replay start at stage N instead of 0); jobs submitted with
+/// "emit":"aiger" carry their result netlist inline as
+/// {"artifact": {"format":"aiger","text":"aag ..."}}.
 struct DoneExtras {
   bool retried = false;
+  /// First stage index the replayed job actually executed (restored from
+  /// an mcs::ckpt stage checkpoint); -1 = not resumed, field omitted.
+  std::ptrdiff_t resumed_stage = -1;
   std::string artifact_format;  ///< "" = no artifact
   std::string artifact_text;
 };

@@ -1,11 +1,17 @@
 #include "mcs/server/server.hpp"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "mcs/ckpt/snapshot.hpp"
 #include "mcs/fail/fail.hpp"
 #include "mcs/io/aiger.hpp"
 #include "mcs/io/blif_read.hpp"
@@ -29,6 +35,9 @@ struct ServerMetrics {
   obs::Counter& stages_run = obs::counter("server.stages_run");
   obs::Counter& restarts = obs::counter("server.restarts");
   obs::Counter& jobs_retried = obs::counter("server.jobs_retried");
+  obs::Counter& jobs_resumed = obs::counter("ckpt.resumes");
+  obs::Counter& ckpt_stage_writes = obs::counter("ckpt.stage_writes");
+  obs::Counter& journal_compactions = obs::counter("ckpt.journal_compactions");
   obs::Gauge& strash_bytes = obs::gauge("strash.bytes_max");
   obs::Gauge& cut_arena_bytes = obs::gauge("cut.arena_bytes_max");
   obs::Histogram& queue_wait_us = obs::histogram("server.queue_wait_us");
@@ -48,6 +57,14 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// Suffix of the per-stage snapshot file.  The stage index is part of the
+/// name so a crash between a snapshot's rename and its "stage_ckpt"
+/// journal entry can never pair a journal index with a newer network: the
+/// journaled index always resolves to exactly its own file.
+std::string stage_suffix(std::ptrdiff_t stage) {
+  return ".s" + std::to_string(stage) + ".snap";
+}
+
 int default_job_slots() {
   const int resolved = static_cast<int>(ThreadPool::resolve_threads(0));
   // At least 2 slots so short jobs keep flowing past one heavy stage even
@@ -56,14 +73,23 @@ int default_job_slots() {
   return std::clamp(resolved, 2, 8);
 }
 
-/// Done lines retained for "attach" after completion (FIFO-bounded; also
-/// the compaction budget of the journal, Journal::analyze's keep_done).
-constexpr std::size_t kDoneCacheMax = 256;
-
 }  // namespace
 
 JobServer::JobServer(ServerOptions options) : options_(options) {
   if (options_.job_slots <= 0) options_.job_slots = default_job_slots();
+  if (options_.journal_path.empty()) options_.stage_checkpoints = false;
+  if (options_.stage_checkpoints) {
+    if (options_.ckpt_dir.empty()) {
+      options_.ckpt_dir = options_.journal_path + ".ckpt";
+    }
+    if (::mkdir(options_.ckpt_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr,
+                   "mcs_server: cannot create checkpoint dir %s (%s); "
+                   "stage checkpoints off\n",
+                   options_.ckpt_dir.c_str(), std::strerror(errno));
+      options_.stage_checkpoints = false;
+    }
+  }
   // Recovery runs before the runners exist: replayed jobs queue up
   // exactly like live submissions and dispatch once the slots spin up.
   if (!options_.journal_path.empty()) recover_from_journal();
@@ -78,7 +104,7 @@ void JobServer::recover_from_journal() {
   std::size_t skipped = 0;
   const std::vector<JournalEntry> entries =
       Journal::load(options_.journal_path, &skipped);
-  const Recovery rec = Journal::analyze(entries, kDoneCacheMax);
+  const Recovery rec = Journal::analyze(entries, options_.done_cache);
   // Compact before reopening: pending jobs re-journal their accepted
   // entries on re-submission below, so only the done cache carries over.
   Journal::compact(options_.journal_path, rec);
@@ -98,13 +124,78 @@ void JobServer::recover_from_journal() {
                  rec.entries, skipped, rec.pending.size());
   }
   replaying_ = true;
-  for (const std::string& request : rec.pending) {
+  for (const PendingJob& pending : rec.pending) {
     // Client 0 is never attached: responses drop until the owner
     // re-attaches by job id.  The replay reuses the full live submit
     // path, so validation/quota/journal behavior is identical.
-    handle_line(0, request);
+    handle_line(0, pending.request);
+    resume_job_from_checkpoint(pending);
   }
   replaying_ = false;
+}
+
+/// Patches a just-replayed job so it resumes at its last checkpointed
+/// stage instead of stage 0.  Runs in the constructor, before any runner
+/// exists, so the job's state is free to patch without races.  Every
+/// failure (missing/corrupt snapshot, invariant-audit reject) degrades to
+/// a warning and a from-scratch replay -- a checkpoint is an
+/// optimization, never a correctness dependency.
+void JobServer::resume_job_from_checkpoint(const PendingJob& pending) {
+  if (!options_.stage_checkpoints || pending.ckpt_index < 0) return;
+  const auto it = jobs_.find(std::make_pair(std::uint64_t{0}, pending.id));
+  if (it == jobs_.end()) return;  // replay itself was rejected
+  const std::shared_ptr<Job>& job = it->second;
+  const std::size_t resume_at = static_cast<std::size_t>(pending.ckpt_index) + 1;
+  if (resume_at > job->flow.stages().size()) {
+    std::fprintf(stderr,
+                 "mcs_server: job %s checkpoint index %td exceeds its flow "
+                 "(%zu stages); replaying from scratch\n",
+                 pending.id.c_str(), pending.ckpt_index,
+                 job->flow.stages().size());
+    return;
+  }
+  const std::string snap =
+      ckpt_path(pending.id, stage_suffix(pending.ckpt_index).c_str());
+  try {
+    Network net = ckpt::read_snapshot_file(snap);
+    std::string why;
+    if (!net.check(&why)) {
+      throw ckpt::SnapshotError("restored network fails invariant audit: " +
+                                why);
+    }
+    const std::string orig = ckpt_path(pending.id, ".orig.snap");
+    if (::access(orig.c_str(), R_OK) == 0) {
+      Network original = ckpt::read_snapshot_file(orig);
+      if (!original.check(&why)) {
+        throw ckpt::SnapshotError("restored original fails invariant audit: " +
+                                  why);
+      }
+      job->ctx.original = std::move(original);
+      job->orig_ckpt_written = true;
+    }
+    job->ctx.net = std::move(net);
+    job->next_stage = resume_at;
+    job->resumed_stage = static_cast<std::ptrdiff_t>(resume_at);
+    // Re-journal the checkpoint: recovery compacted the old journal away,
+    // and a second crash before the next fresh checkpoint must still find
+    // this one (the snapshot file is untouched on disk).
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kStageCkpt;
+    e.job = pending.id;
+    e.index = static_cast<std::size_t>(pending.ckpt_index);
+    journal_.append(e);
+    job->last_ckpt_journaled.store(pending.ckpt_index,
+                                   std::memory_order_relaxed);
+    ++counters_.resumed;
+    metrics().jobs_resumed.increment();
+    std::fprintf(stderr, "mcs_server: job %s resumes at stage %zu/%zu\n",
+                 pending.id.c_str(), resume_at, job->flow.stages().size());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "mcs_server: job %s checkpoint unusable (%s); replaying "
+                 "from scratch\n",
+                 pending.id.c_str(), e.what());
+  }
 }
 
 JobServer::~JobServer() {
@@ -346,11 +437,13 @@ void JobServer::handle_submit(std::uint64_t client, const Request& req) {
             static_cast<std::int64_t>(jobs_.size()));
         if (journal_.is_open()) {
           // Inside the critical section so no runner can journal this
-          // job's "started" before its "accepted" hits the disk.
+          // job's "started" before its "accepted" hits the disk.  The
+          // request line sticks around on the job for auto-compaction.
+          job->request_line = submit_line(req);
           JournalEntry e;
           e.kind = JournalEntry::Kind::kAccepted;
           e.job = job->id;
-          e.payload = submit_line(req);
+          e.payload = job->request_line;
           journal_.append(e);
         }
       }
@@ -475,7 +568,16 @@ void JobServer::runner_loop(std::size_t /*index*/) {
         e.kind = JournalEntry::Kind::kStarted;
         e.job = job->id;
         journal_.append(e);
+        job->journal_started.store(true, std::memory_order_relaxed);
       }
+    }
+
+    // A resumed job whose checkpoint covered the final stage has nothing
+    // left to run -- its previous life died between the last stage and
+    // the done entry.
+    if (job->next_stage >= job->flow.stages().size()) {
+      finalize(job, "ok", "");
+      continue;
     }
 
     const flow::Flow::Stage& stage = job->flow.stages()[job->next_stage];
@@ -491,7 +593,11 @@ void JobServer::runner_loop(std::size_t /*index*/) {
     flow::StageReport report;
     {
       obs::Span span("server:stage");
-      report = flow::run_stage(job->ctx, *stage.pass, stage.args);
+      // The transactional runner: with the job's TxnPolicy armed (the
+      // `ckpt` pass), a throwing/fault-injected/invariant-breaking stage
+      // rolls the network back to its pre-stage snapshot and retries or
+      // skips per policy instead of failing the job outright.
+      report = flow::run_stage_txn(job->ctx, *stage.pass, stage.args);
     }
     metrics().stages_run.increment();
     // Floor per-stage cost so zero-measure stages still advance vtime and
@@ -504,6 +610,8 @@ void JobServer::runner_loop(std::size_t /*index*/) {
       e.job = job->id;
       e.index = job->next_stage - 1;
       journal_.append(e);
+      write_stage_checkpoint(job, job->next_stage - 1);
+      maybe_compact_journal();
     }
 
     if (!report.ok) {
@@ -546,6 +654,7 @@ void JobServer::finalize(const std::shared_ptr<Job>& job,
   std::string error = error_in;
   DoneExtras extras;
   extras.retried = job->retried;
+  extras.resumed_stage = job->resumed_stage;
   if (status == "ok" && job->emit == "aiger") {
     try {
       std::ostringstream os;
@@ -588,7 +697,7 @@ void JobServer::finalize(const std::shared_ptr<Job>& job,
     // Retain the done line for late attach() calls, FIFO-bounded.
     if (done_cache_.emplace(job->id, line).second) {
       done_cache_order_.push_back(job->id);
-      if (done_cache_order_.size() > kDoneCacheMax) {
+      if (done_cache_order_.size() > options_.done_cache) {
         done_cache_.erase(done_cache_order_.front());
         done_cache_order_.erase(done_cache_order_.begin());
       }
@@ -621,6 +730,8 @@ void JobServer::finalize(const std::shared_ptr<Job>& job,
     e.payload = line;
     journal_.append(e);
   }
+  remove_stage_checkpoints(job);
+  maybe_compact_journal();
 
   emit(job->client.load(std::memory_order_relaxed), line);
 
@@ -660,6 +771,131 @@ void JobServer::update_gauges_locked() {
   metrics().jobs_queued.set(static_cast<std::int64_t>(ready_.size()));
   metrics().jobs_running.set(
       static_cast<std::int64_t>(jobs_.size() - ready_.size()));
+}
+
+// --- stage checkpoints (mcs::ckpt) ------------------------------------------
+
+std::string JobServer::ckpt_path(const std::string& job_id,
+                                 const char* suffix) const {
+  // Job ids are client-chosen: escape everything outside [A-Za-z0-9_.-]
+  // as %XX so an id cannot traverse out of the checkpoint directory.
+  std::string name;
+  name.reserve(job_id.size());
+  for (const char c : job_id) {
+    const bool plain = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                       c == '-';
+    if (plain) {
+      name += c;
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      name += buf;
+    }
+  }
+  return options_.ckpt_dir + "/" + name + suffix;
+}
+
+void JobServer::write_stage_checkpoint(const std::shared_ptr<Job>& job,
+                                       std::size_t completed_stage) {
+  if (!options_.stage_checkpoints || !journal_.is_open()) return;
+  try {
+    // The cec/simcheck reference network is part of the resumable state:
+    // snapshot it once, the first time a stage leaves one behind.
+    if (!job->orig_ckpt_written && job->ctx.original.has_value()) {
+      ckpt::write_snapshot_file(*job->ctx.original,
+                                ckpt_path(job->id, ".orig.snap"));
+      job->orig_ckpt_written = true;
+    }
+    const std::ptrdiff_t prev =
+        job->last_ckpt_journaled.load(std::memory_order_relaxed);
+    const std::ptrdiff_t stage = static_cast<std::ptrdiff_t>(completed_stage);
+    ckpt::write_snapshot_file(job->ctx.net,
+                              ckpt_path(job->id, stage_suffix(stage).c_str()));
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kStageCkpt;
+    e.job = job->id;
+    e.index = completed_stage;
+    journal_.append(e);
+    job->last_ckpt_journaled.store(stage, std::memory_order_relaxed);
+    // The previous snapshot is deleted only after the new entry is
+    // durable, so the journal's newest stage_ckpt always has its file.
+    if (prev >= 0 && prev != stage) {
+      ::unlink(ckpt_path(job->id, stage_suffix(prev).c_str()).c_str());
+    }
+    metrics().ckpt_stage_writes.increment();
+  } catch (const std::exception& e) {
+    // Injected ckpt.write faults land here too: checkpointing degrades to
+    // a warning, the job itself is unaffected (a crash replays it from
+    // its last good checkpoint, or stage 0).
+    std::fprintf(stderr,
+                 "mcs_server: stage checkpoint for job %s failed: %s\n",
+                 job->id.c_str(), e.what());
+  }
+}
+
+void JobServer::remove_stage_checkpoints(const std::shared_ptr<Job>& job) {
+  if (!options_.stage_checkpoints) return;
+  const std::ptrdiff_t last =
+      job->last_ckpt_journaled.load(std::memory_order_relaxed);
+  if (last >= 0) {
+    ::unlink(ckpt_path(job->id, stage_suffix(last).c_str()).c_str());
+  }
+  if (job->orig_ckpt_written) {
+    ::unlink(ckpt_path(job->id, ".orig.snap").c_str());
+  }
+}
+
+void JobServer::maybe_compact_journal() {
+  if (!journal_.is_open() || options_.journal_max_bytes == 0) return;
+  if (journal_.bytes() <= options_.journal_max_bytes) return;
+  // mutex_ is held across the rewrite so a submit (which journals its
+  // accepted entry under mutex_) can never fall between the state
+  // snapshot below and the file swap -- it lands fully before (and is in
+  // the snapshot) or fully after (and appends to the new file).  Runner
+  // appends without mutex_ can land in the discarded old file; those are
+  // stage/checkpoint markers whose loss only degrades a future resume,
+  // never a job's at-least-once execution.  Lock order (mutex_ then the
+  // journal's append lock) matches handle_submit.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (journal_.bytes() <= options_.journal_max_bytes) return;  // lost the race
+  std::vector<JournalEntry> entries;
+  for (const auto& [key, job] : jobs_) {
+    if (job->request_line.empty()) continue;  // accepted while degraded
+    JournalEntry a;
+    a.kind = JournalEntry::Kind::kAccepted;
+    a.job = job->id;
+    a.payload = job->request_line;
+    entries.push_back(std::move(a));
+    if (job->journal_started.load(std::memory_order_relaxed)) {
+      JournalEntry s;
+      s.kind = JournalEntry::Kind::kStarted;
+      s.job = job->id;
+      entries.push_back(std::move(s));
+    }
+    const std::ptrdiff_t ck =
+        job->last_ckpt_journaled.load(std::memory_order_relaxed);
+    if (ck >= 0) {
+      JournalEntry c;
+      c.kind = JournalEntry::Kind::kStageCkpt;
+      c.job = job->id;
+      c.index = static_cast<std::size_t>(ck);
+      entries.push_back(std::move(c));
+    }
+  }
+  for (const std::string& id : done_cache_order_) {
+    const auto it = done_cache_.find(id);
+    if (it == done_cache_.end()) continue;
+    JournalEntry d;
+    d.kind = JournalEntry::Kind::kDone;
+    d.job = id;
+    d.status = "kept";
+    d.payload = it->second;
+    entries.push_back(std::move(d));
+  }
+  journal_.rewrite_and_reopen(options_.journal_path, entries);
+  metrics().journal_compactions.increment();
 }
 
 void JobServer::serve_stream(std::istream& in, std::ostream& out) {

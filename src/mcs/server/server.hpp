@@ -47,7 +47,13 @@
 /// client hears about it; a restarted worker (see `mcs_server --supervise`)
 /// replays accepted-but-unfinished jobs (done lines marked "retried") and
 /// answers "attach" requests for completed ones from the retained done
-/// cache.  Degradation guards (max inline-input bytes, per-client job
+/// cache.  With stage_checkpoints on, each journaled job additionally
+/// snapshots its network (mcs::ckpt) at every completed stage, so the
+/// replay *resumes* at the last checkpointed stage instead of re-running
+/// the flow from scratch -- the done line then carries "resumed_stage".
+/// The journal itself auto-compacts past journal_max_bytes, rewriting to
+/// the live state (in-flight accepts + latest checkpoints + done cache)
+/// so a long-lived daemon's journal stays bounded.  Degradation guards (max inline-input bytes, per-client job
 /// quota, memory high-water shedding) reject excess load with an "error"
 /// line instead of letting it take the process down, and the mcs::fail
 /// injection sites (server.line / server.emit / server.input) let tests
@@ -67,6 +73,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -132,6 +139,25 @@ struct ServerOptions {
   /// carry "retried": true) and completed jobs' done lines are retained
   /// to answer "attach" requests.
   std::string journal_path{};
+
+  /// Auto-compact the journal once it grows past this many bytes: rewrite
+  /// it down to the live state (in-flight accepts + latest checkpoints +
+  /// the done cache) through Journal::rewrite_and_reopen.  0 = never.
+  std::size_t journal_max_bytes = std::size_t{64} << 20;
+
+  /// Done lines retained for "attach" after completion (FIFO-bounded);
+  /// also the journal's compaction budget (Journal::analyze keep_done).
+  std::size_t done_cache = 256;
+
+  /// Write a network snapshot (mcs::ckpt) at every completed stage of a
+  /// journaled job, so a crashed worker's replacement resumes the job at
+  /// the last checkpointed stage instead of stage 0.  Only active when
+  /// journal_path is set.
+  bool stage_checkpoints = true;
+
+  /// Directory of the per-job stage checkpoint files; "" derives
+  /// "<journal_path>.ckpt".  Created on startup if missing.
+  std::string ckpt_dir{};
 };
 
 class JobServer {
@@ -198,6 +224,21 @@ class JobServer {
     std::string id;
     double weight = 1.0;
     bool retried = false;   ///< replayed from the journal after a crash
+    /// First stage the job actually executes after a checkpoint restore;
+    /// -1 = not resumed.  Set during journal recovery, before runners
+    /// exist, and read-only afterwards.
+    std::ptrdiff_t resumed_stage = -1;
+    /// Verbatim submit line, kept for journal auto-compaction (the
+    /// rewritten journal re-emits the job's "accepted" entry).  Written
+    /// under mutex_ at accept time, read under mutex_ during compaction.
+    std::string request_line;
+    /// The job's "started" entry is on disk (journal auto-compaction must
+    /// preserve it).  Atomic: set by runners without mutex_.
+    std::atomic<bool> journal_started{false};
+    /// Index of the last stage whose "stage_ckpt" entry was journaled;
+    /// -1 = none.  Atomic for the same reason.
+    std::atomic<std::ptrdiff_t> last_ckpt_journaled{-1};
+    bool orig_ckpt_written = false;  ///< runner-only state, no lock needed
     std::string emit;       ///< "aiger" = inline the result in "done"
     flow::Flow flow;
     flow::FlowContext ctx;
@@ -218,6 +259,10 @@ class JobServer {
   /// Journal recovery (constructor, before runners start): compact the
   /// old journal, seed the done cache, re-queue unfinished jobs.
   void recover_from_journal();
+  /// Recovery detail: fast-forwards a replayed job to its last stage
+  /// checkpoint (restore snapshot, audit it, bump next_stage); any
+  /// failure falls back to a from-scratch replay.
+  void resume_job_from_checkpoint(const PendingJob& pending);
   bool cancel_job_locked(const std::shared_ptr<Job>& job,
                          std::unique_lock<std::mutex>& lock);
   void runner_loop(std::size_t index);
@@ -228,6 +273,21 @@ class JobServer {
   void emit(std::uint64_t client, const std::string& line);
   void update_gauges_locked();
   ServerCounters counters_locked() const;
+
+  // --- stage checkpoints (mcs::ckpt) ---------------------------------------
+  /// Path of a job's stage snapshot ("<ckpt_dir>/<sanitized id><suffix>").
+  std::string ckpt_path(const std::string& job_id, const char* suffix) const;
+  /// Snapshots job state after a completed stage: the working network
+  /// (and, once, the sim-reference original) to disk, then a "stage_ckpt"
+  /// journal entry.  Failures degrade to a warning -- the job still has
+  /// its stage entries and replays from stage 0.
+  void write_stage_checkpoint(const std::shared_ptr<Job>& job,
+                              std::size_t completed_stage);
+  /// Deletes a finished job's checkpoint files (best effort).
+  void remove_stage_checkpoints(const std::shared_ptr<Job>& job);
+  /// Rewrites the journal down to live state when it outgrows
+  /// options_.journal_max_bytes.
+  void maybe_compact_journal();
 
   ServerOptions options_;
 

@@ -15,7 +15,7 @@ int TruthTable::count_ones() const noexcept {
 
 TruthTable TruthTable::cofactor0(int var) const {
   TruthTable r = *this;
-  if (var < kTt6MaxVars) {
+  if (0 <= var && var < kTt6MaxVars) {
     for (auto& w : r.words_) w = tt6_cofactor0(w, var);
   } else {
     const std::size_t period = std::size_t{1} << (var - kTt6MaxVars);
@@ -28,7 +28,7 @@ TruthTable TruthTable::cofactor0(int var) const {
 
 TruthTable TruthTable::cofactor1(int var) const {
   TruthTable r = *this;
-  if (var < kTt6MaxVars) {
+  if (0 <= var && var < kTt6MaxVars) {
     for (auto& w : r.words_) w = tt6_cofactor1(w, var);
   } else {
     const std::size_t period = std::size_t{1} << (var - kTt6MaxVars);
@@ -41,7 +41,7 @@ TruthTable TruthTable::cofactor1(int var) const {
 
 TruthTable TruthTable::flip_var(int var) const {
   TruthTable r = *this;
-  if (var < kTt6MaxVars) {
+  if (0 <= var && var < kTt6MaxVars) {
     for (auto& w : r.words_) w = tt6_flip_var(w, var);
   } else {
     const std::size_t period = std::size_t{1} << (var - kTt6MaxVars);

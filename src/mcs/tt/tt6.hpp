@@ -11,6 +11,7 @@
 
 #include <array>
 #include <bit>
+#include <cassert>
 #include <cstdint>
 
 namespace mcs {
@@ -65,6 +66,7 @@ constexpr bool tt6_has_var(Tt6 t, int var) noexcept {
 
 /// Flips (complements) variable \p var in \p t.
 constexpr Tt6 tt6_flip_var(Tt6 t, int var) noexcept {
+  assert(var >= 0 && var < kTt6MaxVars);
   const unsigned shift = 1u << var;
   return ((t & kTt6Projections[var]) >> shift) |
          ((t & ~kTt6Projections[var]) << shift);

@@ -253,7 +253,9 @@ TEST(ParallelSim, LazyRestridePreservesExistingWords) {
 
   // Later adds append within the (now materialized) budget; overrunning it
   // still fails loudly instead of spilling into the next node's row.
-  sim.add_pattern_words(pattern, 3);
+  const std::vector<std::uint64_t> pattern3(net.num_pis() * 3,
+                                            0x0123456789abcdefull);
+  sim.add_pattern_words(pattern3, 3);
   EXPECT_EQ(sim.spare_words(), 0);
   EXPECT_THROW(sim.add_pattern_words(pattern, 1), std::length_error);
 }

@@ -17,6 +17,10 @@
 #include <thread>
 #include <vector>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "mcs/ckpt/snapshot.hpp"
 #include "mcs/flow/flow.hpp"
 #include "mcs/io/aiger.hpp"
 #include "mcs/obs/obs.hpp"
@@ -594,7 +598,9 @@ TEST(Journal, AnalyzeSeparatesPendingFromCompleted) {
   Recovery rec = Journal::analyze(entries);
   EXPECT_FALSE(rec.clean_shutdown);  // no trailing shutdown entry
   ASSERT_EQ(rec.pending.size(), 1u);
-  EXPECT_EQ(rec.pending[0], sub2);  // j1 finished; only j2 needs replay
+  EXPECT_EQ(rec.pending[0].id, "j2");  // j1 finished; only j2 needs replay
+  EXPECT_EQ(rec.pending[0].request, sub2);
+  EXPECT_EQ(rec.pending[0].ckpt_index, -1);  // no checkpoint journaled
   ASSERT_EQ(rec.completed.size(), 1u);
   EXPECT_EQ(rec.completed[0].first, "j1");
   EXPECT_EQ(rec.completed[0].second, "done-line-j1");
@@ -718,6 +724,214 @@ TEST(JobServer, CleanShutdownReplaysNothingAndAnswersAttachFromCache) {
   client.send(attach_line("j1"));
   EXPECT_EQ(client.wait_outcome("j1"), "ok");
   std::remove(path.c_str());
+}
+
+// --- server: stage-level resume (mcs::ckpt) ---------------------------------
+
+TEST(Journal, StageCkptEntriesRoundTripAndDriveTheResumeIndex) {
+  JournalEntry e;
+  e.kind = JournalEntry::Kind::kStageCkpt;
+  e.job = "j1";
+  e.index = 3;
+  const JournalEntry back = JournalEntry::parse(e.to_line());
+  EXPECT_EQ(back.kind, JournalEntry::Kind::kStageCkpt);
+  EXPECT_EQ(back.job, "j1");
+  EXPECT_EQ(back.index, 3u);
+
+  std::vector<JournalEntry> entries;
+  JournalEntry a;
+  a.kind = JournalEntry::Kind::kAccepted;
+  a.job = "j1";
+  a.payload = submit("j1", "gen:adder,bits=8; compress2rs; rewrite");
+  entries.push_back(a);
+  Recovery rec = Journal::analyze(entries);
+  ASSERT_EQ(rec.pending.size(), 1u);
+  EXPECT_EQ(rec.pending[0].ckpt_index, -1);  // no checkpoint yet
+
+  e.index = 0;
+  entries.push_back(e);
+  e.index = 2;
+  entries.push_back(e);
+  rec = Journal::analyze(entries);
+  ASSERT_EQ(rec.pending.size(), 1u);
+  EXPECT_EQ(rec.pending[0].ckpt_index, 2);  // the latest checkpoint wins
+
+  // A checkpoint entry without its accepted entry (compaction artifact /
+  // torn journal) must not fabricate a pending job.
+  rec = Journal::analyze({e});
+  EXPECT_TRUE(rec.pending.empty());
+
+  JournalEntry d;
+  d.kind = JournalEntry::Kind::kDone;
+  d.job = "j1";
+  d.status = "ok";
+  d.payload = "done-line";
+  entries.push_back(d);
+  rec = Journal::analyze(entries);
+  EXPECT_TRUE(rec.pending.empty());
+}
+
+TEST(JobServer, ResumesReplayedJobFromItsStageCheckpoint) {
+  const std::string path = ::testing::TempDir() + "mcs_journal_resume.ndjson";
+  const std::string ckpt_dir = path + ".ckpt";
+  std::remove(path.c_str());
+
+  // Fabricate the on-disk state of a worker killed right after stage 0 of
+  // a three-stage flow: the journal pairs the accepted entry with a
+  // "stage_ckpt", and the checkpoint directory holds the stage-0 snapshot
+  // (exactly what write_stage_checkpoint leaves behind).
+  flow::FlowContext ctx;
+  flow::run_flow("gen:adder,bits=8", ctx);
+  ::mkdir(ckpt_dir.c_str(), 0755);
+  ckpt::write_snapshot_file(ctx.net, ckpt_dir + "/resumejob.s0.snap");
+  {
+    Journal j;
+    j.open(path);
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kAccepted;
+    e.job = "resumejob";
+    e.payload = submit("resumejob", "gen:adder,bits=8; compress2rs; rewrite");
+    j.append(e);
+    e = {};
+    e.kind = JournalEntry::Kind::kStarted;
+    e.job = "resumejob";
+    j.append(e);
+    e.kind = JournalEntry::Kind::kStage;
+    e.index = 0;
+    j.append(e);
+    e.kind = JournalEntry::Kind::kStageCkpt;
+    j.append(e);
+  }
+
+  JobServer server(ServerOptions{.job_slots = 1, .journal_path = path});
+  EXPECT_EQ(server.counters().retried, 1u);
+  EXPECT_EQ(server.counters().resumed, 1u);
+
+  TestClient client(server);
+  client.send(attach_line("resumejob"));
+  EXPECT_EQ(client.wait_outcome("resumejob"), "ok");
+
+  // The done line says where execution actually restarted.
+  bool saw_done = false;
+  for (const std::string& line : client.lines()) {
+    const Json msg = Json::parse(line);
+    const Json* t = msg.find("type");
+    if (t == nullptr || t->as_string() != "done") continue;
+    saw_done = true;
+    const Json* retried = msg.find("retried");
+    ASSERT_NE(retried, nullptr) << line;
+    EXPECT_TRUE(retried->as_bool());
+    const Json* resumed = msg.find("resumed_stage");
+    ASSERT_NE(resumed, nullptr) << line;
+    EXPECT_EQ(resumed->as_int(), 1);  // stage 0 was checkpointed, skip it
+  }
+  EXPECT_TRUE(saw_done);
+
+  std::remove(path.c_str());
+  std::remove((ckpt_dir + "/resumejob.s0.snap").c_str());
+  ::rmdir(ckpt_dir.c_str());
+}
+
+TEST(JobServer, CorruptCheckpointDegradesToReplayFromScratch) {
+  const std::string path = ::testing::TempDir() + "mcs_journal_badck.ndjson";
+  const std::string ckpt_dir = path + ".ckpt";
+  std::remove(path.c_str());
+  ::mkdir(ckpt_dir.c_str(), 0755);
+  {
+    std::ofstream snap(ckpt_dir + "/badck.s0.snap", std::ios::binary);
+    snap << "MCSS garbage, not a snapshot";
+  }
+  {
+    Journal j;
+    j.open(path);
+    JournalEntry e;
+    e.kind = JournalEntry::Kind::kAccepted;
+    e.job = "badck";
+    e.payload = submit("badck", "gen:adder,bits=8; compress2rs");
+    j.append(e);
+    e = {};
+    e.kind = JournalEntry::Kind::kStageCkpt;
+    e.job = "badck";
+    e.index = 0;
+    j.append(e);
+  }
+
+  // The unusable checkpoint must cost nothing but the shortcut: the job
+  // replays from stage 0 and still completes.
+  JobServer server(ServerOptions{.job_slots = 1, .journal_path = path});
+  EXPECT_EQ(server.counters().retried, 1u);
+  EXPECT_EQ(server.counters().resumed, 0u);
+  TestClient client(server);
+  client.send(attach_line("badck"));
+  EXPECT_EQ(client.wait_outcome("badck"), "ok");
+
+  std::remove(path.c_str());
+  std::remove((ckpt_dir + "/badck.s0.snap").c_str());
+  ::rmdir(ckpt_dir.c_str());
+}
+
+TEST(JobServer, AutoCompactsTheJournalPastMaxBytes) {
+  const std::string path =
+      ::testing::TempDir() + "mcs_journal_autocompact.ndjson";
+  const std::string ckpt_dir = path + ".ckpt";
+  std::remove(path.c_str());
+#ifndef MCS_OBS_DISABLE
+  const std::uint64_t compactions_before =
+      obs::counter("ckpt.journal_compactions").value();
+#endif
+  {
+    // 256 bytes: every post-stage watermark check is over budget, so the
+    // journal is rewritten down to live state continuously.
+    JobServer server(ServerOptions{.job_slots = 1,
+                                   .journal_path = path,
+                                   .journal_max_bytes = 256});
+    TestClient client(server);
+    client.send(submit("c1", "gen:adder,bits=8; compress2rs"));
+    EXPECT_EQ(client.wait_outcome("c1"), "ok");
+    client.send(submit("c2", "gen:adder,bits=8; compress2rs"));
+    EXPECT_EQ(client.wait_outcome("c2"), "ok");
+  }  // drains, journals the shutdown marker
+#ifndef MCS_OBS_DISABLE
+  EXPECT_GT(obs::counter("ckpt.journal_compactions").value(),
+            compactions_before);
+#endif
+
+  // The compacted journal holds only the live state: the done cache and
+  // the shutdown marker -- no per-stage progress history.
+  std::size_t skipped = 0;
+  const auto entries = Journal::load(path, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_LE(entries.size(), 5u);
+  for (const JournalEntry& e : entries) {
+    EXPECT_NE(e.kind, JournalEntry::Kind::kStage);
+    EXPECT_NE(e.kind, JournalEntry::Kind::kStageCkpt);
+  }
+
+  // ...and it still replays correctly: clean shutdown, attach from cache.
+  JobServer server(ServerOptions{.job_slots = 1, .journal_path = path});
+  EXPECT_EQ(server.counters().retried, 0u);
+  TestClient client(server);
+  client.send(attach_line("c2"));
+  EXPECT_EQ(client.wait_outcome("c2"), "ok");
+
+  std::remove(path.c_str());
+  ::rmdir(ckpt_dir.c_str());
+}
+
+TEST(JobServer, DoneCacheBoundIsConfigurable) {
+  JobServer server(ServerOptions{.job_slots = 1, .done_cache = 1});
+  TestClient client(server);
+  client.send(submit("d1", "gen:adder,bits=8"));
+  EXPECT_EQ(client.wait_outcome("d1"), "ok");
+  client.send(submit("d2", "gen:adder,bits=8"));
+  EXPECT_EQ(client.wait_outcome("d2"), "ok");
+
+  // Only the newest done line is retained for late attaches.
+  TestClient late(server);
+  late.send(attach_line("d2"));
+  EXPECT_EQ(late.wait_outcome("d2"), "ok");
+  late.send(attach_line("d1"));
+  EXPECT_EQ(late.wait_outcome("d1"), "rejected");
 }
 
 // --- server: degradation guards ---------------------------------------------

@@ -22,7 +22,10 @@
 /// SIGTERM/SIGINT so a drain still reaches the worker.  Paired with
 /// `--journal PATH` the restarted worker replays accepted-but-unfinished
 /// jobs from the durable journal, so a `kill -9` mid-job still ends in a
-/// "done" line for every accepted job (marked "retried": true).
+/// "done" line for every accepted job (marked "retried": true).  Per-stage
+/// network snapshots (on by default with a journal; see --ckpt-dir) let a
+/// replayed job *resume* at its last completed stage instead of re-running
+/// the whole flow -- its done line then carries "resumed_stage": N.
 
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -128,6 +131,15 @@ void usage() {
       "\n"
       "robustness\n"
       "  --journal PATH      durable fsync'd job journal; replayed on restart\n"
+      "  --journal-max-bytes N  auto-compact the journal past N bytes\n"
+      "                      (default 64 MiB; 0 = never)\n"
+      "  --done-cache N      done lines retained for late attach, also the\n"
+      "                      journal compaction budget (default 256)\n"
+      "  --ckpt-dir PATH     per-stage network snapshot directory (default\n"
+      "                      JOURNAL.ckpt); restarts resume jobs at their\n"
+      "                      last checkpointed stage\n"
+      "  --no-stage-ckpt     disable per-stage snapshots (replay restarts\n"
+      "                      every recovered job from stage 0)\n"
       "  --supervise         watchdog parent: forks the worker, restarts it on\n"
       "                      crash (needs --unix/--tcp; pair with --journal)\n"
       "  --pidfile PATH      write the worker pid here (rewritten per restart)\n"
@@ -478,6 +490,15 @@ int main(int argc, char** argv) {
       options.stream_stages = false;
     } else if (arg == "--journal") {
       options.journal_path = need_value(i);
+    } else if (arg == "--journal-max-bytes") {
+      options.journal_max_bytes =
+          static_cast<std::size_t>(std::atoll(need_value(i)));
+    } else if (arg == "--done-cache") {
+      options.done_cache = static_cast<std::size_t>(std::atoll(need_value(i)));
+    } else if (arg == "--ckpt-dir") {
+      options.ckpt_dir = need_value(i);
+    } else if (arg == "--no-stage-ckpt") {
+      options.stage_checkpoints = false;
     } else if (arg == "--supervise") {
       supervise = true;
     } else if (arg == "--pidfile") {

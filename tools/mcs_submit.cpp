@@ -13,7 +13,8 @@
 /// retried with backoff, and a mid-job disconnect (supervised worker
 /// crash) reconnects and re-binds to the job with an "attach" request --
 /// the journal replay on the server side finishes the job, so the done
-/// line still arrives (carrying "retried": true).
+/// line still arrives (carrying "retried": true, plus "resumed_stage": N
+/// when a stage checkpoint let the replay skip the completed stages).
 ///
 ///   exit code: 0 = done ok, 2 = done error, 3 = cancelled, 4 = timeout,
 ///              5 = rejected, 1 = transport/protocol trouble.
