@@ -10,6 +10,16 @@
 ///                      the circuit's `gen` stage (default paper flow)
 ///   MCS_FLOW_THREADS   > 1 switches to the partition-parallel variant
 ///                      (popt / pmch / pmap_lut) with that worker count
+///   MCS_FLOW_ONLY      run just the named circuit (e.g. "multiplier") --
+///                      pairs with MCS_FLOW_SPEC for single-flow timing
+///   MCS_FLOW_REPEAT    run the suite N times (default 1) and print the
+///                      summed flow seconds -- the stable-timing loop of
+///                      the obs-overhead check (enabled+sampler build vs
+///                      -DMCS_OBS_DISABLE must stay within a few percent)
+///   MCS_FLOW_SAMPLER   > 0 runs the whole suite with the telemetry
+///                      sampler live at that interval in ms (ring of 120),
+///                      mirroring a serving deployment; no-op stub under
+///                      MCS_OBS_DISABLE
 
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +55,18 @@ int main() {
   if (const char* t = std::getenv("MCS_FLOW_THREADS")) {
     threads = std::atoi(t);
   }
+  const char* only = std::getenv("MCS_FLOW_ONLY");
+  int repeat = 1;
+  if (const char* r = std::getenv("MCS_FLOW_REPEAT")) {
+    repeat = std::atoi(r);
+    if (repeat < 1) repeat = 1;
+  }
+  if (const char* s = std::getenv("MCS_FLOW_SAMPLER")) {
+    const int interval_ms = std::atoi(s);
+    if (interval_ms > 0) {
+      obs::sampler_start(static_cast<unsigned>(interval_ms), 120);
+    }
+  }
 
   const std::string serial_tail =
       "; compress2rs:rounds=2; mch:basis=xmg,ratio=0.9; map_lut:k=6; cec";
@@ -52,24 +74,36 @@ int main() {
       "; popt:rounds=2; pmch:basis=xmg,ratio=0.9; pmap_lut:k=6; cec";
 
   bool all_ok = true;
-  for (const Circuit& circuit : kCircuits) {
-    std::string spec;
-    if (spec_env) {
-      spec = spec_env;
-      const std::size_t hole = spec.find("%s");
-      if (hole != std::string::npos) {
-        spec.replace(hole, 2, circuit.gen);
+  double total_seconds = 0.0;
+  for (int iter = 0; iter < repeat; ++iter) {
+    for (const Circuit& circuit : kCircuits) {
+      if (only && circuit.name != std::string(only)) continue;
+      std::string spec;
+      if (spec_env) {
+        spec = spec_env;
+        const std::size_t hole = spec.find("%s");
+        if (hole != std::string::npos) {
+          spec.replace(hole, 2, circuit.gen);
+        }
+      } else {
+        spec = std::string(circuit.gen) +
+               (threads > 1 ? parallel_tail : serial_tail);
       }
-    } else {
-      spec = std::string(circuit.gen) +
-             (threads > 1 ? parallel_tail : serial_tail);
-    }
 
-    flow::FlowContext ctx;
-    ctx.par.num_threads = threads;
-    const flow::FlowReport report = flow::run_flow(spec, ctx);
-    bench::emit_flow_report("flow", circuit.name, report);
-    all_ok = all_ok && report.ok;
+      flow::FlowContext ctx;
+      ctx.par.num_threads = threads;
+      const flow::FlowReport report = flow::run_flow(spec, ctx);
+      if (iter == 0) {
+        bench::emit_flow_report("flow", circuit.name, report);
+      }
+      all_ok = all_ok && report.ok;
+      total_seconds += report.total_seconds;
+    }
   }
+  if (repeat > 1) {
+    std::fprintf(stderr, "bench_flow: %d iterations, %.3f s summed flow time\n",
+                 repeat, total_seconds);
+  }
+  obs::sampler_stop();
   return all_ok ? 0 : 1;
 }

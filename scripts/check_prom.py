@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition document (what the mcs job
+server's `stats` verb embeds as its "prometheus" field) and optionally
+assert exact sample values.
+
+usage: check_prom.py FILE [NAME=VALUE ...]
+
+Checks: every line is a `# TYPE name counter|gauge|histogram` comment or a
+`name[{labels}] value` sample; every sample's (base) name was typed first;
+histogram `_bucket` series are cumulative and end at `_count` via +Inf.
+"""
+import re
+import sys
+
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+]+)$")
+TYPE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$")
+
+
+def fail(what):
+    sys.exit(f"check_prom: FAIL: {what}")
+
+
+types, samples, buckets = {}, {}, {}
+for ln, line in enumerate(open(sys.argv[1]), 1):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("#"):
+        m = TYPE.match(line)
+        m or fail(f"line {ln}: malformed comment {line!r}")
+        types[m.group(1)] = m.group(2)
+        continue
+    m = SAMPLE.match(line)
+    m or fail(f"line {ln}: malformed sample {line!r}")
+    name, _, value = m.groups()
+    base = re.sub(r"_(bucket|sum|count)$", "", name)
+    (name in types or types.get(base) == "histogram") or fail(
+        f"line {ln}: {name} was never declared with # TYPE")
+    samples[name] = float(value)
+    if name.endswith("_bucket") and types.get(base) == "histogram":
+        buckets.setdefault(base, []).append(float(value))
+
+for base, kind in types.items():
+    if kind != "histogram":
+        continue
+    cum = buckets.get(base, [])
+    cum == sorted(cum) or fail(f"{base}: bucket series is not cumulative")
+    (cum and cum[-1] == samples.get(base + "_count")) or fail(
+        f"{base}: +Inf bucket != _count")
+    base + "_sum" in samples or fail(f"{base}: missing _sum")
+
+for expect in sys.argv[2:]:
+    name, want = expect.split("=", 1)
+    samples.get(name) == float(want) or fail(
+        f"{name} is {samples.get(name)}, expected {want}")
+
+print(f"check_prom: OK -- {len(samples)} samples, {len(types)} metrics" +
+      (f", {len(sys.argv) - 2} values asserted" if len(sys.argv) > 2 else ""))

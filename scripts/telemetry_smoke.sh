@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Telemetry smoke for the obs v2 serving surface: a TCP-mode mcs_server
+# with a fast sampler runs a small batch while a second connection scrapes
+# the admin verbs mid-flight -- `stats`/`health`/`jobs` must answer while
+# jobs are running, the embedded Prometheus exposition must validate
+# (scripts/check_prom.py), and mcs_top must render a frame.  After the
+# batch drains, a final scrape asserts the server's completed counter
+# equals the session's own done-line accounting.
+#
+# Usage: scripts/telemetry_smoke.sh [BUILD_DIR]   (default: ./build)
+set -euo pipefail
+
+build_dir=${1:-build}
+server=$build_dir/tools/mcs_server
+submit=$build_dir/tools/mcs_submit
+top=$build_dir/tools/mcs_top
+[ -x "$server" ] && [ -x "$submit" ] && [ -x "$top" ] || {
+  echo "telemetry_smoke: build mcs_server + mcs_submit + mcs_top first" >&2
+  exit 1
+}
+
+port=$(( (RANDOM % 20000) + 30000 ))
+work=$(mktemp -d)
+server_pid=
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$work"' EXIT
+
+"$server" --tcp "$port" --slots 2 \
+          --telemetry-interval-ms 50 --telemetry-ring 64 &
+server_pid=$!
+
+# The batch: two heavy jobs pin both slots while the third queues, so the
+# mid-flight scrape sees running *and* queued rows.  No shutdown line --
+# the client exits once every job reported done, leaving the server up for
+# the post-drain scrape.
+cat > "$work/session.ndjson" <<'EOF'
+{"type": "submit", "id": "t-heavy1", "flow": "gen:multiplier,bits=128; compress2rs; compress2rs"}
+{"type": "submit", "id": "t-heavy2", "flow": "gen:multiplier,bits=128; compress2rs; compress2rs"}
+{"type": "submit", "id": "t-small", "flow": "gen:adder,bits=16; rewrite"}
+EOF
+"$submit" --connect "tcp:127.0.0.1:$port" --retry 20 \
+          --script "$work/session.ndjson" > "$work/responses.ndjson" &
+batch_pid=$!
+
+sleep 0.2  # let the heavy jobs get going (and the sampler collect)
+
+echo "--- mid-batch admin scrape ---"
+"$submit" --connect "tcp:127.0.0.1:$port" --retry 20 --ping
+"$submit" --connect "tcp:127.0.0.1:$port" --health | tee "$work/health.json"
+"$submit" --connect "tcp:127.0.0.1:$port" --jobs | tee "$work/jobs.json"
+"$submit" --connect "tcp:127.0.0.1:$port" --stats > "$work/stats_mid.json"
+"$top" --connect "tcp:127.0.0.1:$port" --once
+
+# The stats reply embeds the obs exports: pull the Prometheus text out and
+# validate the exposition; sanity-check the telemetry ring settings.
+python3 - "$work/stats_mid.json" "$work/prom_mid.txt" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+open(sys.argv[2], "w").write(stats["prometheus"])
+assert stats["ring"]["capacity"] == 64, stats["ring"]["capacity"]
+assert stats["ring"]["interval_ms"] == 50, stats["ring"]["interval_ms"]
+assert "counters" in stats["metrics"], "stats must embed the obs registry"
+health = json.load(open(sys.argv[1].replace("stats_mid", "health")))
+assert health["status"] in ("ok", "draining"), health
+assert health["telemetry"] is True, "sampler should be on"
+EOF
+python3 scripts/check_prom.py "$work/prom_mid.txt"
+
+wait "$batch_pid"
+completed=$(python3 -c '
+import json, sys
+done = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+print(sum(1 for m in done
+          if m.get("type") == "done" and m.get("status") == "ok"))
+' "$work/responses.ndjson")
+[ "$completed" -eq 3 ] || {
+  echo "telemetry_smoke: FAIL: expected 3 ok jobs, got $completed" >&2
+  exit 1
+}
+
+# Post-drain scrape: the job counters in the exposition must exactly match
+# the session's own done-line accounting, and the ring must have
+# accumulated samples.
+"$submit" --connect "tcp:127.0.0.1:$port" --stats > "$work/stats_end.json"
+python3 - "$work/stats_end.json" "$work/prom_end.txt" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+open(sys.argv[2], "w").write(stats["prometheus"])
+assert len(stats["ring"]["samples"]) > 0, "sampler ring stayed empty"
+EOF
+python3 scripts/check_prom.py "$work/prom_end.txt" \
+  server_jobs_accepted="$completed" server_jobs_completed="$completed" \
+  server_jobs_failed=0 server_jobs_rejected=0
+
+"$submit" --connect "tcp:127.0.0.1:$port" --shutdown --quiet
+wait "$server_pid"
+echo "telemetry_smoke: OK -- $completed jobs completed, exposition valid"

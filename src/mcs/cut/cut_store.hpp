@@ -94,8 +94,9 @@ class CutStore {
     arena_ = std::move(next);
     capacity_ = cap;
     // Growth is doubling-rare; a gauge write here is free in practice.
-    obs::gauge("cut.arena_bytes_max")
-        .set_max(static_cast<std::int64_t>(capacity_ * sizeof(Cut)));
+    const auto bytes = static_cast<std::int64_t>(capacity_ * sizeof(Cut));
+    obs::gauge("cut.arena_bytes_max").set_max(bytes);
+    obs::domain_peak_max(obs::DomainPeak::kArenaBytes, bytes);
   }
 
   std::unique_ptr<Cut[]> arena_;

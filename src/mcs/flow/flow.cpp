@@ -384,8 +384,14 @@ StageReport run_stage(FlowContext& ctx, const PassInfo& pass,
   // Every registered pass gets an enter/exit span and a metrics window for
   // free: counter movement during the stage lands in report.metrics, spans
   // started during the stage (the pass's own span included) land in
-  // report.spans.
-  const obs::MetricsSnapshot metrics_before = obs::snapshot();
+  // report.spans.  With a domain on the context the stage (and, through
+  // pool inheritance, all of its tasks) runs under the job's scope and the
+  // window reads the domain -- exact per-job deltas under concurrency;
+  // without one it falls back to the process-wide registry.
+  obs::Scope domain_scope(ctx.domain.get());
+  report.metrics_scope = ctx.domain ? "job" : "process";
+  const obs::MetricsSnapshot metrics_before =
+      ctx.domain ? ctx.domain->snapshot() : obs::snapshot();
   const std::uint64_t span_window_start = obs::now_us();
   const auto t0 = std::chrono::steady_clock::now();
   // Sim spot check only guards function-preserving rewrites: transforms and
@@ -441,7 +447,9 @@ StageReport run_stage(FlowContext& ctx, const PassInfo& pass,
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  report.metrics = obs::snapshot_delta(metrics_before);
+  report.metrics =
+      ctx.domain ? obs::snapshot_diff(ctx.domain->snapshot(), metrics_before)
+                 : obs::snapshot_delta(metrics_before);
   if (obs::tracing_enabled()) {
     report.spans = obs::aggregate_spans(span_window_start);
   }
@@ -491,6 +499,7 @@ std::optional<StageReport> check_interrupted(FlowContext& ctx,
   StageReport report;
   report.pass = next_pass.name;
   report.ok = false;
+  report.metrics_scope = ctx.domain ? "job" : "process";
   report.note = reason;
   report.gates = ctx.net.num_gates();
   report.depth = ctx.net.depth();
@@ -551,6 +560,7 @@ StageReport run_stage_txn(FlowContext& ctx, const PassInfo& pass,
     StageReport skipped;
     skipped.pass = pass.name;
     skipped.args = report.args;
+    skipped.metrics_scope = report.metrics_scope;
     skipped.note = "skipped after rollback: " + report.note;
     skipped.gates = ctx.net.num_gates();
     skipped.depth = ctx.net.depth();
@@ -607,6 +617,10 @@ FlowReport Flow::run(FlowContext& ctx) const {
   // or bench plumbing (idempotent; the dump happens at process exit).
   obs::init_from_env();
   fail::init_from_env();
+  // Per-flow attribution: every flow runs under its own metric domain (the
+  // job server pre-installs one per job; CLI and bench flows get one here),
+  // so per-stage metrics windows never absorb concurrent work.
+  if (!ctx.domain) ctx.domain = std::make_shared<obs::Domain>();
   FlowReport report;
   const auto t0 = std::chrono::steady_clock::now();
   for (const Stage& stage : stages_) {
@@ -694,6 +708,10 @@ std::string StageReport::to_json() const {
   append_json_string(out, s.note);
   // Observability fields (see README "Observability"): counter *deltas*
   // over the stage, gauges at stage end, per-name span aggregates.
+  // metrics_scope says which accumulator the window read ("job" = the
+  // flow's own domain, "process" = the pre-v2 global registry).
+  out += ", \"metrics_scope\": ";
+  append_json_string(out, s.metrics_scope);
   out += ", \"metrics\": {\"counters\": {";
   for (std::size_t k = 0; k < s.metrics.counters.size(); ++k) {
     if (k) out += ", ";

@@ -314,6 +314,13 @@ struct StageReport {
   obs::MetricsSnapshot metrics;
   std::vector<obs::SpanStats> spans;
 
+  /// Which accumulator `metrics` was read from: "job" when the flow ran
+  /// under its own obs::Domain (exact per-flow deltas even when concurrent
+  /// jobs share the pool), "process" for the pre-v2 process-global window
+  /// (deltas absorb every concurrent job's work).  Serialized as
+  /// "metrics_scope" so JSON consumers can tell which semantics they got.
+  std::string metrics_scope = "process";
+
   /// One self-contained JSON object for this stage -- the unit the job
   /// server streams to clients as stages complete (FlowReport::to_json
   /// emits the same objects inside its "stages" array).
@@ -359,6 +366,15 @@ struct FlowContext {
 
   /// Checkpoint/rollback policy (see TxnPolicy); disabled by default.
   TxnPolicy txn;
+
+  /// Metric-attribution domain for this flow.  When set, run_stage installs
+  /// it (obs::Scope) around every stage -- the pool propagates it to all
+  /// tasks -- and reads the per-stage metrics window from it, so
+  /// StageReport.metrics is an exact per-job delta under concurrency.
+  /// Flow::run creates one on demand; the job server installs one per job
+  /// at submission.  Must outlive every pool task of the flow (holding it
+  /// on the context guarantees that).
+  std::shared_ptr<obs::Domain> domain;
 };
 
 /// Executes one bound pass on \p ctx: times it, captures errors (returned

@@ -218,8 +218,11 @@ class StrashTable {
     for (const Slot& s : old) {
       if (s.id != kNullNode) place(s);
     }
-    metrics().bytes_max.set_max(
-        static_cast<std::int64_t>(slots_.size() * sizeof(Slot)));
+    const auto bytes = static_cast<std::int64_t>(slots_.size() * sizeof(Slot));
+    metrics().bytes_max.set_max(bytes);
+    // Same high-water mark, attributed: the job whose network this table
+    // belongs to (the active obs scope) records its own peak.
+    obs::domain_peak_max(obs::DomainPeak::kStrashBytes, bytes);
   }
 
   std::vector<Slot> slots_;

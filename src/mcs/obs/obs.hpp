@@ -5,7 +5,7 @@
 /// arena, sweep, CEC, simulation, flow stages) reports into this subsystem;
 /// the flow layer snapshots it per stage, the shell exposes it as the
 /// `stats` / `trace` commands, and `MCS_TRACE=<file>` captures a whole
-/// headless run.  Two pillars:
+/// headless run.  Three pillars:
 ///
 ///   - **Metrics**: a process-wide registry of named counters, gauges and
 ///     histograms.  Counter/histogram increments land in *per-thread* cells
@@ -14,11 +14,30 @@
 ///     only when somebody reads: observation is cheap enough to stay
 ///     compiled into release builds.  Cells of finished threads are folded
 ///     into a retired accumulator, so totals survive pool reconstruction.
+///   - **Attribution**: a metric *domain* (`obs::Domain`) is a second,
+///     job-scoped accumulator.  While a thread holds an `obs::Scope` every
+///     counter/histogram increment is recorded twice -- in the process-wide
+///     registry as before, and in the active domain.  The thread pool
+///     inherits the submitting thread's domain into its tasks, so a flow
+///     running on N workers still attributes all of its work to its own
+///     domain even when jobs share the pool.  Domain increments accumulate
+///     in a thread-local scratch block and are folded into the domain's
+///     shared cells only at scope transitions (task boundaries), preserving
+///     the write-exclusive hot path.  A scope also meters thread CPU time
+///     (CLOCK_THREAD_CPUTIME_ID) into its domain, switching attribution on
+///     every scope transition so stolen cross-job tasks charge the right
+///     owner.
 ///   - **Tracing**: RAII scoped spans (`obs::Span`) with nesting depth and
 ///     thread attribution, buffered per thread and exportable as Chrome
 ///     `chrome://tracing` / Perfetto `trace_events` JSON, so one `run_flow`
 ///     renders as a flame chart of passes -> shards -> pool batches.
 ///     Tracing is off by default; a disabled span costs one relaxed load.
+///
+/// On top of the registry sits the *telemetry ring*: an optional sampler
+/// thread (`sampler_start`) snapshots every metric each N ms into a
+/// fixed-size ring with histogram percentiles, exported as JSON
+/// (`ring_json`) and Prometheus text exposition format (`prometheus_text`)
+/// -- the server's `stats` verb and `mcs_top` read from here.
 ///
 /// Determinism contract: nothing in this subsystem feeds back into any
 /// algorithm -- metrics and spans only *observe*.  The 1-vs-N bit-identity
@@ -59,22 +78,101 @@ struct SpanStats {
   double seconds = 0.0;  ///< summed wall-clock duration
 };
 
+/// One histogram's aggregated buckets (see histogram_snapshots()).
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<std::uint64_t> buckets;  ///< kHistBuckets log2 buckets
+  std::uint64_t count = 0;             ///< total samples
+  std::uint64_t sum = 0;               ///< sum of observed values
+};
+
+/// Per-domain high-water marks recorded by subsystems that track peak
+/// memory (strash tables, cut arenas).
+enum class DomainPeak : int { kStrashBytes = 0, kArenaBytes = 1 };
+inline constexpr int kDomainPeaks = 2;
+
+/// Counters that differ between \p now and \p before (name -> delta), plus
+/// \p now's gauges verbatim.  Pure data transform; works on global and
+/// domain snapshots alike.
+inline MetricsSnapshot snapshot_diff(const MetricsSnapshot& now,
+                                     const MetricsSnapshot& before) {
+  MetricsSnapshot delta;
+  delta.gauges = now.gauges;
+  for (const MetricValue& mv : now.counters) {
+    std::int64_t base = 0;
+    for (const MetricValue& prev : before.counters) {
+      if (prev.name == mv.name) {
+        base = prev.value;
+        break;
+      }
+    }
+    if (mv.value != base) delta.counters.push_back({mv.name, mv.value - base});
+  }
+  return delta;
+}
+
+/// Interpolated percentile (p in [0,1]) over log2 buckets as laid out by
+/// Histogram: bucket 0 holds exact zeros, bucket b >= 1 covers
+/// [2^(b-1), 2^b - 1].  Linear interpolation inside the chosen bucket;
+/// 0 when the histogram is empty.
+inline double percentile_from_buckets(const std::vector<std::uint64_t>& buckets,
+                                      double p) {
+  std::uint64_t total = 0;
+  for (std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double target = p * static_cast<double>(total);
+  std::uint64_t acc = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const double before = static_cast<double>(acc);
+    acc += buckets[b];
+    if (static_cast<double>(acc) >= target) {
+      if (b == 0) return 0.0;
+      const double lower =
+          static_cast<double>(std::uint64_t{1} << (b - 1));
+      const double upper = 2.0 * lower - 1.0;
+      const double frac =
+          (target - before) / static_cast<double>(buckets[b]);
+      return lower + frac * (upper - lower);
+    }
+  }
+  return 0.0;  // unreachable: total > 0 guarantees the loop returns
+}
+
 #ifndef MCS_OBS_DISABLE
+
+class Domain;
 
 namespace detail {
 
 /// Slots per thread block.  Counters take one slot, histograms take
-/// kHistBuckets consecutive slots; allocation beyond the block falls back
-/// to a shared atomic (correct, merely contended).
-inline constexpr std::size_t kMaxSlots = 512;
+/// kHistBuckets + 1 consecutive slots (buckets + running sum); allocation
+/// beyond the block falls back to a shared atomic (correct, merely
+/// contended).
+inline constexpr std::size_t kMaxSlots = 1024;
 inline constexpr int kHistBuckets = 24;  ///< log2 buckets, last = overflow
+
+/// Per-thread attribution state: the active domain and a plain (non-atomic,
+/// write-exclusive) scratch block of pending deltas for it.  The scratch is
+/// folded into the domain's shared cells only when the scope changes, so
+/// hot-path increments never touch shared memory.
+struct DomainState {
+  Domain* current = nullptr;
+  std::uint64_t last_cpu_ns = 0;
+  std::uint64_t scratch[kMaxSlots] = {};
+};
 
 /// Per-thread metric cells.  Only the owning thread writes a cell, so the
 /// increment is a relaxed load+store pair (no locked RMW); aggregators read
 /// the atomics relaxed.  Registered in a global list on first use, retired
-/// (values folded into a global accumulator) on thread exit.
+/// (values folded into a global accumulator) on thread exit.  The domain
+/// attribution state lives in the same thread_local so one TLS resolution
+/// (and one init-guard check) serves both halves of an increment.
 struct ThreadCells {
   std::atomic<std::uint64_t> cells[kMaxSlots];
+  DomainState domain;
   ThreadCells();
   ~ThreadCells();
 };
@@ -86,6 +184,11 @@ inline ThreadCells& thread_cells() {
   thread_local ThreadCells cells;
   return cells;
 }
+
+inline DomainState& domain_state() { return thread_cells().domain; }
+
+/// CLOCK_THREAD_CPUTIME_ID in nanoseconds (this thread's CPU time).
+std::uint64_t thread_cpu_ns() noexcept;
 
 void record_span(const char* name_literal, const std::string& name_owned,
                  std::uint64_t start_us, std::uint64_t dur_us,
@@ -103,6 +206,107 @@ extern std::atomic<std::uint64_t> g_trace_epoch;
 /// every trace event.
 std::uint64_t now_us() noexcept;
 
+// --- attribution ------------------------------------------------------------
+
+/// A job-scoped metric accumulator.  Install with an obs::Scope; every
+/// counter/histogram increment made while the scope is active lands here as
+/// well as in the process-wide registry.  Shared cells are only written at
+/// scope transitions (a relaxed fetch_add per touched slot), so domains add
+/// no contention to hot paths even when many pool workers share one.
+///
+/// Lifetime: a domain must outlive every task that inherited it through the
+/// thread pool (the flow layer keeps it on the FlowContext, which outlives
+/// the flow run).
+class Domain {
+ public:
+  Domain() {
+    for (auto& c : cells_) c.store(0, std::memory_order_relaxed);
+  }
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// Folds a scratch delta into the shared cell.  Slots past the per-thread
+  /// block are process-global only -- the domain simply misses them (the
+  /// registry stays correct; attribution degrades, never corrupts).
+  void add_slot(std::uint32_t slot, std::uint64_t delta) noexcept {
+    if (slot < detail::kMaxSlots)
+      cells_[slot].fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  void add_cpu_ns(std::uint64_t ns) noexcept {
+    cpu_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  /// Attributed CPU time over every thread that ran under this domain.
+  std::uint64_t cpu_us() const noexcept {
+    return cpu_ns_.load(std::memory_order_relaxed) / 1000;
+  }
+
+  void peak_max(DomainPeak k, std::int64_t v) noexcept {
+    std::atomic<std::int64_t>& p = peaks_[static_cast<int>(k)];
+    std::int64_t cur = p.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !p.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t peak(DomainPeak k) const noexcept {
+    return peaks_[static_cast<int>(k)].load(std::memory_order_relaxed);
+  }
+
+  /// Aggregated reading of this domain, in snapshot() shape: counters (and
+  /// histogram `.count` / `.p50_bucket` derivations) hold the domain's own
+  /// totals; gauges carry the domain peaks (`obs.domain.*`).  Process
+  /// gauges are deliberately absent -- they are instantaneous global values
+  /// that cannot be attributed.  Flushes the calling thread's pending
+  /// scratch first, so a scope-holding thread sees its own increments.
+  MetricsSnapshot snapshot();
+
+ private:
+  friend class Scope;
+  std::atomic<std::uint64_t> cells_[detail::kMaxSlots];
+  std::atomic<std::uint64_t> cpu_ns_{0};
+  std::atomic<std::int64_t> peaks_[kDomainPeaks] = {};
+};
+
+/// RAII binding of a Domain to the current thread.  Nested scopes stack;
+/// re-entering the already-active domain (e.g. a pool caller participating
+/// in its own batch) is a no-op, so CPU time is never double counted.
+/// Passing nullptr detaches the thread (increments go global-only).
+class Scope {
+ public:
+  explicit Scope(Domain* d) noexcept {
+    detail::DomainState& st = detail::domain_state();
+    if (st.current == d) return;  // same domain (or both null): nothing to do
+    active_ = true;
+    prev_ = st.current;
+    switch_domain(st, d);
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+  ~Scope() {
+    if (active_) switch_domain(detail::domain_state(), prev_);
+  }
+
+  /// The calling thread's active domain (null when detached).  The thread
+  /// pool captures this at submit time to inherit attribution into tasks.
+  static Domain* current() noexcept { return detail::domain_state().current; }
+
+ private:
+  /// Flushes pending scratch and CPU time to the outgoing domain, then
+  /// installs \p next and restarts the CPU meter.  Defined in obs.cpp.
+  static void switch_domain(detail::DomainState& st, Domain* next) noexcept;
+
+  bool active_ = false;
+  Domain* prev_ = nullptr;
+};
+
+/// Records a peak-memory observation against the calling thread's active
+/// domain (no-op when detached).  Subsystems with process-global high-water
+/// gauges (strash, cut arena) call this next to their set_max.
+inline void domain_peak_max(DomainPeak k, std::int64_t v) noexcept {
+  detail::DomainState& st = detail::domain_state();
+  if (st.current != nullptr) st.current->peak_max(k, v);
+}
+
 // --- metrics ----------------------------------------------------------------
 
 /// A monotonic counter.  Obtain once (registry lookup takes a mutex), then
@@ -111,9 +315,11 @@ class Counter {
  public:
   void add(std::uint64_t delta) noexcept {
     if (slot_ < detail::kMaxSlots) {
-      std::atomic<std::uint64_t>& c = detail::thread_cells().cells[slot_];
+      detail::ThreadCells& tc = detail::thread_cells();
+      std::atomic<std::uint64_t>& c = tc.cells[slot_];
       c.store(c.load(std::memory_order_relaxed) + delta,
               std::memory_order_relaxed);
+      if (tc.domain.current != nullptr) tc.domain.scratch[slot_] += delta;
     } else {
       overflow_->fetch_add(delta, std::memory_order_relaxed);
     }
@@ -160,36 +366,50 @@ class Gauge {
 
 /// A log2-bucketed histogram of non-negative samples (value v lands in
 /// bucket floor(log2(v))+1, zero in bucket 0; the last bucket absorbs
-/// overflow).  Buckets are per-thread cells like counters.
+/// overflow).  Buckets are per-thread cells like counters; one extra slot
+/// accumulates the running sum for Prometheus export.
 class Histogram {
  public:
   void observe(std::uint64_t v) noexcept {
+    const std::uint64_t orig = v;
     int b = 0;
     while (v != 0 && b < detail::kHistBuckets - 1) {
       v >>= 1;
       ++b;
     }
-    const std::uint32_t slot = base_ + static_cast<std::uint32_t>(b);
-    if (slot < detail::kMaxSlots) {
-      std::atomic<std::uint64_t>& c = detail::thread_cells().cells[slot];
-      c.store(c.load(std::memory_order_relaxed) + 1,
-              std::memory_order_relaxed);
-    } else {
-      overflow_[b]->fetch_add(1, std::memory_order_relaxed);
-    }
+    bump(base_ + static_cast<std::uint32_t>(b), b, 1);
+    bump(base_ + static_cast<std::uint32_t>(detail::kHistBuckets),
+         detail::kHistBuckets, orig);
   }
 
   /// Aggregated per-bucket totals (kHistBuckets entries).
   std::vector<std::uint64_t> buckets() const;
   std::uint64_t total() const;
+  /// Sum of all observed values (live + retired threads).
+  std::uint64_t sum() const;
+  /// Interpolated percentile of the observed distribution, p in [0,1].
+  double percentile(double p) const { return percentile_from_buckets(buckets(), p); }
 
  private:
   friend Histogram& histogram(std::string_view);
   explicit Histogram(std::uint32_t base) : base_(base) {}
+
+  void bump(std::uint32_t slot, int local, std::uint64_t delta) noexcept {
+    if (slot < detail::kMaxSlots) {
+      detail::ThreadCells& tc = detail::thread_cells();
+      std::atomic<std::uint64_t>& c = tc.cells[slot];
+      c.store(c.load(std::memory_order_relaxed) + delta,
+              std::memory_order_relaxed);
+      if (tc.domain.current != nullptr) tc.domain.scratch[slot] += delta;
+    } else {
+      overflow_[local]->fetch_add(delta, std::memory_order_relaxed);
+    }
+  }
+
   std::uint32_t base_;
-  /// Per-bucket shared fallback cells for slots past kMaxSlots, resolved at
-  /// registration; entries for in-block buckets stay null.
-  std::atomic<std::uint64_t>* overflow_[detail::kHistBuckets] = {};
+  /// Per-bucket (plus sum) shared fallback cells for slots past kMaxSlots,
+  /// resolved at registration; entries for in-block slots stay null.
+  std::atomic<std::uint64_t>* overflow_[detail::kHistBuckets + 1] = {};
 };
 
 /// Registry lookup-or-create.  The returned references are stable for the
@@ -204,14 +424,45 @@ Histogram& histogram(std::string_view name);
 MetricsSnapshot snapshot();
 
 /// Counters that changed between \p before and now (name -> delta), plus
-/// the current gauge values.  The flow layer attaches this to every stage.
+/// the current gauge values.  The flow layer attaches this to every stage
+/// (through the job's Domain when one is installed -- see FlowContext).
 MetricsSnapshot snapshot_delta(const MetricsSnapshot& before);
 
-/// Human-readable table of the whole registry (the shell's `stats`).
+/// Every registered histogram with raw buckets, count and sum; names
+/// sorted.  Feeds metrics_text percentile columns, the telemetry ring and
+/// the Prometheus export.
+std::vector<HistogramSnapshot> histogram_snapshots();
+
+/// Human-readable table of the whole registry (the shell's `stats`),
+/// including a histogram section with p50/p95/p99 columns.
 std::string metrics_text();
 
 /// One JSON object {"counters": {...}, "gauges": {...}}.
 std::string metrics_json();
+
+/// The registry in Prometheus text exposition format: counters and gauges
+/// as scalar families, histograms as `_bucket{le="..."}` cumulative series
+/// plus `_sum` / `_count` (metric names sanitized, '.' -> '_').
+std::string prometheus_text();
+
+// --- telemetry ring ---------------------------------------------------------
+
+/// Starts (or restarts with new parameters) the background sampler thread:
+/// every \p interval_ms it snapshots the registry (with per-histogram
+/// p50/p95/p99) into a ring of the last \p ring_capacity samples.
+/// Overhead is one registry aggregation per tick, independent of load.
+void sampler_start(unsigned interval_ms, std::size_t ring_capacity);
+
+/// Stops and joins the sampler thread; the ring's contents are retained.
+void sampler_stop();
+
+bool sampler_running();
+
+/// The retained ring as one JSON object:
+/// {"interval_ms":N,"capacity":N,"samples":[{"t_us":...,"counters":{...},
+///  "gauges":{...},"percentiles":{"<hist>":{"p50":...,"p95":...,"p99":...,
+///  "count":N}}}, ...]} (oldest first).
+std::string ring_json();
 
 // --- tracing ----------------------------------------------------------------
 
@@ -312,6 +563,29 @@ class Span {
 
 inline std::uint64_t now_us() noexcept { return 0; }
 
+class Domain {
+ public:
+  Domain() = default;
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+  void add_slot(std::uint32_t, std::uint64_t) noexcept {}
+  void add_cpu_ns(std::uint64_t) noexcept {}
+  std::uint64_t cpu_us() const noexcept { return 0; }
+  void peak_max(DomainPeak, std::int64_t) noexcept {}
+  std::int64_t peak(DomainPeak) const noexcept { return 0; }
+  MetricsSnapshot snapshot() { return {}; }
+};
+
+class Scope {
+ public:
+  explicit Scope(Domain*) noexcept {}
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+  static Domain* current() noexcept { return nullptr; }
+};
+
+inline void domain_peak_max(DomainPeak, std::int64_t) noexcept {}
+
 class Counter {
  public:
   void add(std::uint64_t) noexcept {}
@@ -332,6 +606,8 @@ class Histogram {
   void observe(std::uint64_t) noexcept {}
   std::vector<std::uint64_t> buckets() const { return {}; }
   std::uint64_t total() const noexcept { return 0; }
+  std::uint64_t sum() const noexcept { return 0; }
+  double percentile(double) const noexcept { return 0.0; }
 };
 
 Counter& counter(std::string_view name);
@@ -340,8 +616,15 @@ Histogram& histogram(std::string_view name);
 
 inline MetricsSnapshot snapshot() { return {}; }
 inline MetricsSnapshot snapshot_delta(const MetricsSnapshot&) { return {}; }
+inline std::vector<HistogramSnapshot> histogram_snapshots() { return {}; }
 std::string metrics_text();
 std::string metrics_json();
+std::string prometheus_text();
+
+inline void sampler_start(unsigned, std::size_t) {}
+inline void sampler_stop() {}
+inline bool sampler_running() { return false; }
+std::string ring_json();
 
 inline bool tracing_enabled() noexcept { return false; }
 inline void set_tracing(bool) {}

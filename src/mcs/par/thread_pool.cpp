@@ -125,9 +125,19 @@ void ThreadPool::refresh_thread_default() noexcept {
 void ThreadPool::push_task(std::function<void()> fn) {
   if (tl_in_batch) {
     // A batch participant submitting through its own pool: run inline so
-    // the returned future is ready immediately (see tl_in_batch).
+    // the returned future is ready immediately (see tl_in_batch).  The
+    // caller's metric domain is already active on this thread.
     fn();
     return;
+  }
+  if (obs::Domain* d = obs::Scope::current()) {
+    // Queued tasks inherit the submitter's metric domain: whoever executes
+    // the task (owner or stealer) attributes its work to the submitting
+    // job.  The domain outlives the task -- see obs::Domain lifetime note.
+    fn = [d, inner = std::move(fn)]() {
+      obs::Scope scope(d);
+      inner();
+    };
   }
   {
     // Count and enqueue in one critical section, so ready_ can never be
@@ -206,6 +216,10 @@ void ThreadPool::participate(const std::shared_ptr<Batch>& batch) {
   const std::size_t n = b.n;
   const bool was_in_batch = tl_in_batch;
   tl_in_batch = true;
+  // One scope for the whole claim loop (a no-op on the submitting thread,
+  // whose domain is already active): batch items are attributed to the
+  // submitting job on every participant.
+  obs::Scope domain_scope(b.domain);
   obs::Span span("pool:batch");
   static obs::Counter& items = obs::counter("pool.batch_items");
   for (;;) {
@@ -267,6 +281,7 @@ void ThreadPool::submit_bulk(std::size_t n,
   auto batch = std::make_shared<Batch>();
   batch->fn = &fn;
   batch->order = order;
+  batch->domain = obs::Scope::current();
   batch->n = n;
   {
     std::unique_lock<std::mutex> lock(mutex_);

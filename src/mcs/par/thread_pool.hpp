@@ -52,6 +52,10 @@
 
 namespace mcs {
 
+namespace obs {
+class Domain;  // metric-attribution domain (see mcs/obs/obs.hpp)
+}
+
 class ThreadPool {
  public:
   /// Spawns \p num_threads workers; 0 means resolve_threads(0) workers.
@@ -144,6 +148,10 @@ class ThreadPool {
   struct Batch {
     const std::function<void(std::size_t)>* fn = nullptr;
     const std::uint32_t* order = nullptr;  ///< nullptr = identity
+    /// The submitter's metric domain, captured at submit time; every
+    /// participant installs it around its claim loop so batch work is
+    /// attributed to the submitting job (null = detached).
+    obs::Domain* domain = nullptr;
     std::size_t n = 0;
     std::atomic<std::size_t> next{0};   ///< claim cursor into [0, n)
     std::atomic<std::size_t> done{0};   ///< completed calls

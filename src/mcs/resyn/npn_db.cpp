@@ -4,6 +4,7 @@
 #include <map>
 
 #include "mcs/network/network_utils.hpp"
+#include "mcs/obs/obs.hpp"
 #include "mcs/resyn/sop.hpp"
 #include "mcs/resyn/strategies.hpp"
 
@@ -44,6 +45,13 @@ std::size_t cone_size(const Network& net, Signal s) {
 const NpnDatabase::Entry& NpnDatabase::entry_for(Tt6 canon) {
   const auto key = static_cast<std::uint16_t>(canon & tt6_mask(4));
   if (auto it = classes_.find(key); it != classes_.end()) return it->second;
+
+  // Lazy class synthesis fills a shared (thread-local) cache whose cost is
+  // amortized over every later caller -- it is not work of the job that
+  // happens to miss first.  Detach metric attribution for the synthesis so
+  // per-job deltas stay bit-identical regardless of cache warmth (the
+  // process-wide registry still sees the counters).
+  obs::Scope detached(nullptr);
 
   // Synthesize the canonical function with each candidate strategy into its
   // own scratch network; keep the best under the objective.

@@ -77,6 +77,18 @@ Request parse_request(const std::string& line) {
     if (req.id.empty()) throw ProtocolError("attach: empty job id");
     return req;
   }
+  if (type == "stats") {
+    req.kind = Request::Kind::kStats;
+    return req;
+  }
+  if (type == "health") {
+    req.kind = Request::Kind::kHealth;
+    return req;
+  }
+  if (type == "jobs") {
+    req.kind = Request::Kind::kJobs;
+    return req;
+  }
   if (type != "submit") {
     throw ProtocolError("request: unknown type \"" + type + "\"");
   }
@@ -233,6 +245,69 @@ std::string drained_line(const ServerCounters& c) {
          std::to_string(c.running + c.queued) + ", " + counters_body(c) + "}";
 }
 
+std::string stats_line(const ServerCounters& c, double uptime_seconds,
+                       const std::string& metrics_json,
+                       const std::string& ring_json,
+                       const std::string& prometheus_text) {
+  std::string out = "{\"type\": \"stats\", \"uptime_seconds\": ";
+  append_double(out, uptime_seconds);
+  out += ", " + counters_body(c);
+  // The sub-documents are pre-rendered JSON objects from mcs::obs; they are
+  // embedded verbatim, not re-quoted.  Prometheus is a *text* format, so it
+  // rides along as an escaped string.
+  out += ", \"metrics\": " + metrics_json;
+  out += ", \"ring\": " + ring_json;
+  out += ", \"prometheus\": ";
+  out += json_quote(prometheus_text);
+  out += "}";
+  return out;
+}
+
+std::string health_line(const HealthInfo& h) {
+  std::string out = "{\"type\": \"health\", \"status\": ";
+  out += json_quote(h.draining ? "draining" : "ok");
+  out += ", \"running\": " + std::to_string(h.running);
+  out += ", \"queued\": " + std::to_string(h.queued);
+  out += ", \"uptime_seconds\": ";
+  append_double(out, h.uptime_seconds);
+  out += ", \"journal_bytes\": " + std::to_string(h.journal_bytes);
+  out += ", \"memory_bytes\": " + std::to_string(h.memory_bytes);
+  out += ", \"memory_limit_bytes\": " + std::to_string(h.memory_limit_bytes);
+  out += ", \"telemetry\": ";
+  out += h.telemetry ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+std::string jobs_line(const std::vector<JobInfo>& jobs) {
+  std::string out = "{\"type\": \"jobs\", \"jobs\": [";
+  bool first = true;
+  for (const JobInfo& j : jobs) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"id\": ";
+    out += json_quote(j.id);
+    out += ", \"state\": ";
+    out += json_quote(j.state);
+    out += ", \"stage\": " + std::to_string(j.stage);
+    out += ", \"stages\": " + std::to_string(j.stages);
+    out += ", \"pass\": ";
+    out += json_quote(j.pass);
+    out += ", \"weight\": ";
+    append_double(out, j.weight);
+    out += ", \"seconds\": ";
+    append_double(out, j.seconds);
+    out += ", \"queue_wait_seconds\": ";
+    append_double(out, j.queue_wait_seconds);
+    out += ", \"cpu_us\": " + std::to_string(j.cpu_us);
+    out += ", \"strash_bytes\": " + std::to_string(j.strash_bytes);
+    out += ", \"arena_bytes\": " + std::to_string(j.arena_bytes);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
 // --- request builders -------------------------------------------------------
 
 std::string submit_line(const Request& req) {
@@ -280,6 +355,12 @@ std::string attach_line(std::string_view id) {
 }
 
 std::string ping_line() { return "{\"type\": \"ping\"}"; }
+
+std::string stats_request_line() { return "{\"type\": \"stats\"}"; }
+
+std::string health_request_line() { return "{\"type\": \"health\"}"; }
+
+std::string jobs_request_line() { return "{\"type\": \"jobs\"}"; }
 
 std::string shutdown_line() { return "{\"type\": \"shutdown\"}"; }
 

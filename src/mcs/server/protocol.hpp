@@ -10,6 +10,9 @@
 ///   {"type":"cancel", "id":"j1"}
 ///   {"type":"attach", "id":"j1"}  // re-bind a job after a reconnect
 ///   {"type":"ping"}
+///   {"type":"stats"}             // registry + telemetry ring + Prometheus
+///   {"type":"health"}            // readiness / drain / memory watermark
+///   {"type":"jobs"}              // live per-job table (queue + attribution)
 ///   {"type":"shutdown"}          // drain: finish accepted jobs, then stop
 ///
 /// Server -> client responses (every job-scoped line carries "job"):
@@ -26,7 +29,21 @@
 ///   {"type":"attached", "job":"j1", "state":"running|queued|done"}
 ///   {"type":"error", "job":"j1"?, "error":"..."}   // rejected / protocol
 ///   {"type":"pong", ...counters...}
+///   {"type":"stats", "uptime_seconds":12.5, ...counters...,
+///    "metrics":{<obs registry>}, "ring":{<telemetry ring samples>},
+///    "prometheus":"<text exposition, JSON-escaped>"}
+///   {"type":"health", "status":"ok|draining", "running":1, "queued":2,
+///    "uptime_seconds":12.5, "journal_bytes":4096, "memory_bytes":1048576,
+///    "memory_limit_bytes":0, "telemetry":true}
+///   {"type":"jobs", "jobs":[{"id":"j1", "state":"running|queued",
+///    "stage":2, "stages":5, "pass":"rewrite", "weight":1.0,
+///    "seconds":0.8, "queue_wait_seconds":0.01, "cpu_us":791234,
+///    "strash_bytes":262144, "arena_bytes":131072}]}
 ///   {"type":"draining", "jobs":2} / {"type":"drained", "jobs":0}
+///
+/// "stats", "health" and "jobs" are admin verbs: they never touch job
+/// state, work mid-drain, and are what `mcs_top` and `mcs_submit
+/// --stats/--health/--jobs` poll.
 ///
 /// A "submit" is either *rejected* up front (spec/input does not validate:
 /// one "error" line, no job exists) or *accepted* (one "accepted" line,
@@ -46,6 +63,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "mcs/flow/flow.hpp"
 
@@ -58,7 +76,16 @@ class ProtocolError : public std::runtime_error {
 
 /// One parsed client request.
 struct Request {
-  enum class Kind { kSubmit, kCancel, kAttach, kPing, kShutdown };
+  enum class Kind {
+    kSubmit,
+    kCancel,
+    kAttach,
+    kPing,
+    kStats,
+    kHealth,
+    kJobs,
+    kShutdown,
+  };
 
   Kind kind = Kind::kPing;
   std::string id;         ///< submit/cancel/attach: client-chosen job id
@@ -132,12 +159,54 @@ std::string pong_line(const ServerCounters& c);
 std::string draining_line(const ServerCounters& c);
 std::string drained_line(const ServerCounters& c);
 
+/// One row of the "jobs" admin table: scheduler state plus the per-job
+/// attribution read off the job's obs::Domain.
+struct JobInfo {
+  std::string id;
+  std::string state;  ///< "running" or "queued"
+  std::size_t stage = 0;   ///< next stage index (== stages when finishing)
+  std::size_t stages = 0;  ///< total stages in the job's flow
+  std::string pass;        ///< name of the next/current pass ("" when done)
+  double weight = 1.0;
+  double seconds = 0.0;  ///< wall time since the submit was accepted
+  double queue_wait_seconds = 0.0;  ///< accept -> first dispatch (0 if queued)
+  std::uint64_t cpu_us = 0;         ///< CPU attributed to the job's domain
+  std::int64_t strash_bytes = 0;    ///< domain peak strash footprint
+  std::int64_t arena_bytes = 0;     ///< domain peak cut-arena footprint
+};
+
+/// Everything in a "health" line beyond the job counts.
+struct HealthInfo {
+  bool draining = false;
+  std::size_t running = 0;
+  std::size_t queued = 0;
+  double uptime_seconds = 0.0;
+  std::uint64_t journal_bytes = 0;     ///< current journal size (0: no journal)
+  std::int64_t memory_bytes = 0;       ///< strash + cut-arena high water
+  std::int64_t memory_limit_bytes = 0; ///< admission limit (0 = unlimited)
+  bool telemetry = false;              ///< ring sampler running?
+};
+
+/// "stats" response: counters plus the obs registry (`metrics` JSON
+/// object), the retained telemetry ring (`ring` JSON object) and the
+/// Prometheus text exposition (JSON-escaped string; "" when obs is
+/// compiled out).
+std::string stats_line(const ServerCounters& c, double uptime_seconds,
+                       const std::string& metrics_json,
+                       const std::string& ring_json,
+                       const std::string& prometheus_text);
+std::string health_line(const HealthInfo& h);
+std::string jobs_line(const std::vector<JobInfo>& jobs);
+
 // --- request builders (the mcs_submit client side) --------------------------
 
 std::string submit_line(const Request& req);
 std::string cancel_line(std::string_view id);
 std::string attach_line(std::string_view id);
 std::string ping_line();
+std::string stats_request_line();
+std::string health_request_line();
+std::string jobs_request_line();
 std::string shutdown_line();
 
 }  // namespace mcs::server

@@ -42,6 +42,7 @@ struct ServerMetrics {
   obs::Gauge& cut_arena_bytes = obs::gauge("cut.arena_bytes_max");
   obs::Histogram& queue_wait_us = obs::histogram("server.queue_wait_us");
   obs::Histogram& job_latency_us = obs::histogram("server.job_latency_us");
+  obs::Histogram& job_cpu_us = obs::histogram("server.job_cpu_us");
   obs::Gauge& jobs_running = obs::gauge("server.jobs_running");
   obs::Gauge& jobs_queued = obs::gauge("server.jobs_queued");
   obs::Gauge& jobs_in_flight_hwm = obs::gauge("server.jobs_in_flight_hwm");
@@ -75,8 +76,17 @@ int default_job_slots() {
 
 }  // namespace
 
-JobServer::JobServer(ServerOptions options) : options_(options) {
+JobServer::JobServer(ServerOptions options)
+    : options_(options), started_at_(std::chrono::steady_clock::now()) {
   if (options_.job_slots <= 0) options_.job_slots = default_job_slots();
+  // The telemetry ring sampler is process-global; the first server to
+  // start it owns its lifetime.  sampler_running() stays false when obs is
+  // compiled out, so sampler_owner_ never arms there.
+  if (options_.telemetry_interval_ms > 0 && !obs::sampler_running()) {
+    obs::sampler_start(options_.telemetry_interval_ms,
+                       options_.telemetry_ring);
+    sampler_owner_ = obs::sampler_running();
+  }
   if (options_.journal_path.empty()) options_.stage_checkpoints = false;
   if (options_.stage_checkpoints) {
     if (options_.ckpt_dir.empty()) {
@@ -211,6 +221,7 @@ JobServer::~JobServer() {
   }
   cv_ready_.notify_all();
   for (std::thread& t : runners_) t.join();
+  if (sampler_owner_) obs::sampler_stop();
 }
 
 std::uint64_t JobServer::attach(Sink sink) {
@@ -290,6 +301,15 @@ void JobServer::handle_line(std::uint64_t client, const std::string& line) {
       return;
     case Request::Kind::kPing:
       emit(client, pong_line(counters()));
+      return;
+    case Request::Kind::kStats:
+      handle_stats(client);
+      return;
+    case Request::Kind::kHealth:
+      handle_health(client);
+      return;
+    case Request::Kind::kJobs:
+      handle_jobs(client);
       return;
     case Request::Kind::kShutdown: {
       ServerCounters snap;
@@ -384,6 +404,10 @@ void JobServer::handle_submit(std::uint64_t client, const Request& req) {
     job->token->set_deadline_after(std::chrono::milliseconds(timeout_ms));
   }
   job->ctx.cancel = job->token;
+  // The job's metric domain: run_stage installs it, the pool propagates it
+  // into every task the job fans out, so streamed stage "metrics" are this
+  // job's exact deltas and the "jobs" verb reads live attribution off it.
+  job->ctx.domain = std::make_shared<obs::Domain>();
   if (options_.stream_stages) {
     // Captures `this`, a raw Job* and values only: the job must not own a
     // closure that owns the job.  JobServer outlives every job (the
@@ -500,6 +524,61 @@ void JobServer::handle_attach(std::uint64_t client, const Request& req) {
   emit(client, response);
 }
 
+void JobServer::handle_stats(std::uint64_t client) {
+  // Everything here is observation-only: counters under mutex_, the obs
+  // registry / ring / Prometheus rendering lock-free or under obs's own
+  // locks -- so "stats" answers even while drain() blocks on cv_drained_.
+  emit(client, stats_line(counters(), seconds_since(started_at_),
+                          obs::metrics_json(), obs::ring_json(),
+                          obs::prometheus_text()));
+}
+
+void JobServer::handle_health(std::uint64_t client) {
+  HealthInfo h;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    h.draining = draining_;
+    h.queued = ready_.size();
+    h.running = jobs_.size() - ready_.size();
+  }
+  h.uptime_seconds = seconds_since(started_at_);
+  h.journal_bytes = journal_.is_open() ? journal_.bytes() : 0;
+  h.memory_bytes =
+      metrics().strash_bytes.value() + metrics().cut_arena_bytes.value();
+  h.memory_limit_bytes =
+      static_cast<std::int64_t>(options_.max_memory_mb) << 20;
+  h.telemetry = obs::sampler_running();
+  emit(client, health_line(h));
+}
+
+void JobServer::handle_jobs(std::uint64_t client) {
+  std::vector<JobInfo> rows;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rows.reserve(jobs_.size());
+    for (const auto& [key, job] : jobs_) {
+      JobInfo info;
+      info.id = job->id;
+      info.state = job->running ? "running" : "queued";
+      const std::size_t at = job->next_stage.load(std::memory_order_relaxed);
+      info.stage = at;
+      info.stages = job->flow.stages().size();
+      if (at < info.stages) info.pass = job->flow.stages()[at].pass->name;
+      info.weight = job->weight;
+      info.seconds = seconds_since(job->accepted_at);
+      info.queue_wait_seconds = job->started ? job->queue_wait_seconds : 0.0;
+      if (job->ctx.domain != nullptr) {
+        info.cpu_us = job->ctx.domain->cpu_us();
+        info.strash_bytes =
+            job->ctx.domain->peak(obs::DomainPeak::kStrashBytes);
+        info.arena_bytes = job->ctx.domain->peak(obs::DomainPeak::kArenaBytes);
+      }
+      rows.push_back(std::move(info));
+    }
+  }
+  emit(client, jobs_line(rows));
+}
+
 void JobServer::handle_cancel(std::uint64_t client, const Request& req) {
   std::unique_lock<std::mutex> lock(mutex_);
   auto it = jobs_.find(std::make_pair(client, req.id));
@@ -542,6 +621,7 @@ bool JobServer::cancel_job_locked(const std::shared_ptr<Job>& job,
 void JobServer::runner_loop(std::size_t /*index*/) {
   for (;;) {
     std::shared_ptr<Job> job;
+    bool first_dispatch = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_ready_.wait(lock, [this] { return stop_ || !ready_.empty(); });
@@ -555,11 +635,16 @@ void JobServer::runner_loop(std::size_t /*index*/) {
       // long-lived server does not hand newcomers an unbounded credit.
       vfloor_ = std::max(vfloor_, job->vtime);
       update_gauges_locked();
+      // First dispatch fixes the queue wait while mutex_ is held, so the
+      // "jobs" verb reads a consistent started/queue_wait pair.
+      if (!job->started) {
+        job->started = true;
+        job->queue_wait_seconds = seconds_since(job->accepted_at);
+        first_dispatch = true;
+      }
     }
 
-    if (!job->started) {
-      job->started = true;
-      job->queue_wait_seconds = seconds_since(job->accepted_at);
+    if (first_dispatch) {
       metrics().queue_wait_us.observe(
           static_cast<std::uint64_t>(job->queue_wait_seconds * 1e6));
       job->span = std::make_unique<obs::Span>("server:job");
@@ -717,6 +802,11 @@ void JobServer::finalize(const std::shared_ptr<Job>& job,
     m.jobs_failed.increment();
   }
   m.job_latency_us.observe(static_cast<std::uint64_t>(total_seconds * 1e6));
+  // Attributed CPU over every thread that worked for this job's domain --
+  // the per-job cost number the wall-clock latency histogram cannot give.
+  if (job->ctx.domain != nullptr) {
+    m.job_cpu_us.observe(job->ctx.domain->cpu_us());
+  }
   job->span.reset();  // records server:job on this thread
 
   if (journal_.is_open()) {

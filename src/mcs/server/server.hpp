@@ -40,7 +40,15 @@
 /// stage additionally under `server:stage`), and the server maintains
 /// `server.*` counters (accepted/completed/cancelled/timed-out/...),
 /// queue-wait and job-latency histograms and running/queued gauges -- see
-/// the README metric catalogue.
+/// the README metric catalogue.  Since obs v2 each accepted job also gets
+/// its own obs::Domain (installed on the FlowContext, inherited by every
+/// pool task the job fans out), so streamed per-stage "metrics" are exact
+/// per-job deltas even under concurrency, and the job's attributed CPU
+/// time (`server.job_cpu_us`) and peak arena/strash bytes are live in the
+/// "jobs" admin verb.  The ctor starts the obs ring sampler
+/// (telemetry_interval_ms/telemetry_ring) and the admin verbs "stats" /
+/// "health" / "jobs" answer at any time -- including mid-drain -- which is
+/// what `mcs_top` polls.
 ///
 /// **Robustness.**  With ServerOptions::journal_path set, every job
 /// transition lands in a durable fsync'd journal (journal.hpp) before the
@@ -158,6 +166,17 @@ struct ServerOptions {
   /// Directory of the per-job stage checkpoint files; "" derives
   /// "<journal_path>.ckpt".  Created on startup if missing.
   std::string ckpt_dir{};
+
+  // --- retained telemetry ---------------------------------------------------
+
+  /// Period of the obs ring sampler (registry snapshots retained in memory
+  /// and served by the "stats" verb); 0 disables the sampler.  The sampler
+  /// is process-global: the first server to start it owns it, and stops it
+  /// on destruction.
+  unsigned telemetry_interval_ms = 500;
+
+  /// Capacity of the retained telemetry ring (oldest samples evicted).
+  std::size_t telemetry_ring = 120;
 };
 
 class JobServer {
@@ -243,11 +262,15 @@ class JobServer {
     flow::Flow flow;
     flow::FlowContext ctx;
     std::shared_ptr<flow::CancelToken> token;
-    std::size_t next_stage = 0;
+    /// Atomic: advanced by the owning runner between stages without
+    /// mutex_, read by the "jobs" admin verb under it.
+    std::atomic<std::size_t> next_stage{0};
     double vtime = 0.0;  ///< consumed seconds / weight (fair-share key)
     bool running = false;    ///< a runner is executing a stage right now
     bool finalized = false;  ///< done line sent (guards double-finalize)
     std::chrono::steady_clock::time_point accepted_at;
+    /// started / queue_wait_seconds are written under mutex_ at first
+    /// dispatch so the "jobs" verb can read them under the same lock.
     bool started = false;
     double queue_wait_seconds = 0.0;
     std::unique_ptr<obs::Span> span;  ///< server:job, accept -> done
@@ -256,6 +279,11 @@ class JobServer {
   void handle_submit(std::uint64_t client, const Request& req);
   void handle_cancel(std::uint64_t client, const Request& req);
   void handle_attach(std::uint64_t client, const Request& req);
+  // Admin verbs: observation-only, never touch job state, and safe (by
+  // design: drain() releases mutex_ while it waits) during an active drain.
+  void handle_stats(std::uint64_t client);
+  void handle_health(std::uint64_t client);
+  void handle_jobs(std::uint64_t client);
   /// Journal recovery (constructor, before runners start): compact the
   /// old journal, seed the done cache, re-queue unfinished jobs.
   void recover_from_journal();
@@ -290,6 +318,8 @@ class JobServer {
   void maybe_compact_journal();
 
   ServerOptions options_;
+  std::chrono::steady_clock::time_point started_at_;  ///< uptime base
+  bool sampler_owner_ = false;  ///< this server started the global sampler
 
   mutable std::mutex mutex_;
   std::condition_variable cv_ready_;    ///< runners wait for ready jobs

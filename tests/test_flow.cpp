@@ -224,6 +224,31 @@ TEST(FlowRun, ReportCarriesPerStageStats) {
   EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
 }
 
+TEST(FlowRun, MetricsScopeSaysWhichAccumulatorStagesRead) {
+  // run_flow gives every flow its own metric domain, so its stage metrics
+  // are exact per-flow deltas and say "job".  A bare run_stage on a
+  // domain-less context keeps the pre-v2 semantics -- deltas of the
+  // process-global registry, marked "process" -- so JSON consumers can tell
+  // which accumulator they are looking at.
+  FlowContext scoped;
+  const FlowReport job_report = flow::run_flow("gen:adder,bits=8", scoped);
+  ASSERT_TRUE(job_report.ok) << job_report.error;
+  ASSERT_NE(scoped.domain, nullptr);
+  EXPECT_EQ(job_report.stages[0].metrics_scope, "job");
+  EXPECT_NE(job_report.stages[0].to_json().find("\"metrics_scope\": \"job\""),
+            std::string::npos);
+
+  const flow::Flow gen = flow::Flow::parse("gen:adder,bits=8");
+  FlowContext plain;
+  const flow::StageReport stage =
+      flow::run_stage(plain, *gen.stages()[0].pass, gen.stages()[0].args);
+  ASSERT_TRUE(stage.ok) << stage.note;
+  EXPECT_EQ(plain.domain, nullptr);
+  EXPECT_EQ(stage.metrics_scope, "process");
+  EXPECT_NE(stage.to_json().find("\"metrics_scope\": \"process\""),
+            std::string::npos);
+}
+
 TEST(FlowRun, TransformsInvalidateStaleMappings) {
   // A transform after a mapping must drop the mapped artifacts, so `cec`
   // verifies the *current* network, not a stale LUT mapping.

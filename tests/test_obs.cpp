@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -444,6 +445,312 @@ TEST_F(ObsTracing, ConcurrentRecordAndAggregateIsSafe) {
   }
   for (std::thread& t : writers) t.join();
   EXPECT_TRUE(JsonValidator::valid(obs::trace_json()));
+}
+
+// --- histogram percentiles --------------------------------------------------
+// percentile_from_buckets is the single derivation shared by metrics_text,
+// the telemetry ring and Histogram::percentile; pin its bucket math here.
+
+TEST(ObsPercentile, EmptyIsZeroAndPIsClamped) {
+  EXPECT_DOUBLE_EQ(obs::percentile_from_buckets({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(obs::percentile_from_buckets({0, 0, 0}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(obs::histogram("test.pct.empty").percentile(0.5), 0.0);
+
+  // Out-of-range p clamps to [0, 1] instead of extrapolating: ten samples
+  // in bucket 2 = [2, 3] bound every percentile to that range.
+  const std::vector<std::uint64_t> ten_in_bucket2 = {0, 0, 10, 0};
+  EXPECT_DOUBLE_EQ(obs::percentile_from_buckets(ten_in_bucket2, -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(obs::percentile_from_buckets(ten_in_bucket2, 7.0), 3.0);
+}
+
+TEST(ObsPercentile, ZeroBucketReportsExactZeros) {
+  // Bucket 0 holds exact zeros; a percentile landing there is 0.0, not an
+  // interpolated fraction of some power-of-two range.
+  obs::Histogram& h = obs::histogram("test.pct.zeros");
+  h.observe(0);
+  h.observe(0);
+  h.observe(1);
+  h.observe(1);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.75), 1.0);  // bucket 1 = [1, 1]
+}
+
+TEST(ObsPercentile, InterpolatesWithinLog2Bucket) {
+  obs::Histogram& h = obs::histogram("test.pct.interp");
+  for (std::uint64_t v : {4, 5, 6, 7}) h.observe(v);  // all in bucket 3=[4,7]
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.sum(), 22u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.25), 4.75);  // 4 + 1/4 * (7-4)
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.5);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 7.0);
+}
+
+TEST(ObsPercentile, MonotoneAcrossBuckets) {
+  obs::Histogram& h = obs::histogram("test.pct.monotone");
+  for (std::uint64_t v = 1; v <= 1024; ++v) h.observe(v);
+  double prev = 0.0;
+  for (const double p : {0.1, 0.25, 0.5, 0.9, 0.95, 0.99}) {
+    const double q = h.percentile(p);
+    EXPECT_GE(q, prev) << "percentile not monotone at p=" << p;
+    prev = q;
+  }
+  // Uniform 1..1024: the tail percentiles must land in the top buckets.
+  EXPECT_GE(h.percentile(0.99), 512.0);
+  EXPECT_LE(h.percentile(0.99), 1024.0);
+}
+
+// --- metric domains ---------------------------------------------------------
+// The obs v2 attribution layer: a thread-bound Scope routes every increment
+// to both the process registry and the installed Domain, pool tasks inherit
+// the submitter's domain, and Domain::snapshot is an exact per-domain view.
+
+std::int64_t metric_value(const std::vector<obs::MetricValue>& list,
+                          const std::string& name) {
+  for (const obs::MetricValue& mv : list) {
+    if (mv.name == name) return mv.value;
+  }
+  return -1;
+}
+
+TEST(ObsDomains, ScopeRoutesIncrementsToDomainAndGlobal) {
+  obs::Counter& c = obs::counter("test.domain.routed");
+  const std::uint64_t global_before = c.value();
+  obs::Domain inside;
+  {
+    obs::Scope scope(&inside);
+    c.add(7);
+  }
+  c.add(2);  // outside any scope: global only
+  EXPECT_EQ(c.value(), global_before + 9);
+  EXPECT_EQ(metric_value(inside.snapshot().counters, "test.domain.routed"), 7);
+}
+
+TEST(ObsDomains, NestedScopesSwitchDomains) {
+  obs::Counter& c = obs::counter("test.domain.nested");
+  obs::Domain outer;
+  obs::Domain inner;
+  EXPECT_EQ(obs::Scope::current(), nullptr);
+  {
+    obs::Scope outer_scope(&outer);
+    EXPECT_EQ(obs::Scope::current(), &outer);
+    c.add(1);
+    {
+      obs::Scope inner_scope(&inner);
+      EXPECT_EQ(obs::Scope::current(), &inner);
+      c.add(10);
+    }
+    EXPECT_EQ(obs::Scope::current(), &outer);
+    c.add(100);
+  }
+  EXPECT_EQ(obs::Scope::current(), nullptr);
+  EXPECT_EQ(metric_value(outer.snapshot().counters, "test.domain.nested"),
+            101);
+  EXPECT_EQ(metric_value(inner.snapshot().counters, "test.domain.nested"), 10);
+}
+
+TEST(ObsDomains, SameDomainReentryDoesNotDoubleCount) {
+  obs::Counter& c = obs::counter("test.domain.reentry");
+  obs::Domain d;
+  {
+    obs::Scope scope(&d);
+    c.add(1);
+    {
+      obs::Scope again(&d);  // no-op: same domain already installed
+      c.add(1);
+    }
+    c.add(1);  // the outer scope must still be active here
+  }
+  EXPECT_EQ(metric_value(d.snapshot().counters, "test.domain.reentry"), 3);
+}
+
+TEST(ObsDomains, HistogramsAttributeToDomains) {
+  obs::Histogram& h = obs::histogram("test.domain.hist");
+  obs::Domain d;
+  {
+    obs::Scope scope(&d);
+    h.observe(4);
+    h.observe(6);
+  }
+  h.observe(100);  // outside: global only
+  const obs::MetricsSnapshot snap = d.snapshot();
+  EXPECT_EQ(metric_value(snap.counters, "test.domain.hist.count"), 2);
+  EXPECT_EQ(metric_value(snap.counters, "test.domain.hist.p50_bucket"), 7);
+}
+
+TEST(ObsDomains, PoolTasksInheritSubmitterDomain) {
+  // The serving-stack contract: work fanned out through the pool is
+  // attributed to the domain that was active at submit time, across both
+  // submission paths.
+  obs::Counter& c = obs::counter("test.domain.pool");
+  constexpr std::size_t kItems = 1000;
+  obs::Domain bulk_domain;
+  obs::Domain submit_domain;
+  {
+    ThreadPool pool(4);
+    {
+      obs::Scope scope(&bulk_domain);
+      pool.submit_bulk(
+          kItems, [&](std::size_t) { c.increment(); }, pool.num_threads());
+    }
+    {
+      obs::Scope scope(&submit_domain);
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 32; ++i) {
+        futures.push_back(pool.submit([&] { c.add(2); }));
+      }
+      for (std::future<void>& f : futures) f.get();
+    }
+    pool.wait_idle();
+  }  // pool join: every worker flushed its task scopes
+  EXPECT_EQ(metric_value(bulk_domain.snapshot().counters, "test.domain.pool"),
+            static_cast<std::int64_t>(kItems));
+  EXPECT_EQ(
+      metric_value(submit_domain.snapshot().counters, "test.domain.pool"),
+      64);
+}
+
+TEST(ObsDomains, ConcurrentDomainsStayExact) {
+  // Two threads, each with its own domain, hammer the same counter: the
+  // per-domain totals must be exact (no cross-talk), and the global view
+  // must see the sum.  This is the unit-level version of the per-job
+  // bit-equality contract in test_server.
+  obs::Counter& c = obs::counter("test.domain.concurrent");
+  const std::uint64_t global_before = c.value();
+  obs::Domain a;
+  obs::Domain b;
+  auto work = [&](obs::Domain* d, std::uint64_t per_add, int iters) {
+    obs::Scope scope(d);
+    for (int i = 0; i < iters; ++i) c.add(per_add);
+  };
+  std::thread ta(work, &a, 1, 50000);
+  std::thread tb(work, &b, 3, 50000);
+  ta.join();
+  tb.join();
+  EXPECT_EQ(metric_value(a.snapshot().counters, "test.domain.concurrent"),
+            50000);
+  EXPECT_EQ(metric_value(b.snapshot().counters, "test.domain.concurrent"),
+            150000);
+  EXPECT_EQ(c.value(), global_before + 200000);
+}
+
+TEST(ObsDomains, CpuTimeAccruesToActiveDomain) {
+  obs::Domain d;
+  {
+    obs::Scope scope(&d);
+    // Deliberate busy work: CLOCK_THREAD_CPUTIME_ID only advances with
+    // actual CPU consumption, so sleeping would not register.
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < 20'000'000; ++i) sink = sink + i;
+  }
+  EXPECT_GT(d.cpu_us(), 0u);
+}
+
+TEST(ObsDomains, PeaksSurfaceAsSnapshotGauges) {
+  obs::Domain d;
+  {
+    obs::Scope scope(&d);
+    obs::domain_peak_max(obs::DomainPeak::kStrashBytes, 1 << 20);
+    obs::domain_peak_max(obs::DomainPeak::kStrashBytes, 1 << 10);  // lower: kept
+    obs::domain_peak_max(obs::DomainPeak::kArenaBytes, 123);
+  }
+  obs::domain_peak_max(obs::DomainPeak::kArenaBytes, 1 << 30);  // no scope: dropped
+  EXPECT_EQ(d.peak(obs::DomainPeak::kStrashBytes), 1 << 20);
+  EXPECT_EQ(d.peak(obs::DomainPeak::kArenaBytes), 123);
+  const obs::MetricsSnapshot snap = d.snapshot();
+  EXPECT_EQ(metric_value(snap.gauges, "obs.domain.strash_bytes_max"), 1 << 20);
+  EXPECT_EQ(metric_value(snap.gauges, "obs.domain.arena_bytes_max"), 123);
+}
+
+TEST(ObsDomains, SnapshotDiffDropsUnchangedCounters) {
+  obs::MetricsSnapshot before;
+  before.counters = {{"a", 5}, {"b", 7}};
+  obs::MetricsSnapshot now;
+  now.counters = {{"a", 5}, {"b", 9}, {"c", 2}};
+  now.gauges = {{"g", 42}};
+  const obs::MetricsSnapshot delta = obs::snapshot_diff(now, before);
+  ASSERT_EQ(delta.counters.size(), 2u);
+  EXPECT_EQ(metric_value(delta.counters, "b"), 2);
+  EXPECT_EQ(metric_value(delta.counters, "c"), 2);
+  EXPECT_EQ(metric_value(delta.counters, "a"), -1);  // unchanged: absent
+  ASSERT_EQ(delta.gauges.size(), 1u);
+  EXPECT_EQ(metric_value(delta.gauges, "g"), 42);
+}
+
+// --- telemetry ring & exports -----------------------------------------------
+
+TEST(ObsSampler, RingCollectsBoundedSamples) {
+  ASSERT_FALSE(obs::sampler_running());
+  obs::counter("test.ring.activity").add(5);
+  obs::sampler_start(/*interval_ms=*/5, /*ring_capacity=*/4);
+  EXPECT_TRUE(obs::sampler_running());
+  // Wait until the ring has wrapped at least once (>= 5 sampling periods),
+  // polling instead of a fixed sleep so slow CI machines pass too.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  const auto count_samples = [](const std::string& json) {
+    std::size_t n = 0;
+    for (std::size_t at = json.find("\"t_us\""); at != std::string::npos;
+         at = json.find("\"t_us\"", at + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  std::string json;
+  while (std::chrono::steady_clock::now() < deadline) {
+    json = obs::ring_json();
+    if (count_samples(json) >= 4) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(JsonValidator::valid(json)) << json;
+  // Bounded: capacity 4 means exactly 4 samples once the ring has wrapped.
+  EXPECT_EQ(count_samples(json), 4u);
+  EXPECT_NE(json.find("test.ring.activity"), std::string::npos);
+  obs::sampler_stop();
+  EXPECT_FALSE(obs::sampler_running());
+}
+
+TEST(ObsExports, PrometheusExpositionShape) {
+  obs::counter("test.prom.count").add(3);
+  obs::gauge("test.prom.level").set(11);
+  obs::Histogram& h = obs::histogram("test.prom.lat");
+  h.observe(5);
+  h.observe(9);
+  const std::string text = obs::prometheus_text();
+  // Names are sanitized ('.' -> '_'), each metric gets a # TYPE line, and
+  // histograms export cumulative buckets with the mandatory +Inf bound.
+  EXPECT_NE(text.find("# TYPE test_prom_count counter"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_count 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_level gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_lat histogram"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_lat_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_lat_sum 14"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_lat_count 2"), std::string::npos);
+  // Histogram-derived pseudo counters must NOT leak as separate counters.
+  EXPECT_EQ(text.find("test_prom_lat_count counter"), std::string::npos);
+  EXPECT_EQ(text.find("p50_bucket"), std::string::npos);
+  // No unsanitized names escape.
+  EXPECT_EQ(text.find("test.prom"), std::string::npos);
+}
+
+TEST(ObsExports, MetricsTextListsPercentiles) {
+  obs::histogram("test.text.pct").observe(4);
+  const std::string text = obs::metrics_text();
+  // The name appears both as derived counters (.count) and as the native
+  // histogram line; one of its lines must carry the percentile columns.
+  bool found = false;
+  for (std::size_t at = text.find("test.text.pct"); at != std::string::npos;
+       at = text.find("test.text.pct", at + 1)) {
+    const std::size_t eol = text.find('\n', at);
+    const std::string line = text.substr(at, eol - at);
+    if (line.find("p50") != std::string::npos &&
+        line.find("p95") != std::string::npos &&
+        line.find("p99") != std::string::npos) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found) << text;
 }
 
 #endif  // MCS_OBS_DISABLE

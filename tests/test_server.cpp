@@ -21,6 +21,7 @@
 #include <unistd.h>
 
 #include "mcs/ckpt/snapshot.hpp"
+#include "mcs/fail/fail.hpp"
 #include "mcs/flow/flow.hpp"
 #include "mcs/io/aiger.hpp"
 #include "mcs/obs/obs.hpp"
@@ -238,6 +239,42 @@ std::string submit(const std::string& id, const std::string& flow,
   return submit_line(req);
 }
 
+/// Latest emitted line whose "type" is \p type, parsed; null if none.
+Json last_line_of_type(const std::vector<std::string>& lines,
+                       const std::string& type) {
+  Json found = Json::null();
+  for (const std::string& line : lines) {
+    Json msg = Json::parse(line);
+    if (const Json* t = msg.find("type"); t && t->as_string() == type) {
+      found = std::move(msg);
+    }
+  }
+  return found;
+}
+
+/// Polls the "jobs" admin verb until \p id reports state "running"
+/// (ASSERT-fails after 30s).  Used with a one-shot `flow.stage` delay to
+/// pin a job observably in flight regardless of machine speed.
+void wait_until_running(TestClient& client, const std::string& id) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    client.send(jobs_request_line());
+    const Json jobs = last_line_of_type(client.lines(), "jobs");
+    if (jobs.is_object()) {
+      for (const Json& row : jobs.find("jobs")->items()) {
+        if (row.find("id")->as_string() == id &&
+            row.find("state")->as_string() == "running") {
+          return;
+        }
+      }
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << id << " never reached the running state";
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
 // --- server: happy path -----------------------------------------------------
 
 TEST(JobServer, StreamsStagesAndCompletes) {
@@ -348,11 +385,17 @@ TEST(JobServer, RejectsDuplicateInFlightIds) {
 TEST(JobServer, CancelsRunningJobAtStageBoundary) {
   JobServer server(ServerOptions{.job_slots = 1});
   TestClient client(server);
+  // A one-shot delay pins the job inside its first stage so the cancel
+  // deterministically lands mid-flight (a fast machine can otherwise
+  // finish the whole flow before the cancel is issued).
+  fail::configure("flow.stage=delay,ms=300,count=1");
   client.send(
       submit("victim",
              "gen:multiplier,bits=32; compress2rs; compress2rs; compress2rs"));
-  std::this_thread::sleep_for(20ms);  // let it get into a stage
-  EXPECT_TRUE(server.cancel("victim"));
+  wait_until_running(client, "victim");
+  const bool cancelled = server.cancel("victim");
+  fail::disable();
+  EXPECT_TRUE(cancelled);
   EXPECT_EQ(client.wait_outcome("victim"), "cancelled");
 
   // The synthetic final stage is streamed and marked failed.  (In the
@@ -511,6 +554,213 @@ TEST(JobServer, ConcurrentMixedFlowsMatchSerialBitForBit) {
     EXPECT_EQ(slurp(dir + "srv_b" + std::to_string(i) + ".aig"), ref_b)
         << "job b" << i << " diverged from the serial run";
   }
+}
+
+// --- obs v2: per-job metric attribution --------------------------------------
+
+/// Extracts the raw `"metrics": {...}` sub-document of a streamed stage
+/// line, byte for byte.  Comparing serialized text (not parsed values) is
+/// deliberate: the acceptance bar for domain attribution is *bit-equality*
+/// of the per-stage deltas, so even an ordering or formatting wobble fails.
+std::string metrics_blob(const std::string& line) {
+  const std::size_t key = line.find("\"metrics\": {");
+  if (key == std::string::npos) return {};
+  const std::size_t open = line.find('{', key);
+  int depth = 0;
+  for (std::size_t i = open; i < line.size(); ++i) {
+    if (line[i] == '{') ++depth;
+    if (line[i] == '}' && --depth == 0) return line.substr(open, i - open + 1);
+  }
+  return {};
+}
+
+/// The metrics sub-documents of \p job's streamed stage lines, in stage
+/// order.
+std::vector<std::string> stage_metric_blobs(
+    const std::vector<std::string>& lines, const std::string& job) {
+  std::vector<std::string> blobs;
+  for (const std::string& line : lines) {
+    const Json msg = Json::parse(line);
+    const Json* t = msg.find("type");
+    const Json* j = msg.find("job");
+    if (t != nullptr && t->as_string() == "stage" && j != nullptr &&
+        j->as_string() == job) {
+      blobs.push_back(metrics_blob(line));
+    }
+  }
+  return blobs;
+}
+
+/// The obs v2 attribution contract (ISSUE acceptance): with per-job metric
+/// domains, a job's per-stage counter deltas are *its own work only*, so
+/// running N jobs concurrently must reproduce the serial deltas bit for
+/// bit.  Before v2 the deltas read the process-global registry and
+/// concurrent neighbors bled into each other's numbers.
+TEST(JobServer, ConcurrentJobMetricsMatchSerialBitForBit) {
+  const std::string flow_a =
+      "gen:adder,bits=16; rewrite:basis=aig; refactor:basis=aig";
+  const std::string flow_b = "gen:multiplier,bits=8; compress2rs";
+
+  // Serial references: one job at a time on a single-slot server.
+  std::vector<std::string> ref_a;
+  std::vector<std::string> ref_b;
+  {
+    JobServer server(ServerOptions{.job_slots = 1});
+    TestClient client(server);
+    client.send(submit("ref-a", flow_a));
+    ASSERT_EQ(client.wait_outcome("ref-a"), "ok");
+    client.send(submit("ref-b", flow_b));
+    ASSERT_EQ(client.wait_outcome("ref-b"), "ok");
+    ref_a = stage_metric_blobs(client.lines(), "ref-a");
+    ref_b = stage_metric_blobs(client.lines(), "ref-b");
+  }
+  ASSERT_EQ(ref_a.size(), 3u);
+  ASSERT_EQ(ref_b.size(), 2u);
+  for (const std::string& blob : ref_a) ASSERT_FALSE(blob.empty());
+  for (const std::string& blob : ref_b) ASSERT_FALSE(blob.empty());
+
+  // Interleaved batch: two of each flow, all four in flight at once.
+  JobServer server(ServerOptions{.job_slots = 4});
+  TestClient client(server);
+  for (int i = 0; i < 2; ++i) {
+    client.send(submit("a" + std::to_string(i), flow_a));
+    client.send(submit("b" + std::to_string(i), flow_b));
+  }
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(client.wait_outcome("a" + std::to_string(i)), "ok");
+    ASSERT_EQ(client.wait_outcome("b" + std::to_string(i)), "ok");
+  }
+  const std::vector<std::string> lines = client.lines();
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(stage_metric_blobs(lines, "a" + std::to_string(i)), ref_a)
+        << "job a" << i << "'s metric deltas diverged from the serial run";
+    EXPECT_EQ(stage_metric_blobs(lines, "b" + std::to_string(i)), ref_b)
+        << "job b" << i << "'s metric deltas diverged from the serial run";
+  }
+  // Every server stage declares the v2 semantics in-band.
+  for (const std::string& line : lines) {
+    const Json msg = Json::parse(line);
+    if (const Json* t = msg.find("type"); t && t->as_string() == "stage") {
+      EXPECT_NE(line.find("\"metrics_scope\": \"job\""), std::string::npos);
+    }
+  }
+}
+
+// --- obs v2: admin verbs ------------------------------------------------------
+
+TEST(JobServer, AdminVerbsReportCountersHealthAndJobRows) {
+  JobServer server(ServerOptions{.job_slots = 1});
+  TestClient client(server);
+
+  // A queued job behind a running one so the "jobs" table shows both
+  // scheduler states.  A one-shot delay on the first stage boundary keeps
+  // "front" observably running -- with warm caches the whole flow can
+  // otherwise finish between two polls.
+  fail::configure("flow.stage=delay,ms=300,count=1");
+  client.send(submit("front", "gen:multiplier,bits=64; compress2rs"));
+  client.send(submit("back", "gen:adder,bits=8"));
+
+  // Poll until the first job is dispatched (state "running").
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  Json jobs = Json::null();
+  for (;;) {
+    client.send(jobs_request_line());
+    jobs = last_line_of_type(client.lines(), "jobs");
+    ASSERT_TRUE(jobs.is_object());
+    const Json* rows = jobs.find("jobs");
+    ASSERT_NE(rows, nullptr);
+    bool front_running = false;
+    for (const Json& row : rows->items()) {
+      if (row.find("id")->as_string() == "front" &&
+          row.find("state")->as_string() == "running") {
+        front_running = true;
+      }
+    }
+    // Both rows must be visible: the submits are pipelined, so "back" can
+    // lag "front"'s dispatch by a beat.
+    if (front_running && rows->items().size() == 2) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      fail::disable();
+      FAIL() << "job never reached the running state";
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+  fail::disable();
+
+  // Row shape: both jobs present with their scheduler state and the
+  // attribution fields wired to the job's domain.
+  const Json* rows = jobs.find("jobs");
+  ASSERT_EQ(rows->items().size(), 2u);
+  bool saw_back = false;
+  for (const Json& row : rows->items()) {
+    if (row.find("id")->as_string() != "back") continue;
+    saw_back = true;
+    EXPECT_EQ(row.find("state")->as_string(), "queued");
+    EXPECT_EQ(row.find("stage")->as_int(), 0);
+    EXPECT_EQ(row.find("stages")->as_int(), 1);
+    EXPECT_EQ(row.find("pass")->as_string(), "gen");
+    EXPECT_EQ(row.find("cpu_us")->as_int(), 0);  // never dispatched
+    ASSERT_NE(row.find("queue_wait_seconds"), nullptr);
+  }
+  EXPECT_TRUE(saw_back);
+
+  // "stats" embeds the obs registry exports verbatim plus the counters.
+  client.send(stats_request_line());
+  const Json stats = last_line_of_type(client.lines(), "stats");
+  ASSERT_TRUE(stats.is_object());
+  EXPECT_GE(stats.find("accepted")->as_int(), 2);
+  EXPECT_GE(stats.find("uptime_seconds")->as_number(), 0.0);
+  ASSERT_NE(stats.find("metrics"), nullptr);
+  EXPECT_TRUE(stats.find("metrics")->is_object());
+  ASSERT_NE(stats.find("ring"), nullptr);
+  ASSERT_NE(stats.find("prometheus"), nullptr);
+  EXPECT_TRUE(stats.find("prometheus")->is_string());
+
+  // "health" answers with scheduler load and the telemetry-sampler state.
+  client.send(health_request_line());
+  const Json health = last_line_of_type(client.lines(), "health");
+  ASSERT_TRUE(health.is_object());
+  EXPECT_EQ(health.find("status")->as_string(), "ok");
+  EXPECT_EQ(health.find("running")->as_int() + health.find("queued")->as_int(),
+            2);
+  ASSERT_NE(health.find("journal_bytes"), nullptr);
+  ASSERT_NE(health.find("memory_bytes"), nullptr);
+#ifndef MCS_OBS_DISABLE
+  EXPECT_TRUE(health.find("telemetry")->as_bool());  // default options: on
+#else
+  EXPECT_FALSE(health.find("telemetry")->as_bool());  // sampler stubbed out
+#endif
+
+  client.send(cancel_line("front"));
+  client.send(cancel_line("back"));
+  server.drain();
+}
+
+TEST(JobServer, AdminVerbsAnswerDuringActiveDrain) {
+  JobServer server(ServerOptions{.job_slots = 1});
+  TestClient client(server);
+  client.send(submit("slow", "gen:multiplier,bits=64; compress2rs"));
+  client.send(shutdown_line());
+
+  // drain() blocks until "slow" finishes; observation must not.
+  std::thread draining([&] { server.drain(); });
+  client.send(health_request_line());
+  client.send(stats_request_line());
+  client.send(jobs_request_line());
+
+  const Json health = last_line_of_type(client.lines(), "health");
+  ASSERT_TRUE(health.is_object());
+  EXPECT_EQ(health.find("status")->as_string(), "draining");
+  const Json stats = last_line_of_type(client.lines(), "stats");
+  ASSERT_TRUE(stats.is_object());
+  EXPECT_GE(stats.find("accepted")->as_int(), 1);
+  const Json jobs = last_line_of_type(client.lines(), "jobs");
+  ASSERT_TRUE(jobs.is_object());
+
+  draining.join();
+  EXPECT_EQ(client.wait_outcome("slow"), "ok");
+  EXPECT_EQ(server.jobs_in_flight(), 0u);
 }
 
 // --- journal ----------------------------------------------------------------

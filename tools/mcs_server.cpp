@@ -149,6 +149,11 @@ void usage() {
       "  --max-jobs-per-client N per-client in-flight quota (default 1024)\n"
       "  --max-memory-mb N   shed new jobs past this arena high-water (0 = off)\n"
       "\n"
+      "telemetry\n"
+      "  --telemetry-interval-ms N  obs ring sampler period served by the\n"
+      "                      \"stats\" verb (default 500; 0 disables)\n"
+      "  --telemetry-ring N  retained registry samples (default 120)\n"
+      "\n"
       "SIGTERM/SIGINT drain gracefully: accepted jobs finish, then exit 0.\n",
       stderr);
 }
@@ -515,6 +520,12 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(need_value(i)));
     } else if (arg == "--max-memory-mb") {
       options.max_memory_mb =
+          static_cast<std::size_t>(std::atoll(need_value(i)));
+    } else if (arg == "--telemetry-interval-ms") {
+      options.telemetry_interval_ms =
+          static_cast<unsigned>(std::atoi(need_value(i)));
+    } else if (arg == "--telemetry-ring") {
+      options.telemetry_ring =
           static_cast<std::size_t>(std::atoll(need_value(i)));
     } else if (arg == "--help" || arg == "-h") {
       usage();

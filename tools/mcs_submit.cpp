@@ -30,25 +30,23 @@
 /// final "drained" arrived) -- individual job statuses are in the output
 /// for the caller to inspect.
 ///
+/// Admin mode -- one-shot queries against a running server: `--ping`
+/// round-trips the protocol and prints a one-line stats summary (uptime,
+/// jobs running/queued/completed); `--stats`, `--health` and `--jobs`
+/// print the raw reply JSON of the corresponding admin verb (pipe them
+/// into jq, or watch them live with `mcs_top`).
+///
 /// Transports: `unix:PATH`, `tcp:HOST:PORT`, and `pipe:TO,FROM` -- a FIFO
 /// pair feeding an `mcs_server --pipe < TO > FROM` instance.  The FIFO
 /// open order (TO for write first, then FROM for read) mirrors the
 /// server's shell-redirection order, so neither side deadlocks.
 
-#include <fcntl.h>
-#include <netdb.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <algorithm>
-#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -59,155 +57,13 @@
 
 #include "mcs/server/json.hpp"
 #include "mcs/server/protocol.hpp"
+#include "transport.hpp"
 
 namespace {
 
 using mcs::server::Json;
-
-// --- transports -------------------------------------------------------------
-
-struct Connection {
-  int in_fd = -1;   ///< server -> client
-  int out_fd = -1;  ///< client -> server
-  std::string read_buffer;
-
-  bool send_line(const std::string& line) {
-    const std::string data = line + "\n";
-    std::size_t off = 0;
-    while (off < data.size()) {
-      const ssize_t n = write(out_fd, data.data() + off, data.size() - off);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return false;
-      }
-      off += static_cast<std::size_t>(n);
-    }
-    return true;
-  }
-
-  /// Reads the next response line; false on EOF/error.
-  bool read_line(std::string& line) {
-    for (;;) {
-      const std::size_t pos = read_buffer.find('\n');
-      if (pos != std::string::npos) {
-        line = read_buffer.substr(0, pos);
-        read_buffer.erase(0, pos + 1);
-        return true;
-      }
-      char chunk[4096];
-      const ssize_t n = read(in_fd, chunk, sizeof(chunk));
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) return false;
-      read_buffer.append(chunk, static_cast<std::size_t>(n));
-    }
-  }
-
-  /// Half-closes the client->server direction (pipe mode: EOF tells the
-  /// server to drain; we keep reading until "drained").
-  void close_send() {
-    if (out_fd >= 0 && out_fd != in_fd) close(out_fd);
-    if (out_fd >= 0 && out_fd == in_fd) shutdown(out_fd, SHUT_WR);
-    out_fd = -1;
-  }
-
-  /// Tears the whole connection down so the object can be reconnected
-  /// (the --retry reconnect path after a server crash).
-  void close_all() {
-    if (out_fd >= 0 && out_fd != in_fd) close(out_fd);
-    if (in_fd >= 0) close(in_fd);
-    in_fd = out_fd = -1;
-    read_buffer.clear();
-  }
-
-  ~Connection() {
-    if (out_fd >= 0 && out_fd != in_fd) close(out_fd);
-    if (in_fd >= 0) close(in_fd);
-  }
-};
-
-bool connect_unix(const std::string& path, Connection& conn) {
-  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return false;
-  sockaddr_un addr = {};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    close(fd);
-    return false;
-  }
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    close(fd);
-    return false;
-  }
-  conn.in_fd = conn.out_fd = fd;
-  return true;
-}
-
-bool connect_tcp(const std::string& host, int port, Connection& conn) {
-  addrinfo hints = {};
-  hints.ai_family = AF_INET;
-  hints.ai_socktype = SOCK_STREAM;
-  addrinfo* res = nullptr;
-  if (getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res) !=
-          0 ||
-      res == nullptr) {
-    return false;
-  }
-  const int fd = socket(res->ai_family, res->ai_socktype, res->ai_protocol);
-  bool ok = fd >= 0 && connect(fd, res->ai_addr, res->ai_addrlen) == 0;
-  freeaddrinfo(res);
-  if (!ok) {
-    if (fd >= 0) close(fd);
-    return false;
-  }
-  conn.in_fd = conn.out_fd = fd;
-  return true;
-}
-
-bool connect_pipe(const std::string& to_path, const std::string& from_path,
-                  Connection& conn) {
-  // Order matters with FIFOs: the server (shell-redirected) blocks opening
-  // its stdin FIFO for read until a writer appears, then its stdout FIFO
-  // for write until a reader appears.  Open write-to-server first.
-  conn.out_fd = open(to_path.c_str(), O_WRONLY);
-  if (conn.out_fd < 0) return false;
-  conn.in_fd = open(from_path.c_str(), O_RDONLY);
-  return conn.in_fd >= 0;
-}
-
-bool connect_spec(const std::string& spec, Connection& conn) {
-  if (spec.rfind("unix:", 0) == 0) return connect_unix(spec.substr(5), conn);
-  if (spec.rfind("tcp:", 0) == 0) {
-    const std::string rest = spec.substr(4);
-    const std::size_t colon = rest.rfind(':');
-    if (colon == std::string::npos) return false;
-    return connect_tcp(rest.substr(0, colon),
-                       std::atoi(rest.c_str() + colon + 1), conn);
-  }
-  if (spec.rfind("pipe:", 0) == 0) {
-    const std::string rest = spec.substr(5);
-    const std::size_t comma = rest.find(',');
-    if (comma == std::string::npos) return false;
-    return connect_pipe(rest.substr(0, comma), rest.substr(comma + 1), conn);
-  }
-  return false;
-}
-
-/// connect_spec with up to \p retries re-attempts, exponential backoff
-/// doubling from \p backoff_ms (capped at 5s).  Covers both a server that
-/// has not bound its socket yet and the window while a supervisor is
-/// restarting a crashed worker.
-bool connect_with_retry(const std::string& spec, Connection& conn,
-                        int retries, long backoff_ms) {
-  backoff_ms = std::max(backoff_ms, 1L);
-  for (int attempt = 0;; ++attempt) {
-    if (connect_spec(spec, conn)) return true;
-    conn.close_all();
-    if (attempt >= retries) return false;
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-    backoff_ms = std::min(backoff_ms * 2, 5000L);
-  }
-}
+using mcs::tools::Connection;
+using mcs::tools::connect_with_retry;
 
 // --- response inspection ----------------------------------------------------
 
@@ -402,9 +258,20 @@ int run_script(Connection& conn, std::istream& script) {
 void usage() {
   std::fputs(
       "usage: mcs_submit --connect SPEC (--flow SPEC | --script FILE |\n"
-      "                                  --cancel ID | --ping | --shutdown)\n"
+      "                                  --cancel ID | --ping | --stats |\n"
+      "                                  --health | --jobs | --shutdown)\n"
       "\n"
       "  --connect unix:PATH | tcp:HOST:PORT | pipe:TO_FIFO,FROM_FIFO\n"
+      "\n"
+      "admin\n"
+      "  --ping               protocol round-trip plus a one-line summary\n"
+      "                       (uptime, jobs running/queued/completed)\n"
+      "  --stats              print the raw \"stats\" reply: counters, obs\n"
+      "                       registry, telemetry ring, Prometheus text\n"
+      "  --health             print the raw \"health\" reply (readiness,\n"
+      "                       drain state, journal lag, memory watermark)\n"
+      "  --jobs               print the raw \"jobs\" reply (live job table\n"
+      "                       with per-job attributed CPU and peak bytes)\n"
       "\n"
       "single job\n"
       "  --flow \"gen:adder,bits=32; compress2rs; map_lut:k=6\"\n"
@@ -437,6 +304,7 @@ int main(int argc, char** argv) {
   std::string input_path;
   std::string cancel_id;
   bool ping = false;
+  std::string admin_verb;  // "stats" / "health" / "jobs": one-shot queries
   bool shutdown_only = false;
   bool quiet = false;
   long long cancel_after_ms = 0;
@@ -489,6 +357,12 @@ int main(int argc, char** argv) {
       cancel_id = need_value(i);
     } else if (arg == "--ping") {
       ping = true;
+    } else if (arg == "--stats") {
+      admin_verb = "stats";
+    } else if (arg == "--health") {
+      admin_verb = "health";
+    } else if (arg == "--jobs") {
+      admin_verb = "jobs";
     } else if (arg == "--shutdown") {
       shutdown_only = true;
     } else if (arg == "--quiet") {
@@ -534,11 +408,49 @@ int main(int argc, char** argv) {
     if (conn.read_line(line)) std::cout << line << "\n";
     return 0;
   }
-  if (ping) {
-    if (!conn.send_line(mcs::server::ping_line())) return 1;
+  if (!admin_verb.empty()) {
+    const std::string request =
+        admin_verb == "stats"    ? mcs::server::stats_request_line()
+        : admin_verb == "health" ? mcs::server::health_request_line()
+                                 : mcs::server::jobs_request_line();
+    if (!conn.send_line(request)) return 1;
     std::string line;
     if (!conn.read_line(line)) return 1;
     std::cout << line << "\n";
+    return 0;
+  }
+  if (ping) {
+    // Round-trip a real ping first (the liveness check), then fetch the
+    // stats and condense them to one human-readable line.
+    if (!conn.send_line(mcs::server::ping_line())) return 1;
+    std::string line;
+    if (!conn.read_line(line) || inspect(line).type != "pong") return 1;
+    if (!conn.send_line(mcs::server::stats_request_line())) return 1;
+    if (!conn.read_line(line)) return 1;
+    try {
+      const Json msg = Json::parse(line);
+      auto count = [&msg](const char* key) -> long long {
+        const Json* v = msg.find(key);
+        return v != nullptr && v->is_number() ? v->as_int() : 0;
+      };
+      double uptime = 0.0;
+      if (const Json* v = msg.find("uptime_seconds");
+          v != nullptr && v->is_number()) {
+        uptime = v->as_number();
+      }
+      const Json* draining = msg.find("draining");
+      std::printf(
+          "up %.1fs%s: %lld running, %lld queued, %lld completed, "
+          "%lld failed (accepted %lld, rejected %lld)\n",
+          uptime,
+          draining != nullptr && draining->is_bool() && draining->as_bool()
+              ? " [draining]"
+              : "",
+          count("running"), count("queued"), count("completed"),
+          count("failed"), count("accepted"), count("rejected"));
+    } catch (const mcs::server::JsonError&) {
+      std::cout << line << "\n";  // unformattable: echo the raw reply
+    }
     return 0;
   }
   if (shutdown_only) {
@@ -552,8 +464,9 @@ int main(int argc, char** argv) {
   }
 
   if (req.flow_spec.empty()) {
-    std::fprintf(stderr, "mcs_submit: --flow, --script, --cancel, --ping or "
-                         "--shutdown required\n");
+    std::fprintf(stderr,
+                 "mcs_submit: --flow, --script, --cancel, --ping, --stats, "
+                 "--health, --jobs or --shutdown required\n");
     return 1;
   }
   if (!input_path.empty()) {

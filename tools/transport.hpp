@@ -1,0 +1,175 @@
+/// \file transport.hpp
+/// \brief Client-side transports for the mcs_server protocol, shared by
+/// mcs_submit and mcs_top.
+///
+/// A Connection is a pair of fds speaking newline-delimited JSON; the
+/// `--connect SPEC` grammar is `unix:PATH`, `tcp:HOST:PORT` or
+/// `pipe:TO_FIFO,FROM_FIFO` (a FIFO pair feeding an `mcs_server --pipe`
+/// instance).  The FIFO open order (TO for write first, then FROM for
+/// read) mirrors the server's shell-redirection order, so neither side
+/// deadlocks.  Header-only on purpose: the tools are single-file
+/// executables built by a CMake glob.
+
+#pragma once
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace mcs::tools {
+
+struct Connection {
+  int in_fd = -1;   ///< server -> client
+  int out_fd = -1;  ///< client -> server
+  std::string read_buffer;
+
+  bool send_line(const std::string& line) {
+    const std::string data = line + "\n";
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = write(out_fd, data.data() + off, data.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads the next response line; false on EOF/error.
+  bool read_line(std::string& line) {
+    for (;;) {
+      const std::size_t pos = read_buffer.find('\n');
+      if (pos != std::string::npos) {
+        line = read_buffer.substr(0, pos);
+        read_buffer.erase(0, pos + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = read(in_fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      read_buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Half-closes the client->server direction (pipe mode: EOF tells the
+  /// server to drain; we keep reading until "drained").
+  void close_send() {
+    if (out_fd >= 0 && out_fd != in_fd) close(out_fd);
+    if (out_fd >= 0 && out_fd == in_fd) shutdown(out_fd, SHUT_WR);
+    out_fd = -1;
+  }
+
+  /// Tears the whole connection down so the object can be reconnected
+  /// (the --retry reconnect path after a server crash).
+  void close_all() {
+    if (out_fd >= 0 && out_fd != in_fd) close(out_fd);
+    if (in_fd >= 0) close(in_fd);
+    in_fd = out_fd = -1;
+    read_buffer.clear();
+  }
+
+  ~Connection() {
+    if (out_fd >= 0 && out_fd != in_fd) close(out_fd);
+    if (in_fd >= 0) close(in_fd);
+  }
+};
+
+inline bool connect_unix(const std::string& path, Connection& conn) {
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    close(fd);
+    return false;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return false;
+  }
+  conn.in_fd = conn.out_fd = fd;
+  return true;
+}
+
+inline bool connect_tcp(const std::string& host, int port, Connection& conn) {
+  addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res) !=
+          0 ||
+      res == nullptr) {
+    return false;
+  }
+  const int fd = socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  bool ok = fd >= 0 && connect(fd, res->ai_addr, res->ai_addrlen) == 0;
+  freeaddrinfo(res);
+  if (!ok) {
+    if (fd >= 0) close(fd);
+    return false;
+  }
+  conn.in_fd = conn.out_fd = fd;
+  return true;
+}
+
+inline bool connect_pipe(const std::string& to_path,
+                         const std::string& from_path, Connection& conn) {
+  // Order matters with FIFOs: the server (shell-redirected) blocks opening
+  // its stdin FIFO for read until a writer appears, then its stdout FIFO
+  // for write until a reader appears.  Open write-to-server first.
+  conn.out_fd = open(to_path.c_str(), O_WRONLY);
+  if (conn.out_fd < 0) return false;
+  conn.in_fd = open(from_path.c_str(), O_RDONLY);
+  return conn.in_fd >= 0;
+}
+
+inline bool connect_spec(const std::string& spec, Connection& conn) {
+  if (spec.rfind("unix:", 0) == 0) return connect_unix(spec.substr(5), conn);
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) return false;
+    return connect_tcp(rest.substr(0, colon),
+                       std::atoi(rest.c_str() + colon + 1), conn);
+  }
+  if (spec.rfind("pipe:", 0) == 0) {
+    const std::string rest = spec.substr(5);
+    const std::size_t comma = rest.find(',');
+    if (comma == std::string::npos) return false;
+    return connect_pipe(rest.substr(0, comma), rest.substr(comma + 1), conn);
+  }
+  return false;
+}
+
+/// connect_spec with up to \p retries re-attempts, exponential backoff
+/// doubling from \p backoff_ms (capped at 5s).  Covers both a server that
+/// has not bound its socket yet and the window while a supervisor is
+/// restarting a crashed worker.
+inline bool connect_with_retry(const std::string& spec, Connection& conn,
+                               int retries, long backoff_ms) {
+  backoff_ms = std::max(backoff_ms, 1L);
+  for (int attempt = 0;; ++attempt) {
+    if (connect_spec(spec, conn)) return true;
+    conn.close_all();
+    if (attempt >= retries) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, 5000L);
+  }
+}
+
+}  // namespace mcs::tools
